@@ -1,0 +1,39 @@
+"""Benchmark regenerating Fig. 10: per-worker breakdown of the Yukawa weak scaling.
+
+Paper reference (Fig. 10a/b/c):
+
+* LORAPO -- runtime overhead far exceeds compute-task time and grows with the
+  node count (its poor weak scaling is an overhead problem);
+* STRUMPACK -- compute time per worker is roughly flat while MPI time grows
+  with the node count;
+* HATRIX-DTD -- compute-task time per worker is almost flat (perfect weak
+  scaling of the work) while the DTD runtime overhead grows with the total
+  task count.
+"""
+
+from bench_utils import full_scale, print_table
+
+from repro.experiments.fig10_breakdown import format_fig10, run_fig10
+
+
+def _run():
+    return run_fig10(max_nodes=128, lorapo_max_nodes=512 if full_scale() else 128)
+
+
+def test_fig10_performance_breakdown(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table("Fig. 10 (simulated): per-worker compute vs overhead/MPI breakdown", format_fig10(rows))
+
+    hatrix = sorted((r for r in rows if r.code == "HATRIX-DTD"), key=lambda r: r.nodes)
+    strumpack = sorted((r for r in rows if r.code == "STRUMPACK"), key=lambda r: r.nodes)
+    lorapo = sorted((r for r in rows if r.code == "LORAPO"), key=lambda r: r.nodes)
+
+    # Fig. 10c: HATRIX-DTD compute per worker is nearly flat, overhead grows.
+    assert hatrix[-1].compute_time < hatrix[0].compute_time * 4
+    assert hatrix[-1].overhead_time > hatrix[0].overhead_time * 4
+
+    # Fig. 10b: STRUMPACK MPI time grows with the node count.
+    assert strumpack[-1].overhead_time > strumpack[0].overhead_time
+
+    # Fig. 10a: LORAPO overhead exceeds its compute-task time at scale.
+    assert lorapo[-1].overhead_time > lorapo[-1].compute_time

@@ -1,0 +1,43 @@
+"""Benchmark regenerating Fig. 11: growing problem size on a fixed 64 nodes.
+
+Paper reference (Fig. 11, Yukawa, 64 Fugaku nodes, N = 8k..262k):
+STRUMPACK's time is almost uniform (communication dominated), HATRIX-DTD
+follows an O(N) trend because its runtime overhead grows with the task count,
+and LORAPO follows an O(N^2) trend (its curve stops at N=65,536).  At the
+largest problem size STRUMPACK overtakes HATRIX-DTD -- the paper's closing
+observation (Sec. 5.4).
+"""
+
+from bench_utils import full_scale, print_table
+
+from repro.analysis.complexity import fit_power_law
+from repro.experiments.fig11_problem_size import format_fig11, run_fig11
+
+
+def _run():
+    sizes = (8192, 16384, 32768, 65536, 131072, 262144) if full_scale() else (8192, 16384, 32768, 65536, 131072)
+    return run_fig11(nodes=64, sizes=sizes)
+
+
+def test_fig11_problem_size_sweep(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table("Fig. 11 (simulated): problem-size sweep on 64 nodes", format_fig11(results))
+
+    hatrix = {r.n: r.time for r in results if r.code == "HATRIX-DTD"}
+    strumpack = {r.n: r.time for r in results if r.code == "STRUMPACK"}
+    lorapo = {r.n: r.time for r in results if r.code == "LORAPO"}
+
+    sizes = sorted(hatrix)
+    # STRUMPACK is nearly flat; HATRIX-DTD grows ~O(N); LORAPO grows fastest.
+    strumpack_exp = fit_power_law(sizes, [strumpack[n] for n in sizes]).exponent
+    hatrix_exp = fit_power_law(sizes, [hatrix[n] for n in sizes]).exponent
+    lorapo_sizes = sorted(lorapo)
+    lorapo_exp = fit_power_law(lorapo_sizes, [lorapo[n] for n in lorapo_sizes]).exponent
+
+    assert strumpack_exp < 0.6
+    assert 0.4 < hatrix_exp < 1.3
+    assert lorapo_exp > hatrix_exp
+
+    # HATRIX-DTD wins at small N; STRUMPACK catches up (or wins) at the largest N.
+    assert hatrix[sizes[0]] < strumpack[sizes[0]]
+    assert hatrix[sizes[-1]] / strumpack[sizes[-1]] > 0.6

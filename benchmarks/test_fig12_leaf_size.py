@@ -1,0 +1,39 @@
+"""Benchmark regenerating Fig. 12: impact of leaf size (128 nodes, N=262,144).
+
+Paper reference (Fig. 12, Yukawa, rank 100 for the HSS codes, LORAPO max rank
+= leaf/2): HATRIX-DTD is the fastest at small leaf sizes and degrades steeply
+as the leaf grows (single-core tasks get huge and parallelism disappears);
+STRUMPACK is much less sensitive because its distributed dense kernels spread
+one block over many processes; LORAPO prefers a mid-range leaf size.
+"""
+
+from bench_utils import full_scale, print_table
+
+from repro.experiments.fig12_leaf_size import format_fig12, run_fig12
+
+
+def _run():
+    if full_scale():
+        return run_fig12(n=262144, nodes=128, leaf_sizes=(512, 1024, 2048, 4096, 8192))
+    return run_fig12(n=65536, nodes=128, leaf_sizes=(512, 1024, 2048, 4096, 8192), max_lorapo_blocks=128)
+
+
+def test_fig12_leaf_size_sweep(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table("Fig. 12 (simulated): leaf-size sweep at constant problem size", format_fig12(results))
+
+    hatrix = {r.leaf_size: r.time for r in results if r.code == "HATRIX-DTD"}
+    strumpack = {r.leaf_size: r.time for r in results if r.code == "STRUMPACK"}
+    lorapo = {r.leaf_size: r.time for r in results if r.code == "LORAPO"}
+
+    leaves = sorted(hatrix)
+    # HATRIX-DTD is fastest at the smallest leaf size and degrades with leaf size.
+    assert hatrix[leaves[0]] < strumpack[leaves[0]]
+    assert hatrix[leaves[-1]] > hatrix[leaves[0]]
+    # STRUMPACK tolerates the largest leaf far better than HATRIX-DTD.
+    assert strumpack[leaves[-1]] < hatrix[leaves[-1]]
+    # LORAPO's optimum is an interior leaf size (not the largest).
+    if lorapo:
+        lorapo_leaves = sorted(lorapo)
+        best = min(lorapo, key=lorapo.get)
+        assert best != lorapo_leaves[-1]

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Geostatistical kriging (Gaussian-process regression) with a Matern covariance.
+
+The paper's second application domain: covariance matrices of spatial
+statistics (Matern kernel, Table 3) are structured dense matrices.  Kriging
+requires solving ``K w = y`` with the covariance matrix ``K`` of the observed
+sites and evaluating the log-likelihood, which needs ``log det K`` -- both are
+direct products of the HSS-ULV factorization.
+
+Run:  python examples/geostatistics_kriging.py [N]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core.hss_ulv import hss_ulv_factorize
+from repro.formats.hss import build_hss
+from repro.geometry.points import uniform_grid_2d
+from repro.kernels.assembly import KernelMatrix
+from repro.kernels.greens import Matern
+
+
+def true_field(coords: np.ndarray) -> np.ndarray:
+    """A smooth synthetic spatial field observed with noise."""
+    x, y = coords[:, 0], coords[:, 1]
+    return np.sin(3 * np.pi * x) * np.cos(2 * np.pi * y) + 0.5 * x
+
+
+def main(n: int = 4096) -> None:
+    rng = np.random.default_rng(7)
+    print(f"Kriging with a Matern covariance on N={n} observation sites")
+
+    sites = uniform_grid_2d(n)
+    noise = 1e-2
+    observations = true_field(sites.coords) + noise * rng.standard_normal(n)
+
+    kernel = Matern(sigma=1.0, mu=0.03, rho=0.5)
+    # The nugget (observation noise variance) regularises the covariance; no
+    # extra diagonal-dominance shift is needed.
+    kmat = KernelMatrix(kernel, sites, shift=noise**2 * 10 + 1e-6)
+
+    t0 = time.perf_counter()
+    hss = build_hss(kmat, leaf_size=256, max_rank=120)
+    factor = hss_ulv_factorize(hss)
+    t_factor = time.perf_counter() - t0
+    print(f"  HSS construction + ULV factorization: {t_factor:.3f}s "
+          f"(max rank {hss.max_rank()}, {hss.memory_bytes() / 1e6:.1f} MB)")
+
+    # Kriging weights and posterior mean at unobserved target locations.
+    weights = factor.solve(observations)
+    targets = rng.uniform(0.05, 0.95, size=(8, 2))
+    cross_cov = kernel.matrix(targets, sites.coords)
+    prediction = cross_cov @ weights
+    truth = true_field(targets)
+    rmse = float(np.sqrt(np.mean((prediction - truth) ** 2)))
+    print(f"  kriging RMSE at {len(targets)} held-out targets: {rmse:.4f}")
+
+    # Gaussian log-likelihood of the observations under the Matern model.
+    quad = float(observations @ weights)
+    logdet = factor.logdet()
+    loglik = -0.5 * (quad + logdet + n * np.log(2 * np.pi))
+    print(f"  log det(K) = {logdet:.2f}")
+    print(f"  Gaussian log-likelihood = {loglik:.2f}")
+
+    # Accuracy of the compressed solve against the observations themselves.
+    recovered = kmat.matvec(weights)
+    rel = np.linalg.norm(recovered - observations) / np.linalg.norm(observations)
+    print(f"  solve residual ||K w - y|| / ||y|| = {rel:.3e} "
+          "(includes the HSS compression error of the short-range Matern kernel)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4096)

@@ -1,0 +1,23 @@
+"""repro: reproduction of "O(N) distributed direct factorization of structured
+dense matrices using runtime systems" (HATRIX-DTD, ICPP 2023).
+
+Subpackages
+-----------
+``repro.geometry``      point clouds, cluster trees, admissibility
+``repro.kernels``       Green's-function kernels and kernel-matrix assembly
+``repro.lowrank``       SVD / QR / ACA / RSVD / ID compression primitives
+``repro.formats``       BlockDense, BLR, BLR2 and HSS matrix formats
+``repro.core``          BLR2-ULV and HSS-ULV factorizations (the contribution)
+``repro.runtime``       DTD task runtime, DAG, machine model, simulator
+``repro.distribution``  row-cyclic / block-cyclic process distributions
+``repro.baselines``     dense Cholesky, LORAPO-like BLR Cholesky, STRUMPACK-like
+``repro.analysis``      error metrics, complexity fits, scaling analysis
+``repro.experiments``   one driver per paper table/figure
+``repro.api``           high-level ``HSSSolver`` facade
+"""
+
+from repro.api import HSSSolver
+
+__version__ = "1.0.0"
+
+__all__ = ["HSSSolver", "__version__"]

@@ -1,0 +1,6 @@
+"""Module entry point: ``python -m repro <table1|table2|fig9|fig10|fig11|fig12>``."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    main()

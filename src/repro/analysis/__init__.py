@@ -1,0 +1,20 @@
+"""Error metrics, complexity fits and scaling analysis."""
+
+from repro.analysis.errors import construction_error, solve_error, relative_residual
+from repro.analysis.complexity import fit_power_law, estimate_complexity_exponent
+from repro.analysis.scaling import (
+    weak_scaling_efficiency,
+    parallel_efficiency,
+    confidence_interval,
+)
+
+__all__ = [
+    "construction_error",
+    "solve_error",
+    "relative_residual",
+    "fit_power_law",
+    "estimate_complexity_exponent",
+    "weak_scaling_efficiency",
+    "parallel_efficiency",
+    "confidence_interval",
+]

@@ -1,0 +1,54 @@
+"""Complexity-exponent estimation (the O(N), O(N^2), O(N^3) rows of Table 1).
+
+Given measurements ``y(N)`` (flops, bytes or seconds) over a range of problem
+sizes, fit ``y = c * N^p`` in log-log space and report the exponent ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "estimate_complexity_exponent"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a least-squares power-law fit ``y = coefficient * x**exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = c x^p`` by linear regression in log-log space.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two points are given or any value is non-positive.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (x, y) pairs")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive values")
+    lx, ly = np.log(x), np.log(y)
+    p, logc = np.polyfit(lx, ly, 1)
+    pred = p * lx + logc
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - np.mean(ly)) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(exponent=float(p), coefficient=float(np.exp(logc)), r_squared=r2)
+
+
+def estimate_complexity_exponent(sizes: Sequence[float], costs: Sequence[float]) -> float:
+    """Convenience wrapper returning just the fitted exponent."""
+    return fit_power_law(sizes, costs).exponent

@@ -1,0 +1,149 @@
+"""High-level convenience API.
+
+The quickstart workflow of the README:
+
+>>> from repro.api import HSSSolver
+>>> solver = HSSSolver.from_kernel("yukawa", n=2048, leaf_size=256, max_rank=60)
+>>> x = solver.solve(b)                    # direct solve through the ULV factors
+>>> solver.construction_error(), solver.solve_error()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.errors import construction_error, solve_error
+from repro.core.hss_ulv import HSSULVFactor, hss_ulv_factorize
+from repro.core.hss_ulv_dtd import hss_ulv_factorize_dtd
+from repro.formats.hss import HSSMatrix, build_hss
+from repro.geometry.points import PointCloud, uniform_grid_2d
+from repro.kernels.assembly import KernelMatrix
+from repro.kernels.greens import kernel_by_name
+
+__all__ = ["HSSSolver"]
+
+
+@dataclass
+class HSSSolver:
+    """An HSS-compressed direct solver for a kernel (Green's function) matrix.
+
+    Combines kernel-matrix assembly, HSS construction and the ULV
+    factorization behind a single object.  Use :meth:`from_kernel` or
+    :meth:`from_points` to build one.
+    """
+
+    kernel_matrix: KernelMatrix
+    hss: HSSMatrix
+    factor: Optional[HSSULVFactor] = None
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        kernel_name: str,
+        points: PointCloud,
+        *,
+        leaf_size: int = 256,
+        max_rank: int = 100,
+        tol: Optional[float] = None,
+        method: str = "interpolative",
+        shift: float | str = "auto",
+        seed: int = 0,
+        **kernel_params: float,
+    ) -> "HSSSolver":
+        """Build the solver for a named kernel over an explicit point cloud."""
+        kernel = kernel_by_name(kernel_name, **kernel_params)
+        kmat = KernelMatrix(kernel, points, shift=shift)
+        hss = build_hss(
+            kmat,
+            leaf_size=leaf_size,
+            max_rank=max_rank,
+            tol=tol,
+            method=method,
+            seed=seed,
+        )
+        return cls(kernel_matrix=kmat, hss=hss)
+
+    @classmethod
+    def from_kernel(
+        cls,
+        kernel_name: str,
+        n: int,
+        *,
+        leaf_size: int = 256,
+        max_rank: int = 100,
+        tol: Optional[float] = None,
+        method: str = "interpolative",
+        shift: float | str = "auto",
+        seed: int = 0,
+        **kernel_params: float,
+    ) -> "HSSSolver":
+        """Build the solver on the paper's uniform 2D grid geometry of ``n`` points."""
+        points = uniform_grid_2d(n)
+        return cls.from_points(
+            kernel_name,
+            points,
+            leaf_size=leaf_size,
+            max_rank=max_rank,
+            tol=tol,
+            method=method,
+            shift=shift,
+            seed=seed,
+            **kernel_params,
+        )
+
+    # -- factorization / solve ----------------------------------------------
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return self.hss.n
+
+    def factorize(self, *, use_runtime: bool = False, nodes: int = 1) -> HSSULVFactor:
+        """Compute (and cache) the HSS-ULV factorization.
+
+        Parameters
+        ----------
+        use_runtime:
+            If True, run the factorization through the DTD runtime
+            (HATRIX-DTD task graph); otherwise use the sequential reference.
+        nodes:
+            Number of simulated processes for the data distribution when
+            ``use_runtime`` is True.
+        """
+        if self.factor is None:
+            if use_runtime:
+                self.factor, _ = hss_ulv_factorize_dtd(self.hss, nodes=nodes)
+            else:
+                self.factor = hss_ulv_factorize(self.hss)
+        return self.factor
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` (factorizes on first use)."""
+        return self.factorize().solve(b)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Fast matrix-vector product with the HSS approximation."""
+        return self.hss.matvec(x)
+
+    def logdet(self) -> float:
+        """Log-determinant of the compressed matrix (useful in geostatistics)."""
+        return self.factorize().logdet()
+
+    # -- accuracy -------------------------------------------------------------
+    def construction_error(self, *, seed: int = 0) -> float:
+        """Eq. 18: relative error of the HSS approximation against the dense matrix."""
+        return construction_error(self.kernel_matrix, self.hss, n=self.n, seed=seed)
+
+    def solve_error(self, *, seed: int = 0) -> float:
+        """Eq. 19: relative error of the factorization applied to the HSS matrix."""
+        factor = self.factorize()
+        return solve_error(self.hss, factor.solve, n=self.n, seed=seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"HSSSolver(n={self.n}, leaf_size={self.hss.leaf_size}, "
+            f"max_rank={self.hss.max_rank()}, factorized={self.factor is not None})"
+        )

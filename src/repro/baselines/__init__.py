@@ -1,0 +1,37 @@
+"""Baseline factorizations the paper compares against.
+
+* :mod:`repro.baselines.dense_cholesky` -- dense tile Cholesky
+  (DPLASMA / SLATE rows of Table 1), also the numerical ground truth.
+* :mod:`repro.baselines.lorapo_like` -- BLR tile Cholesky driven by the DTD
+  runtime (LORAPO).
+* :mod:`repro.baselines.strumpack_like` -- HSS-ULV with fork-join scheduling
+  and block-cyclic distribution (STRUMPACK).
+"""
+
+from repro.baselines.dense_cholesky import (
+    tile_cholesky_dtd,
+    build_dense_cholesky_taskgraph,
+    DenseCholeskyFactor,
+)
+from repro.baselines.lorapo_like import (
+    BLRCholeskyFactor,
+    blr_cholesky_factorize,
+    build_blr_cholesky_taskgraph,
+)
+from repro.baselines.strumpack_like import (
+    build_strumpack_hss,
+    strumpack_factorize,
+    build_strumpack_taskgraph,
+)
+
+__all__ = [
+    "tile_cholesky_dtd",
+    "build_dense_cholesky_taskgraph",
+    "DenseCholeskyFactor",
+    "BLRCholeskyFactor",
+    "blr_cholesky_factorize",
+    "build_blr_cholesky_taskgraph",
+    "build_strumpack_hss",
+    "strumpack_factorize",
+    "build_strumpack_taskgraph",
+]

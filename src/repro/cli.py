@@ -1,0 +1,110 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2 --n 4096
+    python -m repro fig9  --kernel yukawa --max-nodes 128
+    python -m repro fig10
+    python -m repro fig11 --nodes 64
+    python -m repro fig12 --n 65536
+
+Each sub-command runs the corresponding experiment driver
+(:mod:`repro.experiments`) and prints the same rows/series the paper reports.
+The defaults are reduced sizes; ``--full`` switches to paper-scale settings
+where feasible.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    format_fig9,
+    format_fig10,
+    format_fig11,
+    format_fig12,
+    format_table1,
+    format_table2,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_table1,
+    run_table2,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` experiment CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the HATRIX-DTD paper (ICPP 2023).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="measured compute/communication complexity survey")
+    p.add_argument("--full", action="store_true", help="use larger problem sizes")
+
+    p = sub.add_parser("table2", help="rank / leaf size vs construction and solve error")
+    p.add_argument("--n", type=int, default=2048, help="problem size (paper: 65536)")
+    p.add_argument("--kernel", action="append", dest="kernels", help="kernel name (repeatable)")
+
+    p = sub.add_parser("fig9", help="weak scaling of factorization time")
+    p.add_argument("--kernel", action="append", dest="kernels", help="kernel name (repeatable)")
+    p.add_argument("--max-nodes", type=int, default=128)
+    p.add_argument("--full", action="store_true", help="extend LORAPO to 512 nodes")
+
+    p = sub.add_parser("fig10", help="per-worker compute vs overhead/MPI breakdown")
+    p.add_argument("--max-nodes", type=int, default=128)
+    p.add_argument("--full", action="store_true")
+
+    p = sub.add_parser("fig11", help="problem-size sweep at constant node count")
+    p.add_argument("--nodes", type=int, default=64)
+    p.add_argument("--full", action="store_true", help="include N=262144")
+
+    p = sub.add_parser("fig12", help="leaf-size sweep at constant problem size")
+    p.add_argument("--n", type=int, default=65536)
+    p.add_argument("--nodes", type=int, default=128)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> str:
+    """Run one experiment and return (and print) its formatted table."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        sizes = (4096, 8192, 16384, 32768) if args.full else (2048, 4096, 8192)
+        out = format_table1(run_table1(sizes=sizes))
+    elif args.command == "table2":
+        kernels = tuple(args.kernels) if args.kernels else ("laplace2d", "yukawa", "matern")
+        out = format_table2(run_table2(n=args.n, kernels=kernels))
+    elif args.command == "fig9":
+        kernels = tuple(args.kernels) if args.kernels else ("laplace2d", "yukawa", "matern")
+        out = format_fig9(
+            run_fig9(
+                kernels=kernels,
+                max_nodes=args.max_nodes,
+                lorapo_max_nodes=512 if args.full else min(args.max_nodes, 128),
+            )
+        )
+    elif args.command == "fig10":
+        out = format_fig10(
+            run_fig10(max_nodes=args.max_nodes, lorapo_max_nodes=512 if args.full else 128)
+        )
+    elif args.command == "fig11":
+        sizes: List[int] = [8192, 16384, 32768, 65536, 131072]
+        if args.full:
+            sizes.append(262144)
+        out = format_fig11(run_fig11(nodes=args.nodes, sizes=sizes))
+    elif args.command == "fig12":
+        out = format_fig12(run_fig12(n=args.n, nodes=args.nodes))
+    else:  # pragma: no cover - argparse enforces the choices
+        raise ValueError(f"unknown command {args.command!r}")
+
+    print(out)
+    return out

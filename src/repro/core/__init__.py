@@ -1,0 +1,25 @@
+"""The paper's primary contribution: ULV factorization of BLR2 and HSS matrices.
+
+* :mod:`repro.core.partial_cholesky` -- the partial (RR-block) Cholesky step
+  shared by both algorithms (Eq. 10-12).
+* :mod:`repro.core.blr2_ulv` -- single-level BLR2-ULV (Alg. 1).
+* :mod:`repro.core.hss_ulv` -- multi-level HSS-ULV (Alg. 2), the sequential
+  reference implementation.
+* :mod:`repro.core.hss_ulv_dtd` -- HSS-ULV expressed as tasks of the DTD
+  runtime (HATRIX-DTD, Sec. 4.2).
+"""
+
+from repro.core.partial_cholesky import partial_cholesky
+from repro.core.blr2_ulv import BLR2ULVFactor, blr2_ulv_factorize
+from repro.core.hss_ulv import HSSULVFactor, hss_ulv_factorize
+from repro.core.hss_ulv_dtd import hss_ulv_factorize_dtd, build_hss_ulv_taskgraph
+
+__all__ = [
+    "partial_cholesky",
+    "BLR2ULVFactor",
+    "blr2_ulv_factorize",
+    "HSSULVFactor",
+    "hss_ulv_factorize",
+    "hss_ulv_factorize_dtd",
+    "build_hss_ulv_taskgraph",
+]

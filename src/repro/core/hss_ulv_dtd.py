@@ -1,0 +1,317 @@
+"""HATRIX-DTD: the HSS-ULV factorization expressed as DTD runtime tasks (Sec. 4.2).
+
+Two entry points are provided:
+
+:func:`hss_ulv_factorize_dtd`
+    Numerically factorizes an :class:`~repro.formats.hss.HSSMatrix` by
+    inserting the diagonal-product / partial-factorization / merge tasks of
+    Fig. 8 into a :class:`~repro.runtime.dtd.DTDRuntime`.  The result is
+    bit-for-bit the same factorization as the sequential reference
+    (:func:`repro.core.hss_ulv.hss_ulv_factorize`), plus the recorded task
+    graph for inspection or simulation.
+
+:func:`build_hss_ulv_taskgraph`
+    Builds the same task graph *symbolically* from an
+    :class:`~repro.formats.hss.HSSStructure` (block sizes and ranks only), so
+    the distributed-machine simulator can replay paper-scale problems
+    (N up to 262,144) without any numerical work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hss_ulv import HSSNodeFactor, HSSULVFactor
+from repro.core.partial_cholesky import partial_cholesky
+from repro.distribution.strategies import DistributionStrategy, RowCyclicDistribution
+from repro.formats.hss import HSSMatrix, HSSStructure
+from repro.lowrank.qr import full_orthogonal_basis
+from repro.runtime.dtd import DTDRuntime
+from repro.runtime.flops import (
+    flops_diag_product,
+    flops_partial_factor,
+    flops_potrf,
+)
+from repro.runtime.task import AccessMode
+
+__all__ = ["hss_ulv_factorize_dtd", "build_hss_ulv_taskgraph"]
+
+
+def _phase_of_level(level: int, max_level: int) -> int:
+    """Phases increase as the factorization walks from the leaves to the root."""
+    return max_level - level
+
+
+def hss_ulv_factorize_dtd(
+    hss: HSSMatrix,
+    *,
+    runtime: Optional[DTDRuntime] = None,
+    nodes: int = 1,
+    distribution: Optional[DistributionStrategy] = None,
+    execute: bool = True,
+) -> Tuple[HSSULVFactor, DTDRuntime]:
+    """Factorize ``hss`` through the DTD runtime (HATRIX-DTD).
+
+    Parameters
+    ----------
+    hss:
+        The SPD HSS matrix to factorize.
+    runtime:
+        An existing runtime to insert into (default: a fresh ``immediate``
+        runtime).
+    nodes:
+        Number of simulated processes used for the data distribution.
+    distribution:
+        Distribution strategy for the block handles (default: the paper's
+        row-cyclic distribution, Fig. 7).
+    execute:
+        If True (default) the inserted tasks are executed before returning
+        (``runtime.run()``).  Pass False with a ``deferred`` runtime to take
+        over execution yourself, e.g. through
+        :func:`repro.runtime.executor.execute_graph`; the returned factor is
+        only populated once the graph has been executed.
+
+    Returns
+    -------
+    (factor, runtime):
+        The ULV factor object and the runtime holding the recorded task graph.
+    """
+    rt = runtime if runtime is not None else DTDRuntime(execution="immediate")
+    max_level = hss.max_level
+    factor = HSSULVFactor(hss=hss)
+
+    # Mutable stores the task bodies operate on.
+    diag: Dict[Tuple[int, int], np.ndarray] = {}
+    schur: Dict[Tuple[int, int], np.ndarray] = {}
+
+    # Data handles.
+    d_handle: Dict[Tuple[int, int], object] = {}
+    s_handle: Dict[Tuple[int, int], object] = {}
+    schur_handle: Dict[Tuple[int, int], object] = {}
+    u_handle: Dict[Tuple[int, int], object] = {}
+
+    for level in range(max_level, -1, -1):
+        for i in range(2**level):
+            m = hss.block_size(level, i)
+            d_handle[(level, i)] = rt.new_handle(
+                f"D[{level};{i}]", nbytes=8 * m * m, level=level, row=i, max_level=max_level
+            )
+            if level > 0:
+                node = hss.node(level, i)
+                u_handle[(level, i)] = rt.new_handle(
+                    f"U[{level};{i}]", nbytes=8 * m * node.rank, level=level, row=i, max_level=max_level
+                )
+                schur_handle[(level, i)] = rt.new_handle(
+                    f"SCHUR[{level};{i}]",
+                    nbytes=8 * node.rank * node.rank,
+                    level=level,
+                    row=i,
+                    max_level=max_level,
+                )
+    for level in range(1, max_level + 1):
+        for k in range(2 ** (level - 1)):
+            ri = hss.node(level, 2 * k + 1).rank
+            rj = hss.node(level, 2 * k).rank
+            s_handle[(level, k)] = rt.new_handle(
+                f"S[{level};{2 * k + 1},{2 * k}]",
+                nbytes=8 * ri * rj,
+                level=level,
+                row=2 * k + 1,
+                col=2 * k,
+                max_level=max_level,
+            )
+
+    strategy = distribution if distribution is not None else RowCyclicDistribution(nodes, max_level=max_level)
+    strategy.assign(rt.handles)
+
+    # Seed the leaf diagonal blocks.
+    for i in range(2**max_level):
+        diag[(max_level, i)] = hss.node(max_level, i).D.copy()
+
+    for level in range(max_level, 0, -1):
+        phase = _phase_of_level(level, max_level)
+        for i in range(2**level):
+            node = hss.node(level, i)
+            m = hss.block_size(level, i)
+
+            def diag_product(level=level, i=i, node=node) -> None:
+                u_full, _, _ = full_orthogonal_basis(node.U)
+                factor.node_factors[(level, i)] = HSSNodeFactor(
+                    U=u_full, rank=node.rank, partial=None  # type: ignore[arg-type]
+                )
+                diag[(level, i)] = u_full.T @ diag[(level, i)] @ u_full
+
+            rt.insert_task(
+                diag_product,
+                [
+                    (u_handle[(level, i)], AccessMode.READ),
+                    (d_handle[(level, i)], AccessMode.RW),
+                ],
+                name=f"DIAG_PRODUCT[{level};{i}]",
+                kind="DIAG_PRODUCT",
+                flops=flops_diag_product(m),
+                phase=phase,
+            )
+
+            def partial_factor(level=level, i=i, node=node) -> None:
+                part = partial_cholesky(diag[(level, i)], node.rank)
+                factor.node_factors[(level, i)].partial = part
+                schur[(level, i)] = part.schur_ss
+
+            rt.insert_task(
+                partial_factor,
+                [
+                    (d_handle[(level, i)], AccessMode.RW),
+                    (schur_handle[(level, i)], AccessMode.WRITE),
+                ],
+                name=f"PARTIAL_FACTOR[{level};{i}]",
+                kind="PARTIAL_FACTOR",
+                flops=flops_partial_factor(m, node.rank),
+                phase=phase,
+            )
+
+        for k in range(2 ** (level - 1)):
+
+            def merge(level=level, k=k) -> None:
+                s = hss.coupling(level, 2 * k + 1, 2 * k)
+                top = np.hstack([schur[(level, 2 * k)], s.T])
+                bot = np.hstack([s, schur[(level, 2 * k + 1)]])
+                diag[(level - 1, k)] = np.vstack([top, bot])
+
+            rt.insert_task(
+                merge,
+                [
+                    (schur_handle[(level, 2 * k)], AccessMode.READ),
+                    (schur_handle[(level, 2 * k + 1)], AccessMode.READ),
+                    (s_handle[(level, k)], AccessMode.READ),
+                    (d_handle[(level - 1, k)], AccessMode.WRITE),
+                ],
+                name=f"MERGE[{level - 1};{k}]",
+                kind="MERGE",
+                flops=0.0,
+                phase=phase,
+            )
+
+    def root_factor() -> None:
+        factor.root_chol = np.linalg.cholesky(diag[(0, 0)])
+
+    m0 = hss.block_size(0, 0)
+    rt.insert_task(
+        root_factor,
+        [(d_handle[(0, 0)], AccessMode.RW)],
+        name="ROOT_POTRF",
+        kind="POTRF",
+        flops=flops_potrf(m0),
+        phase=_phase_of_level(0, max_level),
+    )
+
+    if execute:
+        rt.run()
+    return factor, rt
+
+
+def build_hss_ulv_taskgraph(
+    structure: HSSStructure,
+    *,
+    nodes: int = 1,
+    distribution: Optional[DistributionStrategy] = None,
+    runtime: Optional[DTDRuntime] = None,
+) -> DTDRuntime:
+    """Build the HSS-ULV task graph symbolically from a structural description.
+
+    The graph has exactly the same tasks, dependencies, flop counts and
+    communication volumes as :func:`hss_ulv_factorize_dtd` would record, but
+    no numerical payloads -- suitable for simulating paper-scale problems.
+    """
+    rt = runtime if runtime is not None else DTDRuntime(execution="symbolic")
+    max_level = structure.max_level
+
+    d_handle: Dict[Tuple[int, int], object] = {}
+    s_handle: Dict[Tuple[int, int], object] = {}
+    schur_handle: Dict[Tuple[int, int], object] = {}
+    u_handle: Dict[Tuple[int, int], object] = {}
+
+    for level in range(max_level, -1, -1):
+        for i in range(structure.num_blocks(level)):
+            m = structure.block_size(level, i)
+            d_handle[(level, i)] = rt.new_handle(
+                f"D[{level};{i}]", nbytes=8 * m * m, level=level, row=i, max_level=max_level
+            )
+            if level > 0:
+                r = structure.rank(level, i)
+                u_handle[(level, i)] = rt.new_handle(
+                    f"U[{level};{i}]", nbytes=8 * m * r, level=level, row=i, max_level=max_level
+                )
+                schur_handle[(level, i)] = rt.new_handle(
+                    f"SCHUR[{level};{i}]", nbytes=8 * r * r, level=level, row=i, max_level=max_level
+                )
+    for level in range(1, max_level + 1):
+        for k in range(2 ** (level - 1)):
+            ri = structure.rank(level, 2 * k + 1)
+            rj = structure.rank(level, 2 * k)
+            s_handle[(level, k)] = rt.new_handle(
+                f"S[{level};{2 * k + 1},{2 * k}]",
+                nbytes=8 * ri * rj,
+                level=level,
+                row=2 * k + 1,
+                col=2 * k,
+                max_level=max_level,
+            )
+
+    strategy = distribution if distribution is not None else RowCyclicDistribution(nodes, max_level=max_level)
+    strategy.assign(rt.handles)
+
+    for level in range(max_level, 0, -1):
+        phase = _phase_of_level(level, max_level)
+        for i in range(structure.num_blocks(level)):
+            m = structure.block_size(level, i)
+            r = structure.rank(level, i)
+            rt.insert_task(
+                None,
+                [
+                    (u_handle[(level, i)], AccessMode.READ),
+                    (d_handle[(level, i)], AccessMode.RW),
+                ],
+                name=f"DIAG_PRODUCT[{level};{i}]",
+                kind="DIAG_PRODUCT",
+                flops=flops_diag_product(m),
+                phase=phase,
+            )
+            rt.insert_task(
+                None,
+                [
+                    (d_handle[(level, i)], AccessMode.RW),
+                    (schur_handle[(level, i)], AccessMode.WRITE),
+                ],
+                name=f"PARTIAL_FACTOR[{level};{i}]",
+                kind="PARTIAL_FACTOR",
+                flops=flops_partial_factor(m, r),
+                phase=phase,
+            )
+        for k in range(2 ** (level - 1)):
+            rt.insert_task(
+                None,
+                [
+                    (schur_handle[(level, 2 * k)], AccessMode.READ),
+                    (schur_handle[(level, 2 * k + 1)], AccessMode.READ),
+                    (s_handle[(level, k)], AccessMode.READ),
+                    (d_handle[(level - 1, k)], AccessMode.WRITE),
+                ],
+                name=f"MERGE[{level - 1};{k}]",
+                kind="MERGE",
+                flops=0.0,
+                phase=phase,
+            )
+
+    m0 = structure.block_size(0, 0)
+    rt.insert_task(
+        None,
+        [(d_handle[(0, 0)], AccessMode.RW)],
+        name="ROOT_POTRF",
+        kind="POTRF",
+        flops=flops_potrf(m0),
+        phase=_phase_of_level(0, max_level),
+    )
+    return rt

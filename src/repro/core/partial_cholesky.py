@@ -1,0 +1,104 @@
+"""Partial Cholesky factorization of a rotated diagonal block (paper Eq. 10-12).
+
+After the *diagonal product* ``A_hat = U^T A U`` with the square orthogonal
+basis ``U = [U^R U^S]``, the leading ``n - r`` rows/columns (the *redundant*
+part) of the diagonal block can be eliminated independently of every other
+block, because the rotated off-diagonal blocks are zero in those rows/columns
+(Eq. 8).  The elimination produces::
+
+    L^RR (L^RR)^T = A_hat^RR                      (Eq. 10, dense Cholesky)
+    L^SR          = A_hat^SR (L^RR)^{-T}          (Eq. 11, triangular solve)
+    A_hat^SS     <- A_hat^SS - L^SR (L^SR)^T      (Eq. 12, Schur complement)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+__all__ = ["PartialCholeskyResult", "partial_cholesky"]
+
+
+@dataclass
+class PartialCholeskyResult:
+    """Factors of the partial Cholesky of one rotated diagonal block.
+
+    Attributes
+    ----------
+    L_rr:
+        Lower-triangular Cholesky factor of the redundant-redundant part,
+        shape ``(n - r, n - r)``.
+    L_sr:
+        Coupling factor ``A^SR (L^RR)^{-T}``, shape ``(r, n - r)``.
+    schur_ss:
+        The updated skeleton-skeleton block (Schur complement), shape
+        ``(r, r)``.  This is the block that survives into the next (coarser)
+        level through the merge step.
+    """
+
+    L_rr: np.ndarray
+    L_sr: np.ndarray
+    schur_ss: np.ndarray
+
+    @property
+    def redundant_size(self) -> int:
+        return self.L_rr.shape[0]
+
+    @property
+    def skeleton_size(self) -> int:
+        return self.schur_ss.shape[0]
+
+
+def partial_cholesky(a_hat: np.ndarray, rank: int) -> PartialCholeskyResult:
+    """Eliminate the leading ``n - rank`` (redundant) rows/columns of ``a_hat``.
+
+    Parameters
+    ----------
+    a_hat:
+        The rotated diagonal block ``U^T A_{i,i} U`` (symmetric positive
+        definite), ordered redundant-first as in Eq. 3-4.
+    rank:
+        The skeleton rank ``r`` of the block's cluster; the trailing ``r``
+        rows/columns are left un-eliminated.
+
+    Returns
+    -------
+    PartialCholeskyResult
+
+    Raises
+    ------
+    numpy.linalg.LinAlgError
+        If the redundant-redundant block is not positive definite.
+    """
+    a_hat = np.asarray(a_hat, dtype=np.float64)
+    n = a_hat.shape[0]
+    if a_hat.shape != (n, n):
+        raise ValueError("a_hat must be square")
+    if rank < 0 or rank > n:
+        raise ValueError(f"rank must be in [0, {n}], got {rank}")
+    nr = n - rank
+
+    if nr == 0:
+        # Fully skeleton block: nothing to eliminate at this level.
+        return PartialCholeskyResult(
+            L_rr=np.zeros((0, 0)),
+            L_sr=np.zeros((rank, 0)),
+            schur_ss=a_hat.copy(),
+        )
+
+    a_rr = a_hat[:nr, :nr]
+    a_sr = a_hat[nr:, :nr]
+    a_ss = a_hat[nr:, nr:]
+
+    l_rr = np.linalg.cholesky(a_rr)
+    if rank > 0:
+        # L^SR = A^SR (L^RR)^{-T}  computed as a triangular solve.
+        l_sr = scipy.linalg.solve_triangular(l_rr, a_sr.T, lower=True).T
+        schur = a_ss - l_sr @ l_sr.T
+    else:
+        l_sr = np.zeros((0, nr))
+        schur = np.zeros((0, 0))
+
+    return PartialCholeskyResult(L_rr=l_rr, L_sr=l_sr, schur_ss=schur)

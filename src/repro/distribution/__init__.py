@@ -1,0 +1,17 @@
+"""Process distribution strategies (paper Sec. 4.3)."""
+
+from repro.distribution.strategies import (
+    DistributionStrategy,
+    RowCyclicDistribution,
+    BlockCyclicDistribution,
+    ElementCyclicDistribution,
+    distribute_handles,
+)
+
+__all__ = [
+    "DistributionStrategy",
+    "RowCyclicDistribution",
+    "BlockCyclicDistribution",
+    "ElementCyclicDistribution",
+    "distribute_handles",
+]

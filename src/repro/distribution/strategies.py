@@ -1,0 +1,129 @@
+"""Process distribution strategies for matrix blocks (paper Sec. 4.3, Fig. 7).
+
+* **Row cyclic** (HATRIX-DTD): every block of block-row ``i`` at a given HSS
+  level is owned by process ``i mod P``.  After a merge, the two children rows
+  collapse onto the parent's owner (``P0`` and ``P1`` merge into ``P0`` in
+  Fig. 7), so upper levels use progressively fewer processes -- this keeps the
+  number of tasks per process balanced against the task granularity.
+* **Block cyclic** (STRUMPACK / LORAPO): blocks are dealt to a ``Pr x Pc``
+  process grid in a round-robin fashion, the distribution used by ScaLAPACK.
+* **Element cyclic** (Elemental): provided for completeness; modelled as a
+  finer block-cyclic distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.runtime.data import DataHandle
+
+__all__ = [
+    "DistributionStrategy",
+    "RowCyclicDistribution",
+    "BlockCyclicDistribution",
+    "ElementCyclicDistribution",
+    "distribute_handles",
+]
+
+
+class DistributionStrategy:
+    """Assigns an owning process to each :class:`DataHandle`.
+
+    Handles are expected to carry ``meta`` entries describing their position:
+    ``level`` (HSS level or 0 for single-level formats), ``row`` and ``col``
+    (block indices).  Handles without position metadata go to process 0.
+    """
+
+    def __init__(self, nodes: int) -> None:
+        if nodes <= 0:
+            raise ValueError("nodes must be positive")
+        self.nodes = nodes
+
+    def owner(self, handle: DataHandle) -> int:
+        raise NotImplementedError
+
+    def assign(self, handles: Iterable[DataHandle]) -> None:
+        """Set ``handle.owner`` for every handle."""
+        for handle in handles:
+            handle.owner = self.owner(handle)
+
+
+@dataclass
+class _GridShape:
+    rows: int
+    cols: int
+
+
+def _process_grid(nodes: int) -> _GridShape:
+    """Nearly-square process grid ``Pr x Pc`` with ``Pr * Pc == nodes``."""
+    rows = int(math.sqrt(nodes))
+    while rows > 1 and nodes % rows != 0:
+        rows -= 1
+    return _GridShape(rows=max(rows, 1), cols=nodes // max(rows, 1))
+
+
+class RowCyclicDistribution(DistributionStrategy):
+    """HATRIX-DTD's row-cyclic distribution with merge-aware coarsening (Fig. 7).
+
+    At the leaf level (``max_level``) block-row ``i`` belongs to process
+    ``i mod P``.  At level ``l`` (counting from the root), only
+    ``min(P, 2**l)`` processes participate; block-row ``i`` of that level
+    belongs to process ``i mod min(P, 2**l)`` scaled so that the merged block
+    lands on the process that owned the first of the two children rows.
+    """
+
+    def __init__(self, nodes: int, max_level: Optional[int] = None) -> None:
+        super().__init__(nodes)
+        self.max_level = max_level
+
+    def owner(self, handle: DataHandle) -> int:
+        meta = handle.meta
+        if "row" not in meta:
+            return 0
+        row = int(meta["row"])
+        level = int(meta.get("level", 0))
+        max_level = self.max_level if self.max_level is not None else int(meta.get("max_level", level))
+        # Number of block rows at this level of a complete binary HSS tree.
+        rows_at_level = 2**level if level >= 0 else 1
+        active = min(self.nodes, max(rows_at_level, 1))
+        if active <= 0:
+            return 0
+        # The parent of rows (2k, 2k+1) is row k one level up; keeping
+        # owner(level, 2k) == owner(level-1, k) makes the merge communication-free
+        # for the left child, exactly as in Fig. 7.
+        return row % active
+
+
+class BlockCyclicDistribution(DistributionStrategy):
+    """ScaLAPACK-style 2D block-cyclic distribution over a process grid."""
+
+    def owner(self, handle: DataHandle) -> int:
+        meta = handle.meta
+        if "row" not in meta:
+            return 0
+        row = int(meta["row"])
+        col = int(meta.get("col", row))
+        grid = _process_grid(self.nodes)
+        return (row % grid.rows) * grid.cols + (col % grid.cols)
+
+
+class ElementCyclicDistribution(DistributionStrategy):
+    """Elemental-style element-cyclic distribution (modelled as fine block-cyclic)."""
+
+    def owner(self, handle: DataHandle) -> int:
+        meta = handle.meta
+        if "row" not in meta:
+            return 0
+        row = int(meta["row"])
+        col = int(meta.get("col", row))
+        level = int(meta.get("level", 0))
+        return (row * 31 + col * 17 + level * 7) % self.nodes
+
+
+def distribute_handles(
+    handles: Iterable[DataHandle], strategy: DistributionStrategy
+) -> None:
+    """Assign owners to all handles with the given strategy (convenience wrapper)."""
+    strategy.assign(handles)

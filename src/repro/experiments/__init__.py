@@ -1,0 +1,42 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every driver exposes a ``run_*`` function returning plain data (lists of row
+dictionaries) plus a ``format_table`` helper that prints the same rows/series
+the paper reports.  The benchmark harness under ``benchmarks/`` and the
+examples call into these drivers; ``EXPERIMENTS.md`` records the
+paper-reported vs. measured values.
+"""
+
+from repro.experiments.workloads import (
+    KERNEL_RANKS,
+    WeakScalingPoint,
+    build_problem,
+    hss_weak_scaling_schedule,
+    lorapo_weak_scaling_schedule,
+)
+from repro.experiments.table1_complexity import run_table1, format_table1
+from repro.experiments.table2_accuracy import run_table2, format_table2
+from repro.experiments.fig9_weak_scaling import run_fig9, format_fig9
+from repro.experiments.fig10_breakdown import run_fig10, format_fig10
+from repro.experiments.fig11_problem_size import run_fig11, format_fig11
+from repro.experiments.fig12_leaf_size import run_fig12, format_fig12
+
+__all__ = [
+    "KERNEL_RANKS",
+    "WeakScalingPoint",
+    "build_problem",
+    "hss_weak_scaling_schedule",
+    "lorapo_weak_scaling_schedule",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "run_fig9",
+    "format_fig9",
+    "run_fig10",
+    "format_fig10",
+    "run_fig11",
+    "format_fig11",
+    "run_fig12",
+    "format_fig12",
+]

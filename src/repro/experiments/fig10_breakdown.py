@@ -1,0 +1,123 @@
+"""Fig. 10: per-worker performance breakdown of the Yukawa weak-scaling runs.
+
+For every point of the Fig. 9b (Yukawa) weak-scaling series the paper reports
+the average per-worker time split into
+
+* LORAPO      -- COMPUTE TASK TIME vs RUNTIME OVERHEAD (PaRSEC instrumentation),
+* STRUMPACK   -- COMPUTE TIME vs MPI TIME (mpiP),
+* HATRIX-DTD  -- COMPUTE TASK TIME vs RUNTIME OVERHEAD.
+
+The simulator tracks exactly these categories (see
+:class:`repro.runtime.trace.SimulationResult`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.fig9_weak_scaling import (
+    simulate_hatrix,
+    simulate_lorapo,
+    simulate_strumpack,
+)
+from repro.experiments.workloads import (
+    KERNEL_RANKS,
+    hss_weak_scaling_schedule,
+    lorapo_weak_scaling_schedule,
+)
+from repro.runtime.machine import MachineConfig
+
+__all__ = ["BreakdownRow", "run_fig10", "format_fig10"]
+
+
+@dataclass
+class BreakdownRow:
+    """Per-worker time breakdown for one (code, nodes) point."""
+
+    code: str
+    nodes: int
+    n: int
+    compute_time: float
+    overhead_time: float
+    overhead_label: str
+    makespan: float
+
+
+def run_fig10(
+    *,
+    kernel: str = "yukawa",
+    base_n: int = 4096,
+    max_nodes: int = 128,
+    leaf_size: int = 512,
+    lorapo_leaf: int = 2048,
+    lorapo_max_nodes: int = 512,
+    machine: Optional[MachineConfig] = None,
+) -> List[BreakdownRow]:
+    """Run the Fig. 10 breakdown for the Yukawa kernel (or any other kernel)."""
+    rank = KERNEL_RANKS.get(kernel, 100)
+    rows: List[BreakdownRow] = []
+
+    for point in lorapo_weak_scaling_schedule(base_n=base_n, max_nodes=lorapo_max_nodes):
+        res = simulate_lorapo(
+            point.n,
+            point.nodes,
+            leaf_size=min(lorapo_leaf, point.n // 2),
+            rank=min(256, lorapo_leaf // 8),
+            machine=machine,
+        )
+        rows.append(
+            BreakdownRow(
+                code="LORAPO",
+                nodes=point.nodes,
+                n=point.n,
+                compute_time=res.compute_task_time,
+                overhead_time=res.runtime_overhead,
+                overhead_label="RUNTIME OVERHEAD",
+                makespan=res.makespan,
+            )
+        )
+
+    for point in hss_weak_scaling_schedule(base_n=base_n, max_nodes=max_nodes):
+        res = simulate_strumpack(point.n, point.nodes, leaf_size=leaf_size, rank=rank, machine=machine)
+        rows.append(
+            BreakdownRow(
+                code="STRUMPACK",
+                nodes=point.nodes,
+                n=point.n,
+                compute_time=res.compute_time,
+                overhead_time=res.mpi_time,
+                overhead_label="MPI TIME",
+                makespan=res.makespan,
+            )
+        )
+        res = simulate_hatrix(point.n, point.nodes, leaf_size=leaf_size, rank=rank, machine=machine)
+        rows.append(
+            BreakdownRow(
+                code="HATRIX-DTD",
+                nodes=point.nodes,
+                n=point.n,
+                compute_time=res.compute_task_time,
+                overhead_time=res.runtime_overhead,
+                overhead_label="RUNTIME OVERHEAD",
+                makespan=res.makespan,
+            )
+        )
+    return rows
+
+
+def format_fig10(rows: List[BreakdownRow]) -> str:
+    """Render the three breakdown panels of Fig. 10."""
+    lines: List[str] = []
+    for code in ("LORAPO", "STRUMPACK", "HATRIX-DTD"):
+        subset = [r for r in rows if r.code == code]
+        if not subset:
+            continue
+        label = subset[0].overhead_label
+        lines.append(f"== {code} ==")
+        lines.append(f"{'Nodes':<8}{'N':<10}{'COMPUTE (s)':<14}{label + ' (s)':<22}")
+        lines.append("-" * 54)
+        for r in sorted(subset, key=lambda r: r.nodes):
+            lines.append(f"{r.nodes:<8}{r.n:<10}{r.compute_time:<14.4e}{r.overhead_time:<22.4e}")
+        lines.append("")
+    return "\n".join(lines)

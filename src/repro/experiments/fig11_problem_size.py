@@ -1,0 +1,83 @@
+"""Fig. 11: increasing problem size with constant resources (64 nodes).
+
+At a fixed node count the HSS-ULV codes should scale as O(N) and LORAPO as
+O(N^2); STRUMPACK stays almost flat at small per-process work because its time
+is dominated by collective communication, and overtakes HATRIX-DTD at large N
+on a limited node count because the DTD graph-discovery overhead grows with
+the task count (the paper's closing observation in Sec. 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.fig9_weak_scaling import (
+    simulate_hatrix,
+    simulate_lorapo,
+    simulate_strumpack,
+)
+from repro.experiments.workloads import KERNEL_RANKS
+from repro.runtime.machine import MachineConfig
+
+__all__ = ["ProblemSizeResult", "run_fig11", "format_fig11"]
+
+
+@dataclass
+class ProblemSizeResult:
+    """One (code, N) measurement at constant node count."""
+
+    code: str
+    n: int
+    nodes: int
+    time: float
+
+
+def run_fig11(
+    *,
+    kernel: str = "yukawa",
+    nodes: int = 64,
+    sizes: Sequence[int] = (8192, 16384, 32768, 65536, 131072, 262144),
+    leaf_size: int = 512,
+    lorapo_leaf: int = 2048,
+    max_lorapo_blocks: int = 256,
+    machine: Optional[MachineConfig] = None,
+) -> List[ProblemSizeResult]:
+    """Sweep the problem size at a constant node count (paper: 64 nodes of Fugaku).
+
+    LORAPO points whose tile count would exceed ``max_lorapo_blocks`` are
+    skipped (the symbolic graph grows with the cube of the tile count); the
+    paper similarly stops LORAPO's curve at 65,536.
+    """
+    rank = KERNEL_RANKS.get(kernel, 100)
+    results: List[ProblemSizeResult] = []
+    for n in sizes:
+        res = simulate_hatrix(n, nodes, leaf_size=leaf_size, rank=rank, machine=machine)
+        results.append(ProblemSizeResult("HATRIX-DTD", n, nodes, res.makespan))
+        res = simulate_strumpack(n, nodes, leaf_size=leaf_size, rank=rank, machine=machine)
+        results.append(ProblemSizeResult("STRUMPACK", n, nodes, res.makespan))
+        leaf = min(lorapo_leaf, n // 2)
+        if n // leaf <= max_lorapo_blocks:
+            res = simulate_lorapo(n, nodes, leaf_size=leaf, rank=min(256, lorapo_leaf // 8), machine=machine)
+            results.append(ProblemSizeResult("LORAPO", n, nodes, res.makespan))
+    return results
+
+
+def format_fig11(results: List[ProblemSizeResult]) -> str:
+    """Render the Fig. 11 series, including O(N) / O(N^2) reference columns."""
+    lines: List[str] = []
+    codes = ("LORAPO", "STRUMPACK", "HATRIX-DTD")
+    sizes = sorted({r.n for r in results})
+    base = {c: next((r.time for r in results if r.code == c and r.n == sizes[0]), None) for c in codes}
+    header = f"{'N':<10}" + "".join(f"{c:<14}" for c in codes) + f"{'O(N) ref':<12}{'O(N^2) ref':<12}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for n in sizes:
+        row = f"{n:<10}"
+        for c in codes:
+            t = next((r.time for r in results if r.code == c and r.n == n), None)
+            row += f"{t:<14.4f}" if t is not None else f"{'--':<14}"
+        ref_base = base["HATRIX-DTD"] or 1.0
+        row += f"{ref_base * n / sizes[0]:<12.4f}{ref_base * (n / sizes[0]) ** 2:<12.4f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Fig. 12: impact of the leaf size at 128 nodes and N = 262,144 (Yukawa).
+
+The leaf size of the HSS matrix corresponds to the front size in a
+multi-frontal solver, so the paper studies how sensitive each code is to it:
+HATRIX-DTD is fastest at small leaf sizes (lots of leaf-level parallelism) and
+degrades at large leaf sizes (less parallelism, more work per task), while
+LORAPO prefers a mid-range leaf size and STRUMPACK is comparatively flat.
+The HSS rank is fixed at 100; LORAPO's max rank is half its leaf size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.fig9_weak_scaling import (
+    simulate_hatrix,
+    simulate_lorapo,
+    simulate_strumpack,
+)
+from repro.runtime.machine import MachineConfig
+
+__all__ = ["LeafSizeResult", "run_fig12", "format_fig12"]
+
+
+@dataclass
+class LeafSizeResult:
+    """One (code, leaf size) measurement."""
+
+    code: str
+    leaf_size: int
+    n: int
+    nodes: int
+    time: float
+
+
+def run_fig12(
+    *,
+    n: int = 262144,
+    nodes: int = 128,
+    leaf_sizes: Sequence[int] = (512, 1024, 2048, 4096, 8192),
+    hss_rank: int = 100,
+    max_lorapo_blocks: int = 256,
+    lorapo_effective_rank_fraction: float = 0.125,
+    machine: Optional[MachineConfig] = None,
+) -> List[LeafSizeResult]:
+    """Sweep the leaf size at constant problem size and node count.
+
+    LORAPO's effective tile rank is modelled as
+    ``lorapo_effective_rank_fraction * leaf_size`` (its max rank in the paper
+    is half the leaf size; adaptive compression to 1e-8 uses well below the cap).
+    LORAPO points whose tile count exceeds ``max_lorapo_blocks`` are skipped
+    to bound the symbolic graph size.
+    """
+    results: List[LeafSizeResult] = []
+    for leaf in leaf_sizes:
+        if leaf >= n:
+            continue
+        results.append(
+            LeafSizeResult(
+                "HATRIX-DTD", leaf, n, nodes,
+                simulate_hatrix(n, nodes, leaf_size=leaf, rank=min(hss_rank, leaf), machine=machine).makespan,
+            )
+        )
+        results.append(
+            LeafSizeResult(
+                "STRUMPACK", leaf, n, nodes,
+                simulate_strumpack(n, nodes, leaf_size=leaf, rank=min(hss_rank, leaf), machine=machine).makespan,
+            )
+        )
+        if n // leaf <= max_lorapo_blocks:
+            lorapo_rank = max(int(leaf * lorapo_effective_rank_fraction), 1)
+            results.append(
+                LeafSizeResult(
+                    "LORAPO", leaf, n, nodes,
+                    simulate_lorapo(n, nodes, leaf_size=leaf, rank=lorapo_rank, machine=machine).makespan,
+                )
+            )
+    return results
+
+
+def format_fig12(results: List[LeafSizeResult]) -> str:
+    """Render the leaf-size sweep as one column per code."""
+    lines: List[str] = []
+    codes = ("LORAPO", "STRUMPACK", "HATRIX-DTD")
+    leaves = sorted({r.leaf_size for r in results})
+    header = f"{'Leaf size':<12}" + "".join(f"{c:<14}" for c in codes)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for leaf in leaves:
+        row = f"{leaf:<12}"
+        for c in codes:
+            t = next((r.time for r in results if r.code == c and r.leaf_size == leaf), None)
+            row += f"{t:<14.4f}" if t is not None else f"{'--':<14}"
+        lines.append(row)
+    return "\n".join(lines)

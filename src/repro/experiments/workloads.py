@@ -1,0 +1,113 @@
+"""Shared workload definitions for the evaluation experiments (paper Sec. 5).
+
+The paper's setup:
+
+* geometry: uniform 2D grid;
+* kernels: Laplace 2D, Yukawa, Matern with the constants of Table 3;
+* weak scaling (Fig. 9): HSS codes start at N=4096 on 2 nodes and grow N
+  linearly with the node count up to N=262,144 on 128 nodes; LORAPO grows the
+  node count 4x for every 2x in N (constant N^2 work per node), reaching
+  N=65,536 on 512 nodes;
+* ranks/leaf sizes chosen from the Table 2 accuracy study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.formats.hss import HSSMatrix, build_hss
+from repro.geometry.points import PointCloud, uniform_grid_2d
+from repro.kernels.assembly import KernelMatrix
+from repro.kernels.greens import kernel_by_name
+
+__all__ = [
+    "KERNEL_RANKS",
+    "WeakScalingPoint",
+    "build_problem",
+    "hss_weak_scaling_schedule",
+    "lorapo_weak_scaling_schedule",
+]
+
+#: Maximum rank per kernel used in the scaling experiments, informed by the
+#: Table 2 accuracy study (the paper picks the rank/leaf combination that
+#: meets each kernel's target solve accuracy: 1e-11 Laplace, 1e-14 Yukawa,
+#: 1e-9 Matern).
+KERNEL_RANKS: Dict[str, int] = {
+    "laplace2d": 100,
+    "yukawa": 80,
+    "matern": 120,
+}
+
+
+@dataclass(frozen=True)
+class WeakScalingPoint:
+    """One point of a weak-scaling schedule."""
+
+    nodes: int
+    n: int
+
+
+def build_problem(
+    kernel_name: str,
+    n: int,
+    *,
+    leaf_size: int = 256,
+    max_rank: int = 100,
+    tol: Optional[float] = None,
+    method: str = "interpolative",
+    shift: float | str = "auto",
+    seed: int = 0,
+) -> Tuple[KernelMatrix, HSSMatrix, PointCloud]:
+    """Assemble one benchmark problem: kernel matrix + HSS approximation.
+
+    Returns ``(kernel_matrix, hss, points)``.
+    """
+    points = uniform_grid_2d(n)
+    kernel = kernel_by_name(kernel_name)
+    kmat = KernelMatrix(kernel, points, shift=shift)
+    hss = build_hss(
+        kmat, leaf_size=leaf_size, max_rank=max_rank, tol=tol, method=method, seed=seed
+    )
+    return kmat, hss, points
+
+
+def hss_weak_scaling_schedule(
+    *,
+    base_n: int = 4096,
+    base_nodes: int = 2,
+    max_nodes: int = 128,
+) -> List[WeakScalingPoint]:
+    """The HSS (HATRIX-DTD / STRUMPACK) weak-scaling schedule of Fig. 9.
+
+    Problem size grows linearly with the node count (constant O(N)/P work per
+    node): N = base_n * nodes / base_nodes.
+    """
+    points: List[WeakScalingPoint] = []
+    nodes = base_nodes
+    while nodes <= max_nodes:
+        points.append(WeakScalingPoint(nodes=nodes, n=base_n * nodes // base_nodes))
+        nodes *= 2
+    return points
+
+
+def lorapo_weak_scaling_schedule(
+    *,
+    base_n: int = 4096,
+    base_nodes: int = 2,
+    max_nodes: int = 512,
+) -> List[WeakScalingPoint]:
+    """The LORAPO weak-scaling schedule of Fig. 9.
+
+    With O(N^2) work, constant work per node requires the node count to grow
+    4x for every 2x in N: the paper goes from N=4096 on 2 nodes to N=65,536 on
+    512 nodes.
+    """
+    points: List[WeakScalingPoint] = []
+    nodes = base_nodes
+    n = base_n
+    while nodes <= max_nodes:
+        points.append(WeakScalingPoint(nodes=nodes, n=n))
+        nodes *= 4
+        n *= 2
+    return points

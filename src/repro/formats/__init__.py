@@ -1,0 +1,22 @@
+"""Structured dense-matrix formats: block dense, BLR, BLR2 and HSS."""
+
+from repro.formats.block_dense import BlockDenseMatrix
+from repro.formats.blr import BLRMatrix, build_blr
+from repro.formats.blr2 import BLR2Matrix, build_blr2
+from repro.formats.hss import HSSMatrix, HSSNode, HSSStructure, build_hss
+from repro.formats.hodlr import HODLRMatrix, HODLRNode, build_hodlr
+
+__all__ = [
+    "HSSStructure",
+    "HODLRMatrix",
+    "HODLRNode",
+    "build_hodlr",
+    "BlockDenseMatrix",
+    "BLRMatrix",
+    "build_blr",
+    "BLR2Matrix",
+    "build_blr2",
+    "HSSMatrix",
+    "HSSNode",
+    "build_hss",
+]

@@ -1,0 +1,91 @@
+"""Block (tile) view of a dense matrix.
+
+This is the format used by the dense tile Cholesky baselines (DPLASMA /
+SLATE rows of Table 1) and the starting point of the BLR construction in
+Fig. 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["BlockDenseMatrix"]
+
+
+class BlockDenseMatrix:
+    """A dense matrix partitioned into a regular grid of tiles.
+
+    Parameters
+    ----------
+    a:
+        The dense matrix (``n x n``).
+    block_size:
+        Tile size; the last tile of a row/column may be smaller when ``n`` is
+        not a multiple of ``block_size``.
+    """
+
+    def __init__(self, a: np.ndarray, block_size: int) -> None:
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError("BlockDenseMatrix requires a square matrix")
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.n = a.shape[0]
+        self.block_size = block_size
+        self.offsets: List[int] = list(range(0, self.n, block_size)) + [self.n]
+        self.nblocks = len(self.offsets) - 1
+        self.blocks: dict[tuple[int, int], np.ndarray] = {}
+        for i in range(self.nblocks):
+            for j in range(self.nblocks):
+                ri = slice(self.offsets[i], self.offsets[i + 1])
+                cj = slice(self.offsets[j], self.offsets[j + 1])
+                self.blocks[(i, j)] = a[ri, cj].copy()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.n)
+
+    def block(self, i: int, j: int) -> np.ndarray:
+        """Tile ``(i, j)``."""
+        return self.blocks[(i, j)]
+
+    def set_block(self, i: int, j: int, value: np.ndarray) -> None:
+        """Replace tile ``(i, j)``."""
+        if value.shape != self.blocks[(i, j)].shape:
+            raise ValueError(
+                f"tile ({i},{j}) has shape {self.blocks[(i, j)].shape}, got {value.shape}"
+            )
+        self.blocks[(i, j)] = np.asarray(value, dtype=np.float64)
+
+    def block_shape(self, i: int, j: int) -> tuple[int, int]:
+        return self.blocks[(i, j)].shape
+
+    def to_dense(self) -> np.ndarray:
+        """Reassemble the dense matrix from the tiles."""
+        out = np.empty((self.n, self.n))
+        for i in range(self.nblocks):
+            for j in range(self.nblocks):
+                ri = slice(self.offsets[i], self.offsets[i + 1])
+                cj = slice(self.offsets[j], self.offsets[j + 1])
+                out[ri, cj] = self.blocks[(i, j)]
+        return out
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Tile-wise matrix-vector product."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.zeros(self.n)
+        for i in range(self.nblocks):
+            ri = slice(self.offsets[i], self.offsets[i + 1])
+            for j in range(self.nblocks):
+                cj = slice(self.offsets[j], self.offsets[j + 1])
+                y[ri] += self.blocks[(i, j)] @ x[cj]
+        return y
+
+    def memory_bytes(self) -> int:
+        """Total storage of all tiles in bytes."""
+        return sum(b.nbytes for b in self.blocks.values())
+
+    def __repr__(self) -> str:
+        return f"BlockDenseMatrix(n={self.n}, block_size={self.block_size}, nblocks={self.nblocks})"

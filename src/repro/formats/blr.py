@@ -1,0 +1,188 @@
+"""BLR (Block Low-Rank) matrices -- the format used by LORAPO.
+
+A BLR matrix partitions the dense matrix into a single level of uniform tiles
+(Fig. 1 without shared bases): diagonal tiles stay dense, every off-diagonal
+admissible tile is compressed *individually* as ``U_ij @ V_ij^T``.  With
+strong admissibility some near-diagonal off-diagonal tiles may stay dense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.geometry.admissibility import Admissibility, WeakAdmissibility
+from repro.geometry.cluster_tree import ClusterTree, build_cluster_tree
+from repro.kernels.assembly import KernelMatrix
+from repro.lowrank.block import LowRankBlock
+from repro.lowrank.svd import compress_svd
+
+__all__ = ["BLRMatrix", "build_blr"]
+
+Block = Union[np.ndarray, LowRankBlock]
+
+
+@dataclass
+class BLRMatrix:
+    """A single-level block low-rank matrix.
+
+    Attributes
+    ----------
+    tree:
+        The cluster tree whose *leaf level* defines the tile partition.
+    diag:
+        Dense diagonal tiles keyed by block index.
+    lowrank:
+        Compressed off-diagonal tiles keyed by ``(i, j)``.
+    dense_offdiag:
+        Inadmissible off-diagonal tiles stored densely, keyed by ``(i, j)``.
+    """
+
+    tree: ClusterTree
+    diag: Dict[int, np.ndarray]
+    lowrank: Dict[Tuple[int, int], LowRankBlock]
+    dense_offdiag: Dict[Tuple[int, int], np.ndarray]
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return self.tree.n
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.n)
+
+    @property
+    def nblocks(self) -> int:
+        """Number of tile rows/columns."""
+        return len(self.tree.leaves)
+
+    def block_range(self, i: int) -> slice:
+        """Global index range of tile row/column ``i``."""
+        leaf = self.tree.leaves[i]
+        return slice(leaf.start, leaf.stop)
+
+    def block(self, i: int, j: int) -> Block:
+        """Return tile ``(i, j)`` (dense array or :class:`LowRankBlock`)."""
+        if i == j:
+            return self.diag[i]
+        if (i, j) in self.lowrank:
+            return self.lowrank[(i, j)]
+        if (i, j) in self.dense_offdiag:
+            return self.dense_offdiag[(i, j)]
+        raise KeyError(f"no block stored at ({i}, {j})")
+
+    def is_lowrank(self, i: int, j: int) -> bool:
+        return (i, j) in self.lowrank
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Matrix-vector product using the compressed representation."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.zeros(self.n)
+        nb = self.nblocks
+        for i in range(nb):
+            ri = self.block_range(i)
+            for j in range(nb):
+                cj = self.block_range(j)
+                if i == j:
+                    y[ri] += self.diag[i] @ x[cj]
+                elif (i, j) in self.lowrank:
+                    y[ri] += self.lowrank[(i, j)].matvec(x[cj])
+                else:
+                    y[ri] += self.dense_offdiag[(i, j)] @ x[cj]
+        return y
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the (approximated) dense matrix."""
+        out = np.zeros((self.n, self.n))
+        nb = self.nblocks
+        for i in range(nb):
+            ri = self.block_range(i)
+            for j in range(nb):
+                cj = self.block_range(j)
+                if i == j:
+                    out[ri, cj] = self.diag[i]
+                elif (i, j) in self.lowrank:
+                    out[ri, cj] = self.lowrank[(i, j)].to_dense()
+                else:
+                    out[ri, cj] = self.dense_offdiag[(i, j)]
+        return out
+
+    def memory_bytes(self) -> int:
+        """Total storage in bytes (factors + dense tiles)."""
+        total = sum(d.nbytes for d in self.diag.values())
+        total += sum(lr.nbytes for lr in self.lowrank.values())
+        total += sum(d.nbytes for d in self.dense_offdiag.values())
+        return total
+
+    def max_rank(self) -> int:
+        """Largest tile rank in the compressed off-diagonal."""
+        if not self.lowrank:
+            return 0
+        return max(lr.rank for lr in self.lowrank.values())
+
+    def copy(self) -> "BLRMatrix":
+        return BLRMatrix(
+            tree=self.tree,
+            diag={i: d.copy() for i, d in self.diag.items()},
+            lowrank={k: lr.copy() for k, lr in self.lowrank.items()},
+            dense_offdiag={k: d.copy() for k, d in self.dense_offdiag.items()},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BLRMatrix(n={self.n}, nblocks={self.nblocks}, "
+            f"max_rank={self.max_rank()}, mem={self.memory_bytes() / 1e6:.1f} MB)"
+        )
+
+
+def build_blr(
+    kernel_matrix: KernelMatrix,
+    *,
+    leaf_size: int = 256,
+    max_rank: Optional[int] = None,
+    tol: Optional[float] = 1e-8,
+    admissibility: Optional[Admissibility] = None,
+    tree: Optional[ClusterTree] = None,
+) -> BLRMatrix:
+    """Construct a BLR matrix from a lazily assembled kernel matrix.
+
+    Parameters
+    ----------
+    kernel_matrix:
+        The SPD kernel matrix to compress.
+    leaf_size:
+        Tile size (the paper's LORAPO runs use 2048/4096).
+    max_rank:
+        Hard cap on tile ranks (LORAPO's "max rank").
+    tol:
+        Relative compression tolerance; LORAPO compresses adaptively to 1e-8.
+    admissibility:
+        Which off-diagonal tiles may be compressed (default: weak -- all).
+    tree:
+        Reuse an existing cluster tree instead of building one.
+    """
+    if tree is None:
+        tree = build_cluster_tree(kernel_matrix.points, leaf_size=leaf_size)
+    adm = admissibility if admissibility is not None else WeakAdmissibility()
+    leaves = tree.leaves
+    nb = len(leaves)
+
+    diag: Dict[int, np.ndarray] = {}
+    lowrank: Dict[Tuple[int, int], LowRankBlock] = {}
+    dense_offdiag: Dict[Tuple[int, int], np.ndarray] = {}
+
+    for i, li in enumerate(leaves):
+        diag[i] = kernel_matrix.block(slice(li.start, li.stop), slice(li.start, li.stop))
+        for j, lj in enumerate(leaves):
+            if i == j:
+                continue
+            block = kernel_matrix.block(slice(li.start, li.stop), slice(lj.start, lj.stop))
+            if adm(li, lj):
+                lowrank[(i, j)] = compress_svd(block, rank=max_rank, tol=tol)
+            else:
+                dense_offdiag[(i, j)] = block
+
+    return BLRMatrix(tree=tree, diag=diag, lowrank=lowrank, dense_offdiag=dense_offdiag)

@@ -1,0 +1,41 @@
+"""Geometry substrate: point clouds, domains, cluster trees and admissibility.
+
+The paper evaluates Green's-function matrices generated from a *uniform 2D
+grid geometry* (Sec. 5).  Hierarchical low-rank formats (BLR / BLR2 / HSS)
+partition the point index set with a binary cluster tree; which off-diagonal
+blocks may be compressed is decided by an admissibility condition.
+"""
+
+from repro.geometry.points import (
+    PointCloud,
+    uniform_grid_2d,
+    uniform_grid_3d,
+    uniform_grid_1d,
+    random_uniform,
+    circle_points,
+)
+from repro.geometry.domain import BoundingBox, box_distance, box_diameter
+from repro.geometry.cluster_tree import ClusterNode, ClusterTree, build_cluster_tree
+from repro.geometry.admissibility import (
+    Admissibility,
+    WeakAdmissibility,
+    StrongAdmissibility,
+)
+
+__all__ = [
+    "PointCloud",
+    "uniform_grid_2d",
+    "uniform_grid_3d",
+    "uniform_grid_1d",
+    "random_uniform",
+    "circle_points",
+    "BoundingBox",
+    "box_distance",
+    "box_diameter",
+    "ClusterNode",
+    "ClusterTree",
+    "build_cluster_tree",
+    "Admissibility",
+    "WeakAdmissibility",
+    "StrongAdmissibility",
+]

@@ -1,0 +1,63 @@
+"""Admissibility conditions deciding which blocks may be compressed.
+
+*Weak admissibility* (used by the paper's HSS and BLR2 matrices) compresses
+every off-diagonal block.  *Strong admissibility* (used by H / H2 matrices and
+optionally by BLR) compresses a block only when the corresponding clusters are
+geometrically well separated: ``min(diam(X), diam(Y)) <= eta * dist(X, Y)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.cluster_tree import ClusterNode
+
+__all__ = ["Admissibility", "WeakAdmissibility", "StrongAdmissibility"]
+
+
+class Admissibility:
+    """Base class for admissibility conditions."""
+
+    def is_admissible(self, row: ClusterNode, col: ClusterNode) -> bool:
+        """Return True if the block ``(row, col)`` may be stored in low-rank form."""
+        raise NotImplementedError
+
+    def __call__(self, row: ClusterNode, col: ClusterNode) -> bool:
+        return self.is_admissible(row, col)
+
+
+@dataclass(frozen=True)
+class WeakAdmissibility(Admissibility):
+    """Every off-diagonal block is admissible (HSS / weak-admissibility BLR2)."""
+
+    def is_admissible(self, row: ClusterNode, col: ClusterNode) -> bool:
+        if row.level != col.level:
+            raise ValueError("admissibility is defined between nodes of the same level")
+        return row.index != col.index
+
+
+@dataclass(frozen=True)
+class StrongAdmissibility(Admissibility):
+    """Geometric admissibility: ``min(diam) <= eta * dist`` (H-matrix style).
+
+    Parameters
+    ----------
+    eta:
+        Separation parameter; larger values admit more blocks (more
+        compression, less accuracy per rank).
+    """
+
+    eta: float = 1.0
+
+    def is_admissible(self, row: ClusterNode, col: ClusterNode) -> bool:
+        if row.level != col.level:
+            raise ValueError("admissibility is defined between nodes of the same level")
+        if row.index == col.index:
+            return False
+        if row.box is None or col.box is None:
+            # Structural tree without geometry: fall back to "non-adjacent in
+            # index space", the 1D analogue of geometric separation.
+            return abs(row.index - col.index) > 1
+        dist = row.box.distance(col.box)
+        diam = min(row.box.diameter(), col.box.diameter())
+        return diam <= self.eta * dist

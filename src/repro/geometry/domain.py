@@ -1,0 +1,80 @@
+"""Axis-aligned bounding boxes and geometric predicates used for admissibility."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoundingBox", "box_distance", "box_diameter"]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box of a set of points.
+
+    Attributes
+    ----------
+    lo, hi:
+        Arrays of shape ``(dim,)`` with the lower / upper corner.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.atleast_1d(np.asarray(self.lo, dtype=np.float64))
+        hi = np.atleast_1d(np.asarray(self.hi, dtype=np.float64))
+        if lo.shape != hi.shape:
+            raise ValueError("lo and hi must have the same shape")
+        if np.any(hi < lo):
+            raise ValueError("hi must be >= lo componentwise")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @classmethod
+    def of_points(cls, coords: np.ndarray) -> "BoundingBox":
+        """Bounding box of an ``(n, dim)`` coordinate array."""
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.size == 0:
+            raise ValueError("cannot build a bounding box of zero points")
+        return cls(coords.min(axis=0), coords.max(axis=0))
+
+    @property
+    def dim(self) -> int:
+        return self.lo.shape[0]
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def extent(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    def diameter(self) -> float:
+        """Euclidean length of the box diagonal."""
+        return float(np.linalg.norm(self.extent))
+
+    def distance(self, other: "BoundingBox") -> float:
+        """Minimum Euclidean distance between two boxes (0 if they overlap)."""
+        gap = np.maximum(0.0, np.maximum(self.lo - other.hi, other.lo - self.hi))
+        return float(np.linalg.norm(gap))
+
+    def longest_axis(self) -> int:
+        """Index of the coordinate axis with the largest extent."""
+        return int(np.argmax(self.extent))
+
+    def contains(self, point: np.ndarray) -> bool:
+        point = np.asarray(point, dtype=np.float64)
+        return bool(np.all(point >= self.lo - 1e-14) and np.all(point <= self.hi + 1e-14))
+
+
+def box_distance(a: BoundingBox, b: BoundingBox) -> float:
+    """Minimum distance between two bounding boxes."""
+    return a.distance(b)
+
+
+def box_diameter(box: BoundingBox) -> float:
+    """Diameter (diagonal length) of a bounding box."""
+    return box.diameter()

@@ -1,0 +1,166 @@
+"""Point-cloud generators used to build kernel (Green's function) matrices.
+
+The paper uses a *uniform 2D grid geometry* for every experiment
+("Every implementation uses a uniform 2D grid geometry", Sec. 5).  The
+generators here return a :class:`PointCloud` whose points are ordered along a
+space-filling (Morton / Z-order) curve so that contiguous index ranges
+correspond to spatially compact clusters -- the property the binary cluster
+tree relies on for low-rank compressibility of off-diagonal blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "PointCloud",
+    "uniform_grid_1d",
+    "uniform_grid_2d",
+    "uniform_grid_3d",
+    "random_uniform",
+    "circle_points",
+]
+
+
+@dataclass(frozen=True)
+class PointCloud:
+    """A set of points in ``dim``-dimensional space.
+
+    Attributes
+    ----------
+    coords:
+        Array of shape ``(n, dim)``; row ``i`` is the coordinate of point ``i``.
+        The row order is the matrix index order used for kernel matrices.
+    description:
+        Human-readable provenance string (e.g. ``"uniform 2D grid 64x64"``).
+    """
+
+    coords: np.ndarray
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        coords = np.asarray(self.coords, dtype=np.float64)
+        if coords.ndim != 2:
+            raise ValueError(f"coords must be 2D (n, dim); got shape {coords.shape}")
+        object.__setattr__(self, "coords", coords)
+
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return self.coords.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimension."""
+        return self.coords.shape[1]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def subset(self, indices: np.ndarray) -> "PointCloud":
+        """Return a new :class:`PointCloud` restricted to ``indices``."""
+        return PointCloud(self.coords[np.asarray(indices)], description=self.description)
+
+    def pairwise_distance(self, other: "PointCloud | None" = None) -> np.ndarray:
+        """Dense Euclidean distance matrix between ``self`` and ``other`` (or itself)."""
+        other_coords = self.coords if other is None else other.coords
+        diff = self.coords[:, None, :] - other_coords[None, :, :]
+        return np.sqrt(np.sum(diff * diff, axis=-1))
+
+
+def _morton_order(ij: np.ndarray, bits: int = 16) -> np.ndarray:
+    """Return the argsort of integer grid coordinates along a Z-order curve.
+
+    Parameters
+    ----------
+    ij:
+        Integer array of shape ``(n, dim)`` with non-negative entries.
+    bits:
+        Number of bits interleaved per coordinate.
+    """
+    ij = np.asarray(ij, dtype=np.uint64)
+    n, dim = ij.shape
+    keys = np.zeros(n, dtype=np.uint64)
+    for b in range(bits):
+        for d in range(dim):
+            bit = (ij[:, d] >> np.uint64(b)) & np.uint64(1)
+            keys |= bit << np.uint64(b * dim + d)
+    return np.argsort(keys, kind="stable")
+
+
+def uniform_grid_1d(n: int, *, length: float = 1.0) -> PointCloud:
+    """``n`` equispaced points on the segment ``[0, length]``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    x = np.linspace(0.0, length, n).reshape(-1, 1)
+    return PointCloud(x, description=f"uniform 1D grid n={n}")
+
+
+def uniform_grid_2d(n: int, *, length: float = 1.0, morton: bool = True) -> PointCloud:
+    """A uniform 2D grid with (approximately) ``n`` points on ``[0, length]^2``.
+
+    The grid side is ``ceil(sqrt(n))`` and the first ``n`` points in Morton
+    order are returned, matching the paper's "uniform 2D grid geometry".
+
+    Parameters
+    ----------
+    n:
+        Requested number of points.
+    length:
+        Side length of the square domain.
+    morton:
+        If True (default) order points along a Z-order curve so contiguous
+        index ranges are spatially clustered; otherwise row-major order.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    side = int(np.ceil(np.sqrt(n)))
+    xs = np.linspace(0.0, length, side)
+    ii, jj = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    coords = np.column_stack([xs[ii.ravel()], xs[jj.ravel()]])
+    if morton:
+        order = _morton_order(np.column_stack([ii.ravel(), jj.ravel()]))
+        coords = coords[order]
+    coords = coords[:n]
+    return PointCloud(coords, description=f"uniform 2D grid {side}x{side} (n={n})")
+
+
+def uniform_grid_3d(n: int, *, length: float = 1.0, morton: bool = True) -> PointCloud:
+    """A uniform 3D grid with (approximately) ``n`` points on ``[0, length]^3``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    side = int(np.ceil(n ** (1.0 / 3.0)))
+    while side**3 < n:
+        side += 1
+    xs = np.linspace(0.0, length, side)
+    ii, jj, kk = np.meshgrid(np.arange(side), np.arange(side), np.arange(side), indexing="ij")
+    coords = np.column_stack([xs[ii.ravel()], xs[jj.ravel()], xs[kk.ravel()]])
+    if morton:
+        order = _morton_order(np.column_stack([ii.ravel(), jj.ravel(), kk.ravel()]))
+        coords = coords[order]
+    coords = coords[:n]
+    return PointCloud(coords, description=f"uniform 3D grid {side}^3 (n={n})")
+
+
+def random_uniform(n: int, dim: int = 2, *, length: float = 1.0, seed: int = 0) -> PointCloud:
+    """``n`` points uniformly random in ``[0, length]^dim``, sorted along Morton order."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0.0, length, size=(n, dim))
+    cells = np.floor(coords / length * (2**10 - 1)).astype(np.int64)
+    order = _morton_order(cells)
+    return PointCloud(coords[order], description=f"random uniform dim={dim} n={n} seed={seed}")
+
+
+def circle_points(n: int, *, radius: float = 1.0) -> PointCloud:
+    """``n`` points on a circle of given radius (a classic 1D BEM boundary geometry)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    theta = np.linspace(0.0, 2.0 * np.pi, n, endpoint=False)
+    coords = np.column_stack([radius * np.cos(theta), radius * np.sin(theta)])
+    return PointCloud(coords, description=f"circle n={n} radius={radius}")

@@ -1,0 +1,30 @@
+"""Green's-function kernels and kernel-matrix assembly (paper Table 3)."""
+
+from repro.kernels.base import Kernel, RadialKernel
+from repro.kernels.greens import (
+    Laplace2D,
+    Yukawa,
+    Matern,
+    Gaussian,
+    InverseDistance,
+    Exponential,
+    kernel_by_name,
+    PAPER_KERNELS,
+)
+from repro.kernels.assembly import KernelMatrix, build_dense, estimate_spd_shift
+
+__all__ = [
+    "Kernel",
+    "RadialKernel",
+    "Laplace2D",
+    "Yukawa",
+    "Matern",
+    "Gaussian",
+    "InverseDistance",
+    "Exponential",
+    "kernel_by_name",
+    "PAPER_KERNELS",
+    "KernelMatrix",
+    "build_dense",
+    "estimate_spd_shift",
+]

@@ -1,0 +1,154 @@
+"""The :class:`LowRankBlock` container ``A ~= U @ V.T`` and its algebra.
+
+LORAPO-style BLR tile Cholesky performs arithmetic directly on low-rank tiles
+(products, sums, recompression after updates), so the container implements the
+full closed set of operations needed by the tile algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LowRankBlock"]
+
+
+@dataclass
+class LowRankBlock:
+    """A rank-``k`` factorisation ``A ~= U @ V.T``.
+
+    Attributes
+    ----------
+    U:
+        Left factor of shape ``(m, k)``.
+    V:
+        Right factor of shape ``(n, k)``; the represented block is ``U @ V.T``.
+    """
+
+    U: np.ndarray
+    V: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.U = np.asarray(self.U, dtype=np.float64)
+        self.V = np.asarray(self.V, dtype=np.float64)
+        if self.U.ndim != 2 or self.V.ndim != 2:
+            raise ValueError("U and V must be 2D")
+        if self.U.shape[1] != self.V.shape[1]:
+            raise ValueError(
+                f"rank mismatch: U has {self.U.shape[1]} columns, V has {self.V.shape[1]}"
+            )
+
+    # -- basic properties -------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the represented dense block."""
+        return (self.U.shape[0], self.V.shape[0])
+
+    @property
+    def rank(self) -> int:
+        """Number of columns of the factors."""
+        return self.U.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the factors in bytes."""
+        return self.U.nbytes + self.V.nbytes
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the dense block."""
+        return self.U @ self.V.T
+
+    def copy(self) -> "LowRankBlock":
+        return LowRankBlock(self.U.copy(), self.V.copy())
+
+    # -- algebra ----------------------------------------------------------
+    @property
+    def T(self) -> "LowRankBlock":
+        """Transpose: ``(U V^T)^T = V U^T``."""
+        return LowRankBlock(self.V, self.U)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``(U V^T) x`` without forming the dense block."""
+        return self.U @ (self.V.T @ x)
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``(U V^T)^T x``."""
+        return self.V @ (self.U.T @ x)
+
+    def scale(self, alpha: float) -> "LowRankBlock":
+        """Return ``alpha * A`` as a low-rank block."""
+        return LowRankBlock(alpha * self.U, self.V.copy())
+
+    def left_multiply(self, mat: np.ndarray) -> "LowRankBlock":
+        """Return ``mat @ A`` as a low-rank block (rank unchanged)."""
+        return LowRankBlock(mat @ self.U, self.V.copy())
+
+    def right_multiply(self, mat: np.ndarray) -> "LowRankBlock":
+        """Return ``A @ mat`` as a low-rank block (rank unchanged)."""
+        return LowRankBlock(self.U.copy(), mat.T @ self.V)
+
+    def matmul_lowrank(self, other: "LowRankBlock") -> "LowRankBlock":
+        """Product of two low-rank blocks; resulting rank is min of the two."""
+        if self.shape[1] != other.shape[0]:
+            raise ValueError(f"shape mismatch {self.shape} @ {other.shape}")
+        core = self.V.T @ other.U  # (k1, k2)
+        if self.rank <= other.rank:
+            return LowRankBlock(self.U, other.V @ core.T)
+        return LowRankBlock(self.U @ core, other.V)
+
+    def add(self, other: "LowRankBlock") -> "LowRankBlock":
+        """Exact (rank-additive) sum ``A + B``; recompress afterwards if needed."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch {self.shape} + {other.shape}")
+        return LowRankBlock(
+            np.hstack([self.U, other.U]),
+            np.hstack([self.V, other.V]),
+        )
+
+    def subtract(self, other: "LowRankBlock") -> "LowRankBlock":
+        """Exact (rank-additive) difference ``A - B``."""
+        return self.add(other.scale(-1.0))
+
+    def recompress(self, *, rank: int | None = None, tol: float | None = None) -> "LowRankBlock":
+        """Recompress the factors with QR + SVD to the requested rank/tolerance.
+
+        This is the standard recompression used after rank-additive updates in
+        BLR arithmetic: QR both factors, SVD the small core, truncate.
+        """
+        from repro.lowrank.svd import svd_rank
+
+        if self.rank == 0:
+            return self.copy()
+        qu, ru = np.linalg.qr(self.U)
+        qv, rv = np.linalg.qr(self.V)
+        core = ru @ rv.T
+        uu, ss, vvt = np.linalg.svd(core, full_matrices=False)
+        k = svd_rank(ss, rank=rank, tol=tol)
+        uu = uu[:, :k] * ss[:k]
+        vvt = vvt[:k]
+        return LowRankBlock(qu @ uu, qv @ vvt.T)
+
+    def frobenius_norm(self) -> float:
+        """Frobenius norm of the represented block, computed from the factors."""
+        # ||U V^T||_F^2 = trace(V U^T U V^T) = sum((U^T U) * (V^T V))
+        gu = self.U.T @ self.U
+        gv = self.V.T @ self.V
+        return float(np.sqrt(max(np.sum(gu * gv), 0.0)))
+
+    @classmethod
+    def zeros(cls, m: int, n: int) -> "LowRankBlock":
+        """A rank-0 block of shape ``(m, n)``."""
+        return cls(np.zeros((m, 0)), np.zeros((n, 0)))
+
+    @classmethod
+    def from_dense(
+        cls, a: np.ndarray, *, rank: int | None = None, tol: float | None = None
+    ) -> "LowRankBlock":
+        """Compress a dense block with a truncated SVD."""
+        from repro.lowrank.svd import compress_svd
+
+        return compress_svd(a, rank=rank, tol=tol)
+
+    def __repr__(self) -> str:
+        return f"LowRankBlock(shape={self.shape}, rank={self.rank})"

@@ -1,0 +1,72 @@
+"""Randomized SVD (Halko-Martinsson-Tropp), the compression used by STRUMPACK.
+
+STRUMPACK constructs its HSS representation by randomized sampling; we provide
+the same primitive both for compressing explicit blocks and for building HSS
+row bases from sampled far-field columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lowrank.block import LowRankBlock
+from repro.lowrank.svd import svd_rank
+
+__all__ = ["rsvd", "compress_rsvd", "random_range_finder"]
+
+
+def random_range_finder(
+    a: np.ndarray, rank: int, *, oversample: int = 10, n_iter: int = 1, seed: int = 0
+) -> np.ndarray:
+    """Approximate orthonormal basis of the column space of ``a`` (m x n).
+
+    Uses a Gaussian test matrix with ``rank + oversample`` columns and
+    ``n_iter`` power iterations for spectral-decay sharpening.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    m, n = a.shape
+    k = min(rank + oversample, n, m)
+    if k == 0:
+        return np.zeros((m, 0))
+    rng = np.random.default_rng(seed)
+    omega = rng.standard_normal((n, k))
+    y = a @ omega
+    q, _ = np.linalg.qr(y)
+    for _ in range(n_iter):
+        z = a.T @ q
+        z, _ = np.linalg.qr(z)
+        y = a @ z
+        q, _ = np.linalg.qr(y)
+    return q
+
+
+def rsvd(
+    a: np.ndarray,
+    rank: int,
+    *,
+    oversample: int = 10,
+    n_iter: int = 1,
+    tol: float | None = None,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Randomized truncated SVD ``a ~= U diag(s) Vt`` of target rank ``rank``."""
+    a = np.asarray(a, dtype=np.float64)
+    q = random_range_finder(a, rank, oversample=oversample, n_iter=n_iter, seed=seed)
+    b = q.T @ a
+    ub, s, vt = np.linalg.svd(b, full_matrices=False)
+    k = svd_rank(s, rank=rank, tol=tol)
+    return q @ ub[:, :k], s[:k], vt[:k]
+
+
+def compress_rsvd(
+    a: np.ndarray,
+    rank: int,
+    *,
+    oversample: int = 10,
+    n_iter: int = 1,
+    tol: float | None = None,
+    seed: int = 0,
+) -> LowRankBlock:
+    """Randomized-SVD compression into a :class:`LowRankBlock`."""
+    u, s, vt = rsvd(a, rank, oversample=oversample, n_iter=n_iter, tol=tol, seed=seed)
+    return LowRankBlock(u * s, vt.T)

@@ -1,0 +1,55 @@
+"""Truncated singular value decomposition based compression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lowrank.block import LowRankBlock
+
+__all__ = ["svd_rank", "truncated_svd", "compress_svd"]
+
+
+def svd_rank(singular_values: np.ndarray, *, rank: int | None = None, tol: float | None = None) -> int:
+    """Number of singular values to keep given a rank cap and/or relative tolerance.
+
+    Parameters
+    ----------
+    singular_values:
+        Singular values in non-increasing order.
+    rank:
+        Hard cap on the returned rank (the paper's "max rank" parameter).
+    tol:
+        Relative 2-norm tolerance: keep all values ``> tol * s[0]``.
+
+    Returns
+    -------
+    int
+        The truncation rank, at least 0 and at most ``len(singular_values)``.
+    """
+    s = np.asarray(singular_values, dtype=np.float64)
+    if s.size == 0:
+        return 0
+    k = s.size
+    if tol is not None:
+        threshold = tol * s[0]
+        k = int(np.count_nonzero(s > threshold))
+        k = max(k, 1) if s[0] > 0 else 0
+    if rank is not None:
+        k = min(k, int(rank))
+    return max(min(k, s.size), 0)
+
+
+def truncated_svd(
+    a: np.ndarray, *, rank: int | None = None, tol: float | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Truncated SVD ``a ~= U @ diag(s) @ Vt`` with the truncation rule of :func:`svd_rank`."""
+    a = np.asarray(a, dtype=np.float64)
+    u, s, vt = np.linalg.svd(a, full_matrices=False)
+    k = svd_rank(s, rank=rank, tol=tol)
+    return u[:, :k], s[:k], vt[:k]
+
+
+def compress_svd(a: np.ndarray, *, rank: int | None = None, tol: float | None = None) -> LowRankBlock:
+    """Compress a dense block into a :class:`LowRankBlock` using a truncated SVD."""
+    u, s, vt = truncated_svd(a, rank=rank, tol=tol)
+    return LowRankBlock(u * s, vt.T)

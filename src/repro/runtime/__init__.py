@@ -1,0 +1,47 @@
+"""Task-based runtime system substrate (the PaRSEC analogue of the paper).
+
+The paper drives the HSS-ULV factorization with the PaRSEC runtime system's
+Dynamic Task Discovery (DTD) interface.  This package provides the equivalent
+programming model in pure Python:
+
+* :class:`~repro.runtime.data.DataHandle` -- a named piece of matrix data with
+  an owning process.
+* :class:`~repro.runtime.dtd.DTDRuntime` -- ``insert_task`` with READ/WRITE
+  access modes; dependencies are inferred from data accesses exactly like
+  PaRSEC DTD (every process discovers the whole graph and trims non-local
+  tasks, which is the source of the runtime overhead analysed in Sec. 5.3.3).
+* :class:`~repro.runtime.dag.TaskGraph` -- the resulting DAG.
+* :class:`~repro.runtime.machine.MachineConfig` -- a distributed machine model
+  (Fugaku-like preset available).
+* :func:`~repro.runtime.simulator.simulate` -- discrete-event simulation of a
+  task graph on the machine model under either *asynchronous* (PaRSEC-style)
+  or *fork-join* (ScaLAPACK/STRUMPACK-style) scheduling, producing the
+  compute/overhead/MPI breakdowns of Fig. 10.
+* :func:`~repro.runtime.executor.execute_graph` -- real shared-memory parallel
+  execution of a recorded task graph with a thread pool.
+"""
+
+from repro.runtime.data import DataHandle
+from repro.runtime.task import AccessMode, Task, TaskAccess
+from repro.runtime.dag import TaskGraph
+from repro.runtime.dtd import DTDRuntime
+from repro.runtime.machine import MachineConfig, fugaku_like, laptop_like
+from repro.runtime.trace import SimulationResult, WorkerBreakdown
+from repro.runtime.simulator import simulate
+from repro.runtime.executor import execute_graph
+
+__all__ = [
+    "DataHandle",
+    "AccessMode",
+    "Task",
+    "TaskAccess",
+    "TaskGraph",
+    "DTDRuntime",
+    "MachineConfig",
+    "fugaku_like",
+    "laptop_like",
+    "SimulationResult",
+    "WorkerBreakdown",
+    "simulate",
+    "execute_graph",
+]

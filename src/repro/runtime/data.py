@@ -1,0 +1,52 @@
+"""Data handles: the unit of dependency tracking and data distribution.
+
+A :class:`DataHandle` names one block of the matrix (a dense diagonal block, a
+basis, a coupling, a Schur complement, ...).  Tasks declare READ/WRITE access
+to handles; the DTD runtime derives the task DAG from those accesses, and the
+distribution strategies (Sec. 4.3) assign each handle to an owning process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["DataHandle"]
+
+_handle_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class DataHandle:
+    """A named, distributable piece of data.
+
+    Attributes
+    ----------
+    name:
+        Unique human-readable name, e.g. ``"D[2;3]"`` or ``"S[1;1,0]"``.
+    nbytes:
+        Size of the block in bytes (used for communication-cost modelling).
+    owner:
+        Rank of the owning process, or ``None`` if not yet distributed.
+    payload:
+        Optional reference to the actual numerical data (absent in symbolic /
+        simulation-only graphs).
+    meta:
+        Free-form metadata (level, block index, ...), used by distribution
+        strategies.
+    """
+
+    name: str
+    nbytes: int = 0
+    owner: Optional[int] = None
+    payload: Any = None
+    meta: dict = field(default_factory=dict)
+    hid: int = field(default_factory=lambda: next(_handle_counter))
+
+    def __hash__(self) -> int:
+        return hash(self.hid)
+
+    def __repr__(self) -> str:
+        own = f", owner={self.owner}" if self.owner is not None else ""
+        return f"DataHandle({self.name!r}, {self.nbytes}B{own})"

@@ -1,0 +1,169 @@
+"""Dynamic Task Discovery (DTD) runtime -- the PaRSEC interface used by HATRIX-DTD.
+
+The DTD programming model (Sec. 4.2): the algorithm is written as a sequence of
+``insert_task`` calls, each declaring which data handles it reads and writes.
+The runtime derives the dependency DAG from the access order:
+
+* a task reading a handle depends on the last writer of that handle;
+* a task writing a handle depends on the last writer *and* on every reader
+  since that write (write-after-read);
+
+and, in the real PaRSEC DTD, *every process discovers the entire task graph*
+and then trims the tasks that are not local.  That per-process discovery cost
+is the runtime overhead that limits HATRIX-DTD's weak scaling (Sec. 5.3.3);
+the machine model charges it explicitly.
+
+Execution modes
+---------------
+``immediate``
+    The task body runs at insertion time (sequential, deterministic) while the
+    graph is still recorded -- the default for numerical factorizations.
+``deferred``
+    Bodies are stored and only run when :meth:`DTDRuntime.run` is called
+    (sequentially in insertion order, or in parallel via
+    :func:`repro.runtime.executor.execute_graph`).
+``symbolic``
+    Bodies are never run; only the graph (block sizes, flops, bytes) is
+    recorded.  Used to generate paper-scale DAGs for the machine simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.dag import TaskGraph
+from repro.runtime.data import DataHandle
+from repro.runtime.task import AccessMode, Task, TaskAccess, normalize_accesses
+
+__all__ = ["DTDRuntime"]
+
+
+class DTDRuntime:
+    """A dynamic-task-discovery runtime instance.
+
+    Parameters
+    ----------
+    execution:
+        ``"immediate"`` (default), ``"deferred"`` or ``"symbolic"``.
+    """
+
+    def __init__(self, execution: str = "immediate") -> None:
+        if execution not in ("immediate", "deferred", "symbolic"):
+            raise ValueError(f"unknown execution mode {execution!r}")
+        self.execution = execution
+        self.graph = TaskGraph()
+        self._next_tid = 0
+        self._last_writer: Dict[int, int] = {}
+        self._readers_since_write: Dict[int, List[int]] = {}
+        self._handles: Dict[str, DataHandle] = {}
+        self._executed: set[int] = set()
+
+    # -- data management ------------------------------------------------------
+    def register_handle(self, handle: DataHandle) -> DataHandle:
+        """Register a handle so it can be retrieved by name later."""
+        self._handles[handle.name] = handle
+        return handle
+
+    def new_handle(
+        self,
+        name: str,
+        nbytes: int = 0,
+        *,
+        owner: Optional[int] = None,
+        payload: Any = None,
+        **meta: Any,
+    ) -> DataHandle:
+        """Create and register a new :class:`DataHandle`."""
+        if name in self._handles:
+            raise ValueError(f"handle {name!r} already registered")
+        handle = DataHandle(name=name, nbytes=nbytes, owner=owner, payload=payload, meta=dict(meta))
+        return self.register_handle(handle)
+
+    def handle(self, name: str) -> DataHandle:
+        """Look up a registered handle by name."""
+        return self._handles[name]
+
+    @property
+    def handles(self) -> List[DataHandle]:
+        return list(self._handles.values())
+
+    # -- task insertion --------------------------------------------------------
+    def insert_task(
+        self,
+        func: Optional[Callable[..., Any]],
+        accesses: Sequence[TaskAccess | Tuple[DataHandle, AccessMode]],
+        *,
+        name: str = "",
+        kind: str = "TASK",
+        flops: float = 0.0,
+        phase: int = 0,
+        process: Optional[int] = None,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[dict] = None,
+    ) -> Task:
+        """Insert a task, wiring its dependencies from the declared data accesses.
+
+        Returns the created :class:`Task`.  In ``immediate`` mode the task body
+        has already been executed when this returns.
+        """
+        acc = normalize_accesses(accesses)
+        task = Task(
+            tid=self._next_tid,
+            name=name or f"task{self._next_tid}",
+            kind=kind,
+            func=None if self.execution == "symbolic" else func,
+            args=args,
+            kwargs=kwargs or {},
+            accesses=acc,
+            flops=float(flops),
+            phase=phase,
+            process=process,
+        )
+        self._next_tid += 1
+        self.graph.add_task(task)
+
+        for access in acc:
+            hid = access.handle.hid
+            if access.mode.reads:
+                writer = self._last_writer.get(hid)
+                if writer is not None:
+                    self.graph.add_edge(writer, task.tid, access.handle)
+                self._readers_since_write.setdefault(hid, []).append(task.tid)
+            if access.mode.writes:
+                writer = self._last_writer.get(hid)
+                if writer is not None:
+                    self.graph.add_edge(writer, task.tid, access.handle)
+                for reader in self._readers_since_write.get(hid, []):
+                    self.graph.add_edge(reader, task.tid, access.handle)
+                self._last_writer[hid] = task.tid
+                self._readers_since_write[hid] = []
+
+        if self.execution == "immediate" and task.func is not None:
+            task.run()
+            self._executed.add(task.tid)
+        return task
+
+    # -- execution --------------------------------------------------------------
+    def run(self) -> None:
+        """Execute all not-yet-executed task bodies in insertion (topological) order."""
+        if self.execution == "symbolic":
+            return
+        for task in self.graph.tasks:
+            if task.tid not in self._executed and task.func is not None:
+                task.run()
+                self._executed.add(task.tid)
+
+    # -- inspection ---------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return self.graph.num_tasks
+
+    def validate(self) -> None:
+        """Sanity checks on the recorded graph (acyclic, insertion-ordered edges)."""
+        self.graph.validate_insertion_order()
+        if not self.graph.is_acyclic():
+            raise ValueError("task graph has a cycle")
+
+    def __repr__(self) -> str:
+        return f"DTDRuntime(execution={self.execution!r}, tasks={self.num_tasks})"

@@ -1,0 +1,60 @@
+"""Floating-point operation counts of the dense kernels used by the task bodies.
+
+These standard counts (LAPACK working notes conventions) drive the performance
+model of the distributed-machine simulator.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "flops_potrf",
+    "flops_trsm",
+    "flops_gemm",
+    "flops_syrk",
+    "flops_qr",
+    "flops_svd",
+    "flops_diag_product",
+    "flops_partial_factor",
+]
+
+
+def flops_potrf(n: int) -> float:
+    """Cholesky factorization of an ``n x n`` SPD matrix."""
+    return n**3 / 3.0 + n**2 / 2.0
+
+
+def flops_trsm(m: int, n: int) -> float:
+    """Triangular solve with an ``m x m`` triangle and ``n`` right-hand sides."""
+    return float(m * m * n)
+
+
+def flops_gemm(m: int, n: int, k: int) -> float:
+    """General matrix multiply ``(m x k) @ (k x n)``."""
+    return 2.0 * m * n * k
+
+
+def flops_syrk(n: int, k: int) -> float:
+    """Symmetric rank-k update ``C -= A A^T`` with ``A`` of shape ``(n, k)``."""
+    return float(n * n * k)
+
+
+def flops_qr(m: int, n: int) -> float:
+    """Householder QR of an ``m x n`` matrix (m >= n)."""
+    return 2.0 * m * n * n - 2.0 * n**3 / 3.0
+
+
+def flops_svd(m: int, n: int) -> float:
+    """Golub-Kahan SVD of an ``m x n`` matrix (rough standard count)."""
+    small, large = (m, n) if m <= n else (n, m)
+    return 4.0 * large * small**2 + 8.0 * small**3
+
+
+def flops_diag_product(n: int) -> float:
+    """The ULV diagonal product ``U^T A U`` for an ``n x n`` block (two GEMMs)."""
+    return 2.0 * flops_gemm(n, n, n)
+
+
+def flops_partial_factor(n: int, rank: int) -> float:
+    """Partial Cholesky of an ``n x n`` block leaving ``rank`` skeleton rows."""
+    nr = max(n - rank, 0)
+    return flops_potrf(nr) + flops_trsm(nr, rank) + flops_syrk(rank, nr)

@@ -1,0 +1,130 @@
+"""Tasks and data-access declarations (the nodes of the DAG in Fig. 6)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.runtime.data import DataHandle
+
+__all__ = ["AccessMode", "TaskAccess", "Task"]
+
+
+class AccessMode(enum.Enum):
+    """How a task accesses a data handle (paper Fig. 6: R in green, RW in red)."""
+
+    READ = "R"
+    WRITE = "W"
+    RW = "RW"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.RW)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.RW)
+
+
+@dataclass(frozen=True)
+class TaskAccess:
+    """One (handle, access-mode) pair of a task."""
+
+    handle: DataHandle
+    mode: AccessMode
+
+
+@dataclass(eq=False)
+class Task:
+    """A node of the task DAG.
+
+    Attributes
+    ----------
+    tid:
+        Unique task id (insertion order within its runtime).
+    name:
+        Human-readable name, e.g. ``"POTRF(2,2)"``.
+    kind:
+        Computational kernel class (``POTRF``, ``TRSM``, ``SYRK``, ``GEMM``,
+        ``DIAG_PRODUCT``, ``PARTIAL_FACTOR``, ``MERGE``, ...), used by the
+        performance model and the breakdown reports.
+    func:
+        Optional callable executing the task body.  ``None`` for symbolic
+        (simulation-only) graphs.
+    args, kwargs:
+        Arguments passed to ``func``.
+    accesses:
+        Data accesses; the first WRITE access determines the executing process
+        under owner-computes placement.
+    flops:
+        Floating-point operations of the task body (performance model input).
+    phase:
+        Phase label used by the fork-join scheduler to place barriers -- for
+        the HSS-ULV this is the HSS level, for tile Cholesky the panel index.
+    process:
+        Explicitly pinned process rank; ``None`` means owner-computes.
+    """
+
+    tid: int
+    name: str
+    kind: str
+    func: Optional[Callable[..., Any]] = None
+    args: Tuple[Any, ...] = ()
+    kwargs: dict = field(default_factory=dict)
+    accesses: List[TaskAccess] = field(default_factory=list)
+    flops: float = 0.0
+    phase: int = 0
+    process: Optional[int] = None
+
+    def __hash__(self) -> int:
+        return hash(self.tid)
+
+    # -- dependency helpers -------------------------------------------------
+    @property
+    def read_handles(self) -> List[DataHandle]:
+        return [a.handle for a in self.accesses if a.mode.reads]
+
+    @property
+    def write_handles(self) -> List[DataHandle]:
+        return [a.handle for a in self.accesses if a.mode.writes]
+
+    def primary_write(self) -> Optional[DataHandle]:
+        """The first written handle (owner-computes placement key)."""
+        writes = self.write_handles
+        return writes[0] if writes else None
+
+    def owner_process(self) -> Optional[int]:
+        """The process this task runs on: pinned process or owner of the primary write."""
+        if self.process is not None:
+            return self.process
+        primary = self.primary_write()
+        if primary is not None and primary.owner is not None:
+            return primary.owner
+        for access in self.accesses:
+            if access.handle.owner is not None:
+                return access.handle.owner
+        return None
+
+    def run(self) -> Any:
+        """Execute the task body (no-op for symbolic tasks)."""
+        if self.func is None:
+            return None
+        return self.func(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:
+        return f"Task({self.tid}, {self.name!r}, kind={self.kind}, flops={self.flops:.3g})"
+
+
+def normalize_accesses(
+    accesses: Sequence[TaskAccess | Tuple[DataHandle, AccessMode]]
+) -> List[TaskAccess]:
+    """Accept either :class:`TaskAccess` objects or ``(handle, mode)`` tuples."""
+    out: List[TaskAccess] = []
+    for item in accesses:
+        if isinstance(item, TaskAccess):
+            out.append(item)
+        else:
+            handle, mode = item
+            out.append(TaskAccess(handle=handle, mode=mode))
+    return out

@@ -1,0 +1,106 @@
+"""Simulation traces and the per-worker time breakdowns of Fig. 10.
+
+The paper instruments all three codes and reports, per worker (core):
+
+* ``COMPUTE TASK TIME`` -- average time spent inside computational kernels;
+* ``RUNTIME OVERHEAD`` -- average time spent in the runtime system
+  (scheduling, task discovery, memory management, MPI progress) for the
+  PaRSEC-based codes (LORAPO, HATRIX-DTD);
+* ``MPI TIME`` -- average time spent inside MPI calls for the fork-join code
+  (STRUMPACK).
+
+:class:`SimulationResult` carries the same quantities for the simulated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["WorkerBreakdown", "SimulationResult"]
+
+
+@dataclass
+class WorkerBreakdown:
+    """Per-worker accumulated times (seconds)."""
+
+    compute: float = 0.0
+    overhead: float = 0.0
+    communication: float = 0.0
+    idle: float = 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one task graph on one machine configuration.
+
+    Attributes
+    ----------
+    makespan:
+        Simulated wall-clock factorization time (the quantity plotted in
+        Fig. 9, 11, 12).
+    policy:
+        ``"async"`` or ``"forkjoin"``.
+    nodes, workers:
+        Machine size used.
+    num_tasks:
+        Number of tasks in the simulated graph.
+    total_compute:
+        Sum of all task execution times (all workers).
+    total_communication:
+        Sum of all inter-process transfer times.
+    total_runtime_overhead:
+        Sum of runtime-system costs (scheduling + DTD graph discovery).
+    total_mpi:
+        Sum of communication + barrier/collective costs (fork-join codes).
+    per_worker:
+        Optional per-worker breakdowns.
+    """
+
+    makespan: float
+    policy: str
+    nodes: int
+    workers: int
+    num_tasks: int
+    total_compute: float = 0.0
+    total_communication: float = 0.0
+    total_runtime_overhead: float = 0.0
+    total_mpi: float = 0.0
+    per_worker: Dict[int, WorkerBreakdown] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # -- Fig. 10 style averages --------------------------------------------
+    @property
+    def compute_task_time(self) -> float:
+        """Average per-worker time inside computational kernels ("COMPUTE TASK TIME")."""
+        return self.total_compute / max(self.workers, 1)
+
+    @property
+    def runtime_overhead(self) -> float:
+        """Average per-worker runtime-system time ("RUNTIME OVERHEAD", PaRSEC codes)."""
+        return (self.total_runtime_overhead + self.total_communication) / max(self.workers, 1)
+
+    @property
+    def mpi_time(self) -> float:
+        """Average per-worker time inside MPI ("MPI TIME", fork-join codes)."""
+        return self.total_mpi / max(self.workers, 1)
+
+    @property
+    def compute_time(self) -> float:
+        """Alias of :attr:`compute_task_time` (STRUMPACK terminology)."""
+        return self.compute_task_time
+
+    def breakdown(self) -> Dict[str, float]:
+        """Dictionary view used by the Fig. 10 benchmark tables."""
+        return {
+            "makespan": self.makespan,
+            "compute_task_time": self.compute_task_time,
+            "runtime_overhead": self.runtime_overhead,
+            "mpi_time": self.mpi_time,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(policy={self.policy!r}, nodes={self.nodes}, "
+            f"tasks={self.num_tasks}, makespan={self.makespan:.4g}s)"
+        )

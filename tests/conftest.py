@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are module/session scoped where construction is expensive so the full
+suite stays fast; all sizes are intentionally small (N <= 1024).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import uniform_grid_2d
+from repro.kernels.assembly import KernelMatrix
+from repro.kernels.greens import Yukawa, kernel_by_name
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def points_small():
+    """256 points on a uniform 2D grid (Morton ordered)."""
+    return uniform_grid_2d(256)
+
+
+@pytest.fixture(scope="session")
+def points_medium():
+    """1024 points on a uniform 2D grid."""
+    return uniform_grid_2d(1024)
+
+
+@pytest.fixture(scope="session")
+def kmat_small(points_small) -> KernelMatrix:
+    """Small SPD Yukawa kernel matrix (N=256)."""
+    return KernelMatrix(Yukawa(), points_small)
+
+
+@pytest.fixture(scope="session")
+def kmat_medium(points_medium) -> KernelMatrix:
+    """Medium SPD Yukawa kernel matrix (N=1024)."""
+    return KernelMatrix(Yukawa(), points_medium)
+
+
+@pytest.fixture(scope="session")
+def dense_small(kmat_small) -> np.ndarray:
+    """Dense N=256 SPD matrix."""
+    return kmat_small.dense()
+
+
+@pytest.fixture(scope="session")
+def dense_medium(kmat_medium) -> np.ndarray:
+    """Dense N=1024 SPD matrix."""
+    return kmat_medium.dense()
+
+
+@pytest.fixture(scope="session")
+def spd_random() -> np.ndarray:
+    """A random, well-conditioned 96x96 SPD matrix."""
+    gen = np.random.default_rng(7)
+    a = gen.standard_normal((96, 96))
+    return a @ a.T + 96 * np.eye(96)
+
+
+@pytest.fixture(scope="session")
+def laplace_kmat(points_small) -> KernelMatrix:
+    """Laplace 2D kernel matrix (N=256)."""
+    return KernelMatrix(kernel_by_name("laplace2d"), points_small)
+
+
+@pytest.fixture(scope="session")
+def matern_kmat(points_small) -> KernelMatrix:
+    """Matern kernel matrix (N=256)."""
+    return KernelMatrix(kernel_by_name("matern"), points_small)

@@ -1,0 +1,75 @@
+"""Tests for admissibility conditions."""
+
+import pytest
+
+from repro.geometry.admissibility import StrongAdmissibility, WeakAdmissibility
+from repro.geometry.cluster_tree import build_cluster_tree
+from repro.geometry.points import uniform_grid_2d
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_cluster_tree(uniform_grid_2d(256), leaf_size=32)
+
+
+class TestWeakAdmissibility:
+    def test_diagonal_not_admissible(self, tree):
+        adm = WeakAdmissibility()
+        for leaf in tree.leaves:
+            assert not adm(leaf, leaf)
+
+    def test_all_offdiagonal_admissible(self, tree):
+        adm = WeakAdmissibility()
+        leaves = tree.leaves
+        for i, a in enumerate(leaves):
+            for j, b in enumerate(leaves):
+                if i != j:
+                    assert adm(a, b)
+
+    def test_rejects_mixed_levels(self, tree):
+        adm = WeakAdmissibility()
+        with pytest.raises(ValueError):
+            adm(tree.root, tree.leaves[0])
+
+
+class TestStrongAdmissibility:
+    def test_diagonal_not_admissible(self, tree):
+        adm = StrongAdmissibility(eta=1.0)
+        for leaf in tree.leaves:
+            assert not adm(leaf, leaf)
+
+    def test_adjacent_blocks_not_admissible(self, tree):
+        """Neighbouring clusters touch, so dist=0 and they stay dense."""
+        adm = StrongAdmissibility(eta=1.0)
+        leaves = tree.leaves
+        admissible_count = sum(
+            adm(a, b) for i, a in enumerate(leaves) for j, b in enumerate(leaves) if i != j
+        )
+        total_offdiag = len(leaves) * (len(leaves) - 1)
+        assert 0 < admissible_count < total_offdiag
+
+    def test_larger_eta_admits_more(self, tree):
+        leaves = tree.leaves
+        count = {}
+        for eta in (0.5, 2.0):
+            adm = StrongAdmissibility(eta=eta)
+            count[eta] = sum(
+                adm(a, b) for i, a in enumerate(leaves) for j, b in enumerate(leaves) if i != j
+            )
+        assert count[2.0] >= count[0.5]
+
+    def test_structural_tree_fallback(self):
+        """Without geometry, strong admissibility falls back to index distance."""
+        tree = build_cluster_tree(256, leaf_size=32)
+        adm = StrongAdmissibility()
+        leaves = tree.leaves
+        assert not adm(leaves[0], leaves[1])
+        assert adm(leaves[0], leaves[3])
+
+    def test_symmetry(self, tree):
+        adm = StrongAdmissibility(eta=1.5)
+        leaves = tree.leaves
+        for i, a in enumerate(leaves):
+            for j, b in enumerate(leaves):
+                if i != j:
+                    assert adm(a, b) == adm(b, a)

@@ -1,0 +1,68 @@
+"""Tests for the high-level HSSSolver facade."""
+
+import numpy as np
+import pytest
+
+from repro.api import HSSSolver
+from repro.geometry.points import random_uniform
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return HSSSolver.from_kernel("yukawa", n=512, leaf_size=64, max_rank=24)
+
+
+class TestHSSSolver:
+    def test_construction(self, solver):
+        assert solver.n == 512
+        assert solver.hss.leaf_size == 64
+        assert solver.factor is None
+
+    def test_solve_and_errors(self, solver, rng):
+        b = rng.standard_normal(solver.n)
+        x = solver.solve(b)
+        assert x.shape == b.shape
+        assert solver.factor is not None
+        assert solver.solve_error() < 1e-10
+        assert solver.construction_error() < 1e-4
+
+    def test_matvec(self, solver, rng):
+        x = rng.standard_normal(solver.n)
+        y = solver.matvec(x)
+        assert y.shape == x.shape
+
+    def test_solve_consistency(self, solver, rng):
+        """solve(matvec(b)) recovers b."""
+        b = rng.standard_normal(solver.n)
+        x = solver.solve(solver.matvec(b))
+        assert np.linalg.norm(x - b) / np.linalg.norm(b) < 1e-9
+
+    def test_logdet_finite(self, solver):
+        assert np.isfinite(solver.logdet())
+
+    def test_from_points(self, rng):
+        pts = random_uniform(256, dim=2, seed=3)
+        solver = HSSSolver.from_points("matern", pts, leaf_size=64, max_rank=20)
+        b = rng.standard_normal(256)
+        x = solver.solve(solver.matvec(b))
+        assert np.linalg.norm(x - b) / np.linalg.norm(b) < 1e-8
+
+    def test_kernel_params_forwarded(self):
+        solver = HSSSolver.from_kernel("matern", n=256, leaf_size=64, max_rank=16, sigma=2.0)
+        assert solver.kernel_matrix.kernel.sigma == 2.0
+
+    def test_factorize_with_runtime(self, rng):
+        solver = HSSSolver.from_kernel("yukawa", n=256, leaf_size=64, max_rank=20)
+        factor = solver.factorize(use_runtime=True, nodes=4)
+        b = rng.standard_normal(256)
+        x = factor.solve(solver.matvec(b))
+        assert np.linalg.norm(x - b) / np.linalg.norm(b) < 1e-9
+
+    def test_repr(self, solver):
+        assert "HSSSolver" in repr(solver)
+
+    def test_package_exports(self):
+        import repro
+
+        assert repro.HSSSolver is HSSSolver
+        assert isinstance(repro.__version__, str)

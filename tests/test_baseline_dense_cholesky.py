@@ -1,0 +1,78 @@
+"""Tests for the dense tile Cholesky baseline (DPLASMA/SLATE analogue)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dense_cholesky import build_dense_cholesky_taskgraph, tile_cholesky_dtd
+from repro.formats.block_dense import BlockDenseMatrix
+
+
+@pytest.fixture(scope="module")
+def factor_and_rt(dense_small):
+    bd = BlockDenseMatrix(dense_small, 64)
+    return tile_cholesky_dtd(bd, nodes=4), dense_small
+
+
+class TestNumerics:
+    def test_factor_matches_numpy_cholesky(self, factor_and_rt):
+        (factor, _), dense = factor_and_rt
+        np.testing.assert_allclose(factor.to_dense(), np.linalg.cholesky(dense), atol=1e-8)
+
+    def test_solve(self, factor_and_rt, rng):
+        (factor, _), dense = factor_and_rt
+        b = rng.standard_normal(dense.shape[0])
+        x = factor.solve(b)
+        assert np.linalg.norm(dense @ x - b) / np.linalg.norm(b) < 1e-12
+
+    def test_solve_multiple_rhs(self, factor_and_rt, rng):
+        (factor, _), dense = factor_and_rt
+        b = rng.standard_normal((dense.shape[0], 3))
+        x = factor.solve(b)
+        np.testing.assert_allclose(dense @ x, b, rtol=1e-9, atol=1e-9)
+
+    def test_logdet(self, factor_and_rt):
+        (factor, _), dense = factor_and_rt
+        _, expected = np.linalg.slogdet(dense)
+        assert factor.logdet() == pytest.approx(expected, rel=1e-10)
+
+    def test_uneven_tiles(self, rng):
+        a = rng.standard_normal((100, 100))
+        a = a @ a.T + 100 * np.eye(100)
+        factor, _ = tile_cholesky_dtd(BlockDenseMatrix(a, 32))
+        np.testing.assert_allclose(factor.to_dense() @ factor.to_dense().T, a, atol=1e-8)
+
+
+class TestTaskGraph:
+    def test_fig6_task_count_3x3(self):
+        """The 3x3 example of Fig. 6 has exactly 10 tasks."""
+        rt = build_dense_cholesky_taskgraph(96, 32, nodes=2)
+        assert rt.num_tasks == 10
+        kinds = [t.kind for t in rt.graph.tasks]
+        assert kinds.count("POTRF") == 3
+        assert kinds.count("TRSM") == 3
+        assert kinds.count("SYRK") == 3
+        assert kinds.count("GEMM") == 1
+
+    def test_numeric_and_symbolic_graphs_match(self, dense_small):
+        bd = BlockDenseMatrix(dense_small, 64)
+        _, rt_num = tile_cholesky_dtd(bd, nodes=4)
+        rt_sym = build_dense_cholesky_taskgraph(256, 64, nodes=4)
+        assert rt_num.num_tasks == rt_sym.num_tasks
+        assert rt_num.graph.num_edges == rt_sym.graph.num_edges
+
+    def test_gemm_depends_on_two_trsms(self):
+        """The dependency pattern highlighted in Fig. 6's dotted box."""
+        rt = build_dense_cholesky_taskgraph(96, 32, nodes=1)
+        graph = rt.graph
+        gemm = [t for t in graph.tasks if t.kind == "GEMM"][0]
+        pred_kinds = {graph.task(p).kind for p in graph.predecessors(gemm.tid)}
+        assert "TRSM" in pred_kinds
+
+    def test_cubic_flops_scaling(self):
+        f1 = build_dense_cholesky_taskgraph(1024, 128).graph.total_flops()
+        f2 = build_dense_cholesky_taskgraph(2048, 128).graph.total_flops()
+        assert 7 < f2 / f1 < 9
+
+    def test_graph_valid(self):
+        rt = build_dense_cholesky_taskgraph(512, 64, nodes=4)
+        rt.validate()

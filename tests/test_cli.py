@@ -1,0 +1,49 @@
+"""Tests for the experiment command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "fig9", "fig10", "fig11", "fig12"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_table2_options(self):
+        args = build_parser().parse_args(["table2", "--n", "1024", "--kernel", "yukawa"])
+        assert args.n == 1024
+        assert args.kernels == ["yukawa"]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_table2_small(self, capsys):
+        out = main(["table2", "--n", "512", "--kernel", "yukawa"])
+        assert "HATRIX" in out
+        assert "yukawa" in out
+        captured = capsys.readouterr()
+        assert "HATRIX" in captured.out
+
+    def test_fig9_small(self):
+        out = main(["fig9", "--kernel", "yukawa", "--max-nodes", "8"])
+        assert "HATRIX-DTD" in out
+        assert "STRUMPACK" in out
+        assert "LORAPO" in out
+
+    def test_fig11_small(self):
+        out = main(["fig11", "--nodes", "8"])
+        assert "O(N) ref" in out
+
+    def test_fig12_small(self):
+        out = main(["fig12", "--n", "16384", "--nodes", "8"])
+        assert "Leaf size" in out

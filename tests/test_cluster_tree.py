@@ -1,0 +1,135 @@
+"""Tests for the binary cluster tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.cluster_tree import build_cluster_tree
+from repro.geometry.points import random_uniform, uniform_grid_2d
+
+
+class TestConstruction:
+    def test_levels_and_leaves(self):
+        tree = build_cluster_tree(uniform_grid_2d(256), leaf_size=32)
+        assert tree.n == 256
+        assert tree.max_level == 3
+        assert len(tree.leaves) == 8
+        assert all(leaf.size == 32 for leaf in tree.leaves)
+
+    def test_explicit_max_level(self):
+        tree = build_cluster_tree(uniform_grid_2d(128), max_level=2)
+        assert tree.max_level == 2
+        assert len(tree.leaves) == 4
+
+    def test_structural_tree_from_int(self):
+        tree = build_cluster_tree(4096, leaf_size=256)
+        assert tree.n == 4096
+        assert tree.max_level == 4
+        assert tree.points is None
+
+    def test_leaf_size_property(self):
+        tree = build_cluster_tree(uniform_grid_2d(200), leaf_size=64)
+        assert tree.leaf_size <= 64 or tree.max_level == 0
+
+    def test_rejects_too_deep(self):
+        with pytest.raises(ValueError):
+            build_cluster_tree(8, max_level=4)
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            build_cluster_tree(uniform_grid_2d(64), leaf_size=0)
+
+    def test_geometric_split_requires_points(self):
+        with pytest.raises(ValueError):
+            build_cluster_tree(128, leaf_size=32, geometric_split=True)
+
+    def test_geometric_split_builds(self):
+        tree = build_cluster_tree(random_uniform(128, seed=2), leaf_size=32, geometric_split=True)
+        tree.validate()
+        assert tree.n == 128
+
+
+class TestStructure:
+    def test_partition_invariants(self):
+        tree = build_cluster_tree(uniform_grid_2d(512), leaf_size=64)
+        tree.validate()
+        for level in range(tree.nlevels):
+            nodes = tree.level_nodes(level)
+            assert nodes[0].start == 0
+            assert nodes[-1].stop == 512
+            total = sum(node.size for node in nodes)
+            assert total == 512
+
+    def test_parent_child_links(self):
+        tree = build_cluster_tree(uniform_grid_2d(256), leaf_size=64)
+        for node in tree:
+            for child in node.children:
+                assert child.parent is node
+            if node.children:
+                assert len(node.children) == 2
+
+    def test_sibling(self):
+        tree = build_cluster_tree(uniform_grid_2d(256), leaf_size=64)
+        left, right = tree.root.children
+        assert left.sibling() is right
+        assert right.sibling() is left
+        assert tree.root.sibling() is None
+
+    def test_node_lookup(self):
+        tree = build_cluster_tree(uniform_grid_2d(256), leaf_size=32)
+        node = tree.node(2, 1)
+        assert node.level == 2
+        assert node.index == 1
+
+    def test_indices(self):
+        tree = build_cluster_tree(uniform_grid_2d(64), leaf_size=16)
+        leaf = tree.leaves[1]
+        np.testing.assert_array_equal(leaf.indices, np.arange(leaf.start, leaf.stop))
+
+    def test_block_sizes(self):
+        tree = build_cluster_tree(uniform_grid_2d(256), leaf_size=64)
+        assert sum(tree.block_sizes(tree.max_level)) == 256
+
+    def test_boxes_cover_points(self):
+        cloud = uniform_grid_2d(128)
+        tree = build_cluster_tree(cloud, leaf_size=32)
+        for leaf in tree.leaves:
+            pts = cloud.coords[leaf.start : leaf.stop]
+            assert np.all(pts >= leaf.box.lo - 1e-12)
+            assert np.all(pts <= leaf.box.hi + 1e-12)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=8, max_value=2000),
+        leaf=st.integers(min_value=1, max_value=256),
+    )
+    def test_partition_covers_all_indices(self, n, leaf):
+        if 2 ** max(0, (n - 1).bit_length()) < 1:
+            return
+        try:
+            tree = build_cluster_tree(n, leaf_size=leaf)
+        except ValueError:
+            return
+        tree.validate()
+        covered = np.zeros(n, dtype=bool)
+        for node in tree.leaves:
+            assert not covered[node.start : node.stop].any()
+            covered[node.start : node.stop] = True
+        assert covered.all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(depth=st.integers(min_value=0, max_value=6))
+    def test_number_of_leaves_is_power_of_two(self, depth):
+        n = 2**depth * 3 + 2**depth  # any n >= 2**depth
+        tree = build_cluster_tree(n, max_level=depth)
+        assert len(tree.leaves) == 2**depth
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=64, max_value=1024))
+    def test_leaf_sizes_balanced(self, n):
+        tree = build_cluster_tree(n, leaf_size=32)
+        sizes = [leaf.size for leaf in tree.leaves]
+        assert max(sizes) - min(sizes) <= tree.max_level + 1

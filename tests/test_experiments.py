@@ -1,0 +1,154 @@
+"""Tests for the experiment drivers (reduced problem sizes for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    KERNEL_RANKS,
+    build_problem,
+    format_fig9,
+    format_fig10,
+    format_fig11,
+    format_fig12,
+    format_table1,
+    format_table2,
+    hss_weak_scaling_schedule,
+    lorapo_weak_scaling_schedule,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_table1,
+    run_table2,
+)
+
+
+class TestWorkloads:
+    def test_kernel_ranks_cover_paper_kernels(self):
+        assert set(KERNEL_RANKS) == {"laplace2d", "yukawa", "matern"}
+
+    def test_build_problem(self):
+        kmat, hss, points = build_problem("yukawa", 512, leaf_size=64, max_rank=20)
+        assert kmat.n == 512
+        assert hss.n == 512
+        assert points.n == 512
+
+    def test_hss_schedule_doubles(self):
+        sched = hss_weak_scaling_schedule(base_n=4096, max_nodes=128)
+        assert [p.nodes for p in sched] == [2, 4, 8, 16, 32, 64, 128]
+        assert sched[0].n == 4096
+        assert sched[-1].n == 262144
+        # constant work per node for an O(N) algorithm
+        assert all(p.n // p.nodes == 2048 for p in sched)
+
+    def test_lorapo_schedule(self):
+        sched = lorapo_weak_scaling_schedule(base_n=4096, max_nodes=512)
+        assert [p.nodes for p in sched] == [2, 8, 32, 128, 512]
+        assert sched[-1].n == 65536
+
+
+class TestTable1:
+    def test_exponents(self):
+        rows = run_table1(sizes=(1024, 2048, 4096), leaf_size=256, rank=32, nodes=4)
+        by_lib = {r.library: r for r in rows}
+        assert by_lib["DPLASMA/SLATE (dense)"].compute_exponent == pytest.approx(3.0, abs=0.25)
+        assert by_lib["HATRIX-DTD"].compute_exponent == pytest.approx(1.0, abs=0.3)
+        assert by_lib["STRUMPACK"].compute_exponent == pytest.approx(1.0, abs=0.3)
+        assert by_lib["LORAPO"].compute_exponent > by_lib["HATRIX-DTD"].compute_exponent
+
+    def test_format(self):
+        rows = run_table1(sizes=(1024, 2048), leaf_size=256, rank=32, nodes=2)
+        text = format_table1(rows)
+        assert "HATRIX-DTD" in text and "LORAPO" in text
+
+
+class TestTable2:
+    def test_small_accuracy_study(self):
+        rows = run_table2(
+            n=512,
+            kernels=("yukawa",),
+            hss_settings=[(16, 64), (32, 64)],
+            blr_settings=[(32, 128)],
+        )
+        assert len(rows) == 5  # 2 HATRIX + 2 STRUMPACK + 1 LORAPO
+        for row in rows:
+            assert row.construct_error < 1e-2
+            assert row.solve_error < 1e-5
+
+    def test_rank_improves_hatrix_construction_error(self):
+        rows = run_table2(
+            n=512,
+            kernels=("laplace2d",),
+            hss_settings=[(8, 64), (48, 64)],
+            blr_settings=[],
+            codes=("HATRIX",),
+        )
+        low, high = rows[0], rows[1]
+        assert high.construct_error <= low.construct_error
+
+    def test_settings_scaling(self):
+        rows = run_table2(
+            n=512, kernels=("yukawa",), codes=("HATRIX",),
+        )
+        # Paper settings scaled down: leaf sizes must stay below n/4.
+        assert all(r.leaf_size <= 128 for r in rows)
+
+    def test_format(self):
+        rows = run_table2(
+            n=512, kernels=("yukawa",), hss_settings=[(16, 64)], blr_settings=[], codes=("HATRIX",)
+        )
+        text = format_table2(rows)
+        assert "HATRIX" in text and "yukawa" in text
+
+
+class TestFigures:
+    def test_fig9_shapes(self):
+        results = run_fig9(kernels=("yukawa",), base_n=4096, max_nodes=16, lorapo_max_nodes=8)
+        codes = {r.code for r in results}
+        assert codes == {"HATRIX-DTD", "STRUMPACK", "LORAPO"}
+        hatrix = {r.nodes: r.time for r in results if r.code == "HATRIX-DTD"}
+        lorapo = {r.nodes: r.time for r in results if r.code == "LORAPO"}
+        # LORAPO is slower than HATRIX-DTD at every common node count (paper claim 1).
+        for nodes in set(hatrix) & set(lorapo):
+            assert lorapo[nodes] > hatrix[nodes]
+        assert "yukawa" in format_fig9(results)
+
+    def test_fig9_hatrix_beats_strumpack_at_scale(self):
+        results = run_fig9(kernels=("yukawa",), base_n=4096, max_nodes=64, lorapo_max_nodes=2)
+        hatrix = {r.nodes: r.time for r in results if r.code == "HATRIX-DTD"}
+        strumpack = {r.nodes: r.time for r in results if r.code == "STRUMPACK"}
+        assert hatrix[64] < strumpack[64]
+
+    def test_fig10_breakdown(self):
+        rows = run_fig10(base_n=4096, max_nodes=16, lorapo_max_nodes=8)
+        codes = {r.code for r in rows}
+        assert codes == {"HATRIX-DTD", "STRUMPACK", "LORAPO"}
+        hatrix_rows = sorted((r for r in rows if r.code == "HATRIX-DTD"), key=lambda r: r.nodes)
+        # Compute time per worker stays roughly flat; overhead grows (Fig. 10c).
+        assert hatrix_rows[-1].overhead_time > hatrix_rows[0].overhead_time
+        lorapo_rows = [r for r in rows if r.code == "LORAPO"]
+        assert all(r.overhead_label == "RUNTIME OVERHEAD" for r in lorapo_rows)
+        strumpack_rows = [r for r in rows if r.code == "STRUMPACK"]
+        assert all(r.overhead_label == "MPI TIME" for r in strumpack_rows)
+        assert "RUNTIME OVERHEAD" in format_fig10(rows)
+
+    def test_fig11_shapes(self):
+        results = run_fig11(nodes=16, sizes=(8192, 16384, 32768), lorapo_leaf=2048)
+        strumpack = {r.n: r.time for r in results if r.code == "STRUMPACK"}
+        hatrix = {r.n: r.time for r in results if r.code == "HATRIX-DTD"}
+        lorapo = {r.n: r.time for r in results if r.code == "LORAPO"}
+        # LORAPO grows much faster than the HSS codes with problem size.
+        assert lorapo[32768] / lorapo[8192] > hatrix[32768] / hatrix[8192]
+        # STRUMPACK stays comparatively flat.
+        assert strumpack[32768] / strumpack[8192] < 3.0
+        assert "O(N) ref" in format_fig11(results)
+
+    def test_fig12_shapes(self):
+        results = run_fig12(n=32768, nodes=16, leaf_sizes=(512, 2048, 8192), max_lorapo_blocks=64)
+        hatrix = {r.leaf_size: r.time for r in results if r.code == "HATRIX-DTD"}
+        # Large leaf sizes hurt HATRIX-DTD (less parallelism, more work per task).
+        assert hatrix[8192] > hatrix[512]
+        strumpack = {r.leaf_size: r.time for r in results if r.code == "STRUMPACK"}
+        # STRUMPACK tolerates large leaves better than HATRIX-DTD.
+        assert strumpack[8192] < hatrix[8192]
+        assert "Leaf size" in format_fig12(results)

@@ -1,0 +1,63 @@
+"""Tests for BlockDenseMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.formats.block_dense import BlockDenseMatrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((100, 100))
+    return a + a.T + 200 * np.eye(100), BlockDenseMatrix(a + a.T + 200 * np.eye(100), 32)
+
+
+class TestBlockDense:
+    def test_nblocks_with_remainder(self, matrix):
+        _, bd = matrix
+        assert bd.nblocks == 4  # 32, 32, 32, 4
+        assert bd.offsets == [0, 32, 64, 96, 100]
+
+    def test_blocks_match_dense(self, matrix):
+        a, bd = matrix
+        np.testing.assert_allclose(bd.block(1, 2), a[32:64, 64:96])
+        np.testing.assert_allclose(bd.block(3, 3), a[96:100, 96:100])
+
+    def test_to_dense_roundtrip(self, matrix):
+        a, bd = matrix
+        np.testing.assert_allclose(bd.to_dense(), a)
+
+    def test_matvec(self, matrix):
+        a, bd = matrix
+        x = np.random.default_rng(1).standard_normal(100)
+        np.testing.assert_allclose(bd.matvec(x), a @ x, rtol=1e-12)
+
+    def test_set_block(self, matrix):
+        a, _ = matrix
+        bd = BlockDenseMatrix(a, 50)
+        new = np.zeros((50, 50))
+        bd.set_block(0, 1, new)
+        np.testing.assert_allclose(bd.block(0, 1), new)
+
+    def test_set_block_wrong_shape(self, matrix):
+        a, bd = matrix
+        with pytest.raises(ValueError):
+            bd.set_block(0, 0, np.zeros((3, 3)))
+
+    def test_memory_bytes(self, matrix):
+        a, bd = matrix
+        assert bd.memory_bytes() == a.nbytes
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            BlockDenseMatrix(np.zeros((4, 5)), 2)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            BlockDenseMatrix(np.eye(4), 0)
+
+    def test_exact_division(self):
+        bd = BlockDenseMatrix(np.eye(64), 16)
+        assert bd.nblocks == 4
+        assert all(bd.block_shape(i, i) == (16, 16) for i in range(4))

@@ -1,0 +1,70 @@
+"""Tests for the BLR (LORAPO) matrix format."""
+
+import numpy as np
+import pytest
+
+from repro.formats.blr import build_blr
+from repro.geometry.admissibility import StrongAdmissibility
+
+
+@pytest.fixture(scope="module")
+def blr(kmat_small):
+    return build_blr(kmat_small, leaf_size=64, tol=1e-9)
+
+
+class TestConstruction:
+    def test_block_structure(self, blr):
+        assert blr.nblocks == 4
+        assert blr.n == 256
+        assert len(blr.diag) == 4
+        assert len(blr.lowrank) == 12  # all off-diagonal blocks compressed
+
+    def test_diag_blocks_match_kernel(self, blr, kmat_small, dense_small):
+        np.testing.assert_allclose(blr.diag[0], dense_small[:64, :64])
+
+    def test_reconstruction_accuracy(self, blr, dense_small):
+        rel = np.linalg.norm(blr.to_dense() - dense_small) / np.linalg.norm(dense_small)
+        assert rel < 1e-8
+
+    def test_matvec_matches_to_dense(self, blr, rng):
+        x = rng.standard_normal(blr.n)
+        np.testing.assert_allclose(blr.matvec(x), blr.to_dense() @ x, rtol=1e-10)
+
+    def test_memory_less_than_dense(self, kmat_small, dense_small):
+        # At this tiny problem size a loose tolerance is needed for the
+        # low-rank format to pay off; at paper scales any tolerance compresses.
+        compressed = build_blr(kmat_small, leaf_size=64, tol=1e-5)
+        assert compressed.memory_bytes() < dense_small.nbytes
+
+    def test_max_rank_respected(self, kmat_small):
+        blr = build_blr(kmat_small, leaf_size=64, max_rank=5, tol=None)
+        assert blr.max_rank() <= 5
+
+    def test_block_accessor(self, blr):
+        assert blr.block(0, 0).shape == (64, 64)
+        assert blr.block(0, 1).shape == (64, 64)
+        assert blr.is_lowrank(0, 1)
+        assert not blr.is_lowrank(0, 0) if (0, 0) in blr.lowrank else True
+
+    def test_block_missing_raises(self, blr):
+        with pytest.raises(KeyError):
+            blr.block(0, 99)
+
+    def test_copy_independent(self, blr):
+        cp = blr.copy()
+        cp.diag[0][0, 0] += 1.0
+        assert blr.diag[0][0, 0] != cp.diag[0][0, 0]
+
+    def test_strong_admissibility_keeps_dense_neighbours(self, kmat_small):
+        blr = build_blr(
+            kmat_small, leaf_size=32, tol=1e-8, admissibility=StrongAdmissibility(eta=1.0)
+        )
+        assert len(blr.dense_offdiag) > 0
+        assert len(blr.lowrank) > 0
+        # Reconstruction should still be accurate.
+        dense = kmat_small.dense()
+        rel = np.linalg.norm(blr.to_dense() - dense) / np.linalg.norm(dense)
+        assert rel < 1e-7
+
+    def test_repr(self, blr):
+        assert "BLRMatrix" in repr(blr)

@@ -1,0 +1,73 @@
+"""Tests for the HODLR format (the no-shared-bases contrast to HSS)."""
+
+import numpy as np
+import pytest
+
+from repro.formats.hodlr import build_hodlr
+from repro.formats.hss import build_hss
+
+
+@pytest.fixture(scope="module", params=["svd", "rsvd"])
+def hodlr(request, kmat_small):
+    return build_hodlr(kmat_small, leaf_size=32, max_rank=24, method=request.param)
+
+
+class TestHODLR:
+    def test_structure(self, hodlr):
+        assert hodlr.n == 256
+        assert hodlr.num_levels() == 3
+        assert hodlr.max_rank() <= 24
+        assert hodlr.shape == (256, 256)
+
+    def test_reconstruction_accuracy(self, hodlr, dense_small):
+        rel = np.linalg.norm(hodlr.to_dense() - dense_small) / np.linalg.norm(dense_small)
+        assert rel < 1e-4
+
+    def test_reconstruction_symmetric(self, hodlr):
+        a = hodlr.to_dense()
+        np.testing.assert_allclose(a, a.T, atol=1e-10)
+
+    def test_matvec_matches_dense(self, hodlr, rng):
+        x = rng.standard_normal(hodlr.n)
+        np.testing.assert_allclose(hodlr.matvec(x), hodlr.to_dense() @ x, rtol=1e-9, atol=1e-9)
+
+    def test_matvec_multiple_rhs(self, hodlr, rng):
+        x = rng.standard_normal((hodlr.n, 2))
+        y = hodlr.matvec(x)
+        assert y.shape == (hodlr.n, 2)
+
+    def test_memory_accounting(self, hodlr, dense_small):
+        assert 0 < hodlr.memory_bytes() < 2 * dense_small.nbytes
+
+    def test_leaf_blocks_exact(self, hodlr, dense_small):
+        def check(node):
+            if node.is_leaf:
+                np.testing.assert_allclose(
+                    node.dense, dense_small[node.start : node.stop, node.start : node.stop]
+                )
+            else:
+                check(node.left)
+                check(node.right)
+
+        check(hodlr.root)
+
+    def test_rank_improves_accuracy(self, kmat_small, dense_small):
+        errs = []
+        for rank in (4, 32):
+            h = build_hodlr(kmat_small, leaf_size=32, max_rank=rank)
+            errs.append(np.linalg.norm(h.to_dense() - dense_small) / np.linalg.norm(dense_small))
+        assert errs[1] < errs[0]
+
+    def test_unknown_method(self, kmat_small):
+        with pytest.raises(ValueError):
+            build_hodlr(kmat_small, leaf_size=64, method="bogus")
+
+    def test_hodlr_stores_more_than_hss_for_same_accuracy(self, kmat_small):
+        """The paper's point about nested bases: HSS needs less storage than HODLR
+        at comparable rank because the bases are shared across levels."""
+        hodlr = build_hodlr(kmat_small, leaf_size=32, max_rank=20)
+        hss = build_hss(kmat_small, leaf_size=32, max_rank=20)
+        assert hss.memory_bytes() <= hodlr.memory_bytes() * 1.2
+
+    def test_repr(self, hodlr):
+        assert "HODLRMatrix" in repr(hodlr)

@@ -1,0 +1,62 @@
+"""Tests for bounding boxes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.domain import BoundingBox, box_diameter, box_distance
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        pts = np.array([[0.0, 1.0], [2.0, -1.0], [1.0, 0.5]])
+        box = BoundingBox.of_points(pts)
+        np.testing.assert_allclose(box.lo, [0.0, -1.0])
+        np.testing.assert_allclose(box.hi, [2.0, 1.0])
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of_points(np.zeros((0, 2)))
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            BoundingBox(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_center_extent_diameter(self):
+        box = BoundingBox(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+        np.testing.assert_allclose(box.center, [1.5, 2.0])
+        np.testing.assert_allclose(box.extent, [3.0, 4.0])
+        assert box.diameter() == pytest.approx(5.0)
+
+    def test_distance_disjoint(self):
+        a = BoundingBox(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = BoundingBox(np.array([4.0, 5.0]), np.array([6.0, 7.0]))
+        assert a.distance(b) == pytest.approx(5.0)
+        assert box_distance(a, b) == pytest.approx(5.0)
+
+    def test_distance_overlapping_is_zero(self):
+        a = BoundingBox(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        b = BoundingBox(np.array([1.0, 1.0]), np.array([3.0, 3.0]))
+        assert a.distance(b) == 0.0
+
+    def test_distance_symmetric(self):
+        a = BoundingBox(np.array([0.0]), np.array([1.0]))
+        b = BoundingBox(np.array([5.0]), np.array([6.0]))
+        assert a.distance(b) == b.distance(a) == pytest.approx(4.0)
+
+    def test_longest_axis(self):
+        box = BoundingBox(np.array([0.0, 0.0, 0.0]), np.array([1.0, 5.0, 2.0]))
+        assert box.longest_axis() == 1
+
+    def test_contains(self):
+        box = BoundingBox(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert box.contains(np.array([0.5, 0.5]))
+        assert box.contains(np.array([0.0, 1.0]))
+        assert not box.contains(np.array([1.5, 0.5]))
+
+    def test_box_diameter_helper(self):
+        box = BoundingBox(np.array([0.0]), np.array([2.0]))
+        assert box_diameter(box) == pytest.approx(2.0)
+
+    def test_scalar_dim(self):
+        box = BoundingBox(np.array([0.0]), np.array([1.0]))
+        assert box.dim == 1

@@ -1,0 +1,105 @@
+"""Tests for point-cloud generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.points import (
+    PointCloud,
+    circle_points,
+    random_uniform,
+    uniform_grid_1d,
+    uniform_grid_2d,
+    uniform_grid_3d,
+)
+
+
+class TestPointCloud:
+    def test_basic_properties(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        cloud = PointCloud(coords)
+        assert cloud.n == 3
+        assert cloud.dim == 2
+        assert len(cloud) == 3
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros(5))
+
+    def test_subset(self):
+        cloud = uniform_grid_2d(64)
+        sub = cloud.subset(np.arange(10))
+        assert sub.n == 10
+        np.testing.assert_allclose(sub.coords, cloud.coords[:10])
+
+    def test_pairwise_distance_matches_numpy(self):
+        cloud = random_uniform(20, dim=3, seed=3)
+        dist = cloud.pairwise_distance()
+        expected = np.linalg.norm(
+            cloud.coords[:, None, :] - cloud.coords[None, :, :], axis=-1
+        )
+        np.testing.assert_allclose(dist, expected, atol=1e-12)
+        assert np.allclose(np.diag(dist), 0.0)
+
+    def test_pairwise_distance_cross(self):
+        a = random_uniform(8, seed=0)
+        b = random_uniform(12, seed=1)
+        dist = a.pairwise_distance(b)
+        assert dist.shape == (8, 12)
+        assert np.all(dist >= 0)
+
+
+class TestGenerators:
+    def test_uniform_grid_1d(self):
+        cloud = uniform_grid_1d(17, length=2.0)
+        assert cloud.n == 17
+        assert cloud.dim == 1
+        assert cloud.coords.min() == 0.0
+        assert cloud.coords.max() == pytest.approx(2.0)
+
+    def test_uniform_grid_2d_count_and_bounds(self):
+        cloud = uniform_grid_2d(100)
+        assert cloud.n == 100
+        assert cloud.dim == 2
+        assert np.all(cloud.coords >= 0.0)
+        assert np.all(cloud.coords <= 1.0)
+
+    def test_uniform_grid_2d_unique_points(self):
+        cloud = uniform_grid_2d(256)
+        unique = np.unique(cloud.coords, axis=0)
+        assert unique.shape[0] == 256
+
+    def test_uniform_grid_2d_morton_locality(self):
+        """Morton ordering keeps contiguous index ranges spatially compact."""
+        cloud = uniform_grid_2d(1024)
+        half = cloud.coords[:512]
+        other = cloud.coords[512:]
+        spread_half = np.linalg.norm(half.max(axis=0) - half.min(axis=0))
+        spread_all = np.linalg.norm(cloud.coords.max(axis=0) - cloud.coords.min(axis=0))
+        assert spread_half < spread_all
+
+    def test_uniform_grid_3d(self):
+        cloud = uniform_grid_3d(64)
+        assert cloud.n == 64
+        assert cloud.dim == 3
+
+    def test_random_uniform_seeded(self):
+        a = random_uniform(50, seed=5)
+        b = random_uniform(50, seed=5)
+        np.testing.assert_allclose(a.coords, b.coords)
+
+    def test_circle_points_radius(self):
+        cloud = circle_points(36, radius=2.5)
+        radii = np.linalg.norm(cloud.coords, axis=1)
+        np.testing.assert_allclose(radii, 2.5)
+
+    @pytest.mark.parametrize("fn", [uniform_grid_1d, uniform_grid_2d, uniform_grid_3d, circle_points])
+    def test_rejects_nonpositive_n(self, fn):
+        with pytest.raises(ValueError):
+            fn(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=500))
+    def test_grid_2d_always_returns_n_points(self, n):
+        assert uniform_grid_2d(n).n == n

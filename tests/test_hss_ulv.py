@@ -1,0 +1,112 @@
+"""Tests for the HSS-ULV factorization (Alg. 2) -- the paper's core algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.hss_ulv import hss_ulv_factorize
+from repro.formats.hss import build_hss
+from repro.kernels.assembly import KernelMatrix
+from repro.kernels.greens import PAPER_KERNELS
+
+
+@pytest.fixture(scope="module", params=["dense_rows", "interpolative"])
+def hss_and_factor(request, kmat_small):
+    hss = build_hss(kmat_small, leaf_size=32, max_rank=24, method=request.param)
+    return hss, hss_ulv_factorize(hss)
+
+
+class TestFactorization:
+    def test_solve_recovers_rhs(self, hss_and_factor, rng):
+        """Eq. 19: x = A^{-1} (A b) must recover b to near machine precision."""
+        hss, factor = hss_and_factor
+        b = rng.standard_normal(hss.n)
+        x = factor.solve(hss.matvec(b))
+        assert np.linalg.norm(x - b) / np.linalg.norm(b) < 1e-10
+
+    def test_solve_against_dense_inverse(self, hss_and_factor, rng):
+        """The ULV solve must equal the dense solve of the HSS approximation."""
+        hss, factor = hss_and_factor
+        b = rng.standard_normal(hss.n)
+        dense = hss.to_dense()
+        np.testing.assert_allclose(factor.solve(b), np.linalg.solve(dense, b), rtol=1e-7, atol=1e-9)
+
+    def test_solve_multiple_rhs(self, hss_and_factor, rng):
+        hss, factor = hss_and_factor
+        b = rng.standard_normal((hss.n, 4))
+        x = factor.solve(b)
+        assert x.shape == (hss.n, 4)
+        np.testing.assert_allclose(x[:, 2], factor.solve(b[:, 2]), atol=1e-10)
+
+    def test_solution_approximates_true_system(self, hss_and_factor, kmat_small, dense_small, rng):
+        """Solving with the HSS factor approximately solves the dense system."""
+        hss, factor = hss_and_factor
+        b = rng.standard_normal(hss.n)
+        x = factor.solve(b)
+        rel = np.linalg.norm(dense_small @ x - b) / np.linalg.norm(b)
+        assert rel < 1e-3
+
+    def test_logdet_matches_dense(self, hss_and_factor):
+        hss, factor = hss_and_factor
+        sign, expected = np.linalg.slogdet(hss.to_dense())
+        assert sign > 0
+        assert factor.logdet() == pytest.approx(expected, rel=1e-8)
+
+    def test_node_factors_cover_all_levels(self, hss_and_factor):
+        hss, factor = hss_and_factor
+        for level in range(1, hss.max_level + 1):
+            for i in range(2**level):
+                assert (level, i) in factor.node_factors
+
+    def test_node_bases_orthogonal(self, hss_and_factor):
+        hss, factor = hss_and_factor
+        for fac in factor.node_factors.values():
+            u = fac.U
+            np.testing.assert_allclose(u.T @ u, np.eye(u.shape[0]), atol=1e-10)
+
+    def test_root_factor_lower_triangular(self, hss_and_factor):
+        _, factor = hss_and_factor
+        np.testing.assert_allclose(factor.root_chol, np.tril(factor.root_chol))
+
+    def test_factor_flops_positive(self, hss_and_factor):
+        _, factor = hss_and_factor
+        assert factor.factor_flops() > 0
+
+    def test_memory_bytes_positive(self, hss_and_factor):
+        _, factor = hss_and_factor
+        assert factor.memory_bytes() > 0
+
+
+class TestAcrossKernels:
+    @pytest.mark.parametrize("kernel_name", list(PAPER_KERNELS))
+    def test_all_paper_kernels_solve(self, kernel_name, points_small, rng):
+        kmat = KernelMatrix(PAPER_KERNELS[kernel_name], points_small)
+        hss = build_hss(kmat, leaf_size=64, max_rank=30)
+        factor = hss_ulv_factorize(hss)
+        b = rng.standard_normal(kmat.n)
+        x = factor.solve(hss.matvec(b))
+        assert np.linalg.norm(x - b) / np.linalg.norm(b) < 1e-9
+
+    def test_deeper_tree(self, kmat_medium, rng):
+        """4-level HSS (N=1024, leaf 64) factorizes and solves accurately."""
+        hss = build_hss(kmat_medium, leaf_size=64, max_rank=30)
+        factor = hss_ulv_factorize(hss)
+        b = rng.standard_normal(kmat_medium.n)
+        x = factor.solve(hss.matvec(b))
+        assert np.linalg.norm(x - b) / np.linalg.norm(b) < 1e-9
+
+    def test_two_level_minimum_tree(self, kmat_small, rng):
+        """A single-level split (2 leaves) is the smallest valid HSS."""
+        hss = build_hss(kmat_small, leaf_size=128, max_rank=40, method="dense_rows")
+        assert hss.max_level == 1
+        factor = hss_ulv_factorize(hss)
+        b = rng.standard_normal(kmat_small.n)
+        x = factor.solve(hss.matvec(b))
+        assert np.linalg.norm(x - b) / np.linalg.norm(b) < 1e-10
+
+    def test_full_rank_blocks_degenerate_case(self, kmat_small, rng):
+        """When rank == leaf size there is nothing to eliminate at the leaves."""
+        hss = build_hss(kmat_small, leaf_size=32, max_rank=32, method="dense_rows")
+        factor = hss_ulv_factorize(hss)
+        b = rng.standard_normal(kmat_small.n)
+        x = factor.solve(hss.matvec(b))
+        assert np.linalg.norm(x - b) / np.linalg.norm(b) < 1e-9

@@ -1,0 +1,131 @@
+"""Tests for the DTD (task-based) HSS-ULV: HATRIX-DTD (Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hss_ulv import hss_ulv_factorize
+from repro.core.hss_ulv_dtd import build_hss_ulv_taskgraph, hss_ulv_factorize_dtd
+from repro.distribution.strategies import BlockCyclicDistribution, RowCyclicDistribution
+from repro.formats.hss import HSSStructure, build_hss
+from repro.runtime.dtd import DTDRuntime
+
+
+@pytest.fixture(scope="module")
+def hss(kmat_small):
+    return build_hss(kmat_small, leaf_size=32, max_rank=20)
+
+
+class TestNumericalEquivalence:
+    def test_matches_sequential_reference(self, hss, rng):
+        seq = hss_ulv_factorize(hss)
+        dtd, _ = hss_ulv_factorize_dtd(hss, nodes=4)
+        b = rng.standard_normal(hss.n)
+        np.testing.assert_allclose(dtd.solve(b), seq.solve(b), atol=1e-10)
+
+    def test_solve_recovers_rhs(self, hss, rng):
+        factor, _ = hss_ulv_factorize_dtd(hss, nodes=2)
+        b = rng.standard_normal(hss.n)
+        x = factor.solve(hss.matvec(b))
+        assert np.linalg.norm(x - b) / np.linalg.norm(b) < 1e-10
+
+    def test_logdet_matches(self, hss):
+        seq = hss_ulv_factorize(hss)
+        dtd, _ = hss_ulv_factorize_dtd(hss)
+        assert dtd.logdet() == pytest.approx(seq.logdet(), rel=1e-12)
+
+    def test_deferred_execution_same_result(self, hss, rng):
+        """Insert all tasks first, execute later -- identical numbers."""
+        runtime = DTDRuntime(execution="deferred")
+        factor, rt = hss_ulv_factorize_dtd(hss, runtime=runtime, nodes=2)
+        seq = hss_ulv_factorize(hss)
+        b = rng.standard_normal(hss.n)
+        np.testing.assert_allclose(factor.solve(b), seq.solve(b), atol=1e-10)
+
+    def test_threaded_execution_matches_sequential(self, hss, rng):
+        """Deferred graph executed by the thread-pool executor gives the same factors."""
+        from repro.runtime.executor import execute_graph
+
+        runtime = DTDRuntime(execution="deferred")
+        factor, rt = hss_ulv_factorize_dtd(hss, runtime=runtime, nodes=2, execute=False)
+        report = execute_graph(rt.graph, n_workers=4)
+        assert report.ok
+        seq = hss_ulv_factorize(hss)
+        b = rng.standard_normal(hss.n)
+        np.testing.assert_allclose(factor.solve(b), seq.solve(b), atol=1e-10)
+
+    def test_immediate_and_deferred_agree(self, hss, rng):
+        """Immediate and deferred execution produce identical factors."""
+        immediate, _ = hss_ulv_factorize_dtd(hss, runtime=DTDRuntime(execution="immediate"))
+        deferred, _ = hss_ulv_factorize_dtd(hss, runtime=DTDRuntime(execution="deferred"))
+        b = rng.standard_normal(hss.n)
+        np.testing.assert_allclose(immediate.solve(b), deferred.solve(b), atol=1e-12)
+
+
+class TestTaskGraph:
+    def test_graph_is_acyclic_and_ordered(self, hss):
+        _, rt = hss_ulv_factorize_dtd(hss, nodes=4)
+        rt.validate()
+        assert rt.graph.is_acyclic()
+
+    def test_task_count(self, hss):
+        """2 tasks per node per level + 1 merge per parent + root POTRF."""
+        _, rt = hss_ulv_factorize_dtd(hss)
+        levels = hss.max_level
+        expected = sum(2 * 2**level + 2 ** (level - 1) for level in range(1, levels + 1)) + 1
+        assert rt.num_tasks == expected
+
+    def test_kinds_present(self, hss):
+        _, rt = hss_ulv_factorize_dtd(hss)
+        kinds = {t.kind for t in rt.graph.tasks}
+        assert {"DIAG_PRODUCT", "PARTIAL_FACTOR", "MERGE", "POTRF"} <= kinds
+
+    def test_merge_depends_on_both_children(self, hss):
+        _, rt = hss_ulv_factorize_dtd(hss)
+        graph = rt.graph
+        for task in graph.tasks:
+            if task.kind == "MERGE":
+                preds = graph.predecessors(task.tid)
+                pred_kinds = {graph.task(p).kind for p in preds}
+                assert "PARTIAL_FACTOR" in pred_kinds
+                assert len(preds) >= 2
+
+    def test_phases_increase_towards_root(self, hss):
+        _, rt = hss_ulv_factorize_dtd(hss)
+        root = [t for t in rt.graph.tasks if t.kind == "POTRF"][0]
+        leaf_tasks = [t for t in rt.graph.tasks if t.kind == "DIAG_PRODUCT" and "[{};".format(hss.max_level) in t.name]
+        assert all(root.phase > t.phase for t in leaf_tasks)
+
+
+class TestSymbolicGraph:
+    def test_matches_numeric_graph_structure(self, hss):
+        _, rt_num = hss_ulv_factorize_dtd(hss, nodes=4)
+        structure = HSSStructure.from_matrix(hss)
+        rt_sym = build_hss_ulv_taskgraph(structure, nodes=4)
+        assert rt_sym.num_tasks == rt_num.num_tasks
+        assert rt_sym.graph.num_edges == rt_num.graph.num_edges
+        np.testing.assert_allclose(rt_sym.graph.total_flops(), rt_num.graph.total_flops(), rtol=1e-12)
+
+    def test_symbolic_has_no_payloads(self):
+        structure = HSSStructure.synthetic(2048, 128, 30)
+        rt = build_hss_ulv_taskgraph(structure, nodes=8)
+        assert all(t.func is None for t in rt.graph.tasks)
+        rt.validate()
+
+    def test_flops_scale_linearly_with_n(self):
+        flops = []
+        for n in (2048, 4096, 8192):
+            structure = HSSStructure.synthetic(n, 128, 30)
+            flops.append(build_hss_ulv_taskgraph(structure, nodes=4).graph.total_flops())
+        ratio1 = flops[1] / flops[0]
+        ratio2 = flops[2] / flops[1]
+        assert 1.8 < ratio1 < 2.2
+        assert 1.8 < ratio2 < 2.2
+
+    def test_row_cyclic_vs_block_cyclic_ownership(self):
+        structure = HSSStructure.synthetic(2048, 128, 30)
+        rt_row = build_hss_ulv_taskgraph(structure, nodes=4, distribution=RowCyclicDistribution(4))
+        rt_blk = build_hss_ulv_taskgraph(structure, nodes=4, distribution=BlockCyclicDistribution(4))
+        owners_row = {h.name: h.owner for h in rt_row.handles}
+        owners_blk = {h.name: h.owner for h in rt_blk.handles}
+        assert owners_row != owners_blk
+        assert set(owners_row.values()) <= {0, 1, 2, 3}

@@ -1,0 +1,145 @@
+"""Tests for the LowRankBlock container and its algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.lowrank.block import LowRankBlock
+
+
+def random_lowrank(m, n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return LowRankBlock(rng.standard_normal((m, k)), rng.standard_normal((n, k)))
+
+
+class TestBasics:
+    def test_shape_and_rank(self):
+        lr = random_lowrank(10, 8, 3)
+        assert lr.shape == (10, 8)
+        assert lr.rank == 3
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LowRankBlock(np.zeros((4, 2)), np.zeros((4, 3)))
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            LowRankBlock(np.zeros(4), np.zeros((4, 1)))
+
+    def test_to_dense(self):
+        lr = random_lowrank(6, 5, 2)
+        np.testing.assert_allclose(lr.to_dense(), lr.U @ lr.V.T)
+
+    def test_zeros(self):
+        z = LowRankBlock.zeros(4, 7)
+        assert z.rank == 0
+        np.testing.assert_allclose(z.to_dense(), np.zeros((4, 7)))
+
+    def test_nbytes_positive(self):
+        assert random_lowrank(5, 5, 2).nbytes == 5 * 2 * 8 * 2
+
+    def test_copy_independent(self):
+        lr = random_lowrank(4, 4, 2)
+        cp = lr.copy()
+        cp.U[0, 0] += 100
+        assert lr.U[0, 0] != cp.U[0, 0]
+
+
+class TestAlgebra:
+    def test_transpose(self):
+        lr = random_lowrank(7, 4, 2)
+        np.testing.assert_allclose(lr.T.to_dense(), lr.to_dense().T)
+
+    def test_matvec(self):
+        lr = random_lowrank(9, 6, 3, seed=1)
+        x = np.random.default_rng(2).standard_normal(6)
+        np.testing.assert_allclose(lr.matvec(x), lr.to_dense() @ x)
+
+    def test_rmatvec(self):
+        lr = random_lowrank(9, 6, 3, seed=1)
+        x = np.random.default_rng(2).standard_normal(9)
+        np.testing.assert_allclose(lr.rmatvec(x), lr.to_dense().T @ x)
+
+    def test_scale(self):
+        lr = random_lowrank(5, 5, 2)
+        np.testing.assert_allclose(lr.scale(-2.5).to_dense(), -2.5 * lr.to_dense())
+
+    def test_left_right_multiply(self):
+        lr = random_lowrank(6, 5, 2, seed=3)
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(lr.left_multiply(a).to_dense(), a @ lr.to_dense())
+        np.testing.assert_allclose(lr.right_multiply(b).to_dense(), lr.to_dense() @ b)
+
+    def test_matmul_lowrank(self):
+        a = random_lowrank(8, 6, 3, seed=5)
+        b = random_lowrank(6, 7, 2, seed=6)
+        prod = a.matmul_lowrank(b)
+        np.testing.assert_allclose(prod.to_dense(), a.to_dense() @ b.to_dense(), rtol=1e-10)
+        assert prod.rank <= min(a.rank, b.rank)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            random_lowrank(4, 5, 2).matmul_lowrank(random_lowrank(4, 5, 2))
+
+    def test_add_subtract(self):
+        a = random_lowrank(6, 6, 2, seed=7)
+        b = random_lowrank(6, 6, 3, seed=8)
+        np.testing.assert_allclose(a.add(b).to_dense(), a.to_dense() + b.to_dense())
+        np.testing.assert_allclose(a.subtract(b).to_dense(), a.to_dense() - b.to_dense())
+        assert a.add(b).rank == 5
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            random_lowrank(4, 4, 1).add(random_lowrank(5, 4, 1))
+
+    def test_recompress_reduces_rank(self):
+        a = random_lowrank(12, 10, 3, seed=9)
+        inflated = a.add(a.scale(0.5))  # rank 6 but numerically rank 3
+        rec = inflated.recompress(tol=1e-12)
+        assert rec.rank <= 3
+        np.testing.assert_allclose(rec.to_dense(), inflated.to_dense(), atol=1e-9)
+
+    def test_recompress_rank_cap(self):
+        a = random_lowrank(20, 20, 10, seed=10)
+        rec = a.recompress(rank=4)
+        assert rec.rank == 4
+
+    def test_recompress_rank_zero(self):
+        z = LowRankBlock.zeros(5, 5)
+        assert z.recompress(tol=1e-8).rank == 0
+
+    def test_frobenius_norm(self):
+        a = random_lowrank(9, 7, 4, seed=11)
+        assert a.frobenius_norm() == pytest.approx(np.linalg.norm(a.to_dense()), rel=1e-10)
+
+    def test_from_dense(self):
+        rng = np.random.default_rng(12)
+        dense = rng.standard_normal((10, 3)) @ rng.standard_normal((3, 8))
+        lr = LowRankBlock.from_dense(dense, tol=1e-12)
+        assert lr.rank <= 3
+        np.testing.assert_allclose(lr.to_dense(), dense, atol=1e-10)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(2, 12),
+        n=st.integers(2, 12),
+        k=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    def test_matvec_consistent_with_dense(self, m, n, k, seed):
+        lr = random_lowrank(m, n, k, seed=seed)
+        x = np.random.default_rng(seed + 1).standard_normal(n)
+        np.testing.assert_allclose(lr.matvec(x), lr.to_dense() @ x, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(m=st.integers(2, 10), n=st.integers(2, 10), k=st.integers(1, 5), seed=st.integers(0, 100))
+    def test_recompress_preserves_block(self, m, n, k, seed):
+        lr = random_lowrank(m, n, k, seed=seed)
+        rec = lr.recompress(tol=1e-13)
+        np.testing.assert_allclose(rec.to_dense(), lr.to_dense(), atol=1e-8)

@@ -1,0 +1,115 @@
+"""Tests for the TaskGraph DAG utilities."""
+
+import pytest
+
+from repro.runtime.dag import TaskGraph
+from repro.runtime.data import DataHandle
+from repro.runtime.task import Task
+
+
+def make_graph(edges, flops=None, phases=None, n=None):
+    """Build a small graph from an edge list."""
+    n_tasks = n if n is not None else (max((max(e) for e in edges), default=-1) + 1)
+    g = TaskGraph()
+    for i in range(n_tasks):
+        g.add_task(
+            Task(
+                tid=i,
+                name=f"t{i}",
+                kind="X",
+                flops=(flops or {}).get(i, 1.0),
+                phase=(phases or {}).get(i, 0),
+            )
+        )
+    for s, d in edges:
+        g.add_edge(s, d)
+    return g
+
+
+class TestBasics:
+    def test_counts(self):
+        g = make_graph([(0, 1), (1, 2)])
+        assert g.num_tasks == 3
+        assert g.num_edges == 2
+
+    def test_self_edge_ignored(self):
+        g = make_graph([], n=1)
+        g.add_edge(0, 0)
+        assert g.num_edges == 0
+
+    def test_predecessors_successors(self):
+        g = make_graph([(0, 2), (1, 2), (2, 3)])
+        assert set(g.predecessors(2)) == {0, 1}
+        assert g.successors(2) == [3]
+
+    def test_acyclic_detection(self):
+        assert make_graph([(0, 1), (1, 2)]).is_acyclic()
+        g = make_graph([(0, 1), (1, 2)])
+        g.edges.add((2, 0))
+        assert not g.is_acyclic()
+
+    def test_topological_order_raises_on_cycle(self):
+        g = make_graph([(0, 1)])
+        g.edges.add((1, 0))
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_validate_insertion_order(self):
+        g = make_graph([(0, 1)])
+        g.validate_insertion_order()
+        g.edges.add((3, 1))
+        with pytest.raises(ValueError):
+            g.validate_insertion_order()
+
+
+class TestMetrics:
+    def test_total_flops_and_by_kind(self):
+        g = TaskGraph()
+        g.add_task(Task(tid=0, name="a", kind="POTRF", flops=10))
+        g.add_task(Task(tid=1, name="b", kind="GEMM", flops=5))
+        g.add_task(Task(tid=2, name="c", kind="GEMM", flops=7))
+        assert g.total_flops() == 22
+        assert g.flops_by_kind() == {"POTRF": 10, "GEMM": 12}
+
+    def test_critical_path_chain(self):
+        g = make_graph([(0, 1), (1, 2)], flops={0: 3, 1: 4, 2: 5})
+        assert g.critical_path_flops() == 12
+
+    def test_critical_path_diamond(self):
+        g = make_graph([(0, 1), (0, 2), (1, 3), (2, 3)], flops={0: 1, 1: 10, 2: 2, 3: 1})
+        assert g.critical_path_flops() == 12
+
+    def test_critical_path_independent_tasks(self):
+        g = make_graph([], n=3, flops={0: 5, 1: 7, 2: 3})
+        assert g.critical_path_flops() == 7
+
+    def test_tasks_by_phase(self):
+        g = make_graph([(0, 1)], phases={0: 0, 1: 1})
+        phases = g.tasks_by_phase()
+        assert len(phases[0]) == 1 and len(phases[1]) == 1
+
+    def test_communication_bytes(self):
+        g = TaskGraph()
+        h_local = DataHandle("l", nbytes=100, owner=0)
+        h_remote = DataHandle("r", nbytes=50, owner=1)
+        from repro.runtime.task import AccessMode, TaskAccess
+
+        t0 = Task(tid=0, name="p", kind="X", accesses=[TaskAccess(h_local, AccessMode.WRITE)])
+        t1 = Task(tid=1, name="c", kind="X", accesses=[TaskAccess(h_remote, AccessMode.WRITE)])
+        g.add_task(t0)
+        g.add_task(t1)
+        g.add_edge(0, 1, h_local)
+        assert g.communication_bytes() == 100.0
+
+    def test_to_networkx(self):
+        g = make_graph([(0, 1), (1, 2)])
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 3
+        assert nxg.number_of_edges() == 2
+
+    def test_edge_data_deduplicated(self):
+        g = make_graph([], n=2)
+        h = DataHandle("h", nbytes=8)
+        g.add_edge(0, 1, h)
+        g.add_edge(0, 1, h)
+        assert len(g.edge_data[(0, 1)]) == 1

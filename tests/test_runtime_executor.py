@@ -1,0 +1,114 @@
+"""Tests for the shared-memory parallel graph executor."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.dtd import DTDRuntime
+from repro.runtime.executor import execute_graph
+from repro.runtime.task import AccessMode
+
+
+def _build_chain_runtime(n, log):
+    rt = DTDRuntime(execution="deferred")
+    h = rt.new_handle("shared")
+
+    def body(i):
+        log.append(i)
+
+    for i in range(n):
+        rt.insert_task(body, [(h, AccessMode.RW)], args=(i,), name=f"t{i}")
+    return rt
+
+
+class TestExecutor:
+    def test_empty_graph(self):
+        rt = DTDRuntime(execution="deferred")
+        report = execute_graph(rt.graph, n_workers=2)
+        assert report.ok
+
+    def test_chain_executes_in_order(self):
+        log = []
+        rt = _build_chain_runtime(20, log)
+        report = execute_graph(rt.graph, n_workers=4)
+        assert report.ok
+        assert log == list(range(20))
+
+    def test_independent_tasks_all_execute(self):
+        rt = DTDRuntime(execution="deferred")
+        counter = {"n": 0}
+        lock = threading.Lock()
+
+        def body():
+            with lock:
+                counter["n"] += 1
+
+        for i in range(30):
+            h = rt.new_handle(f"h{i}")
+            rt.insert_task(body, [(h, AccessMode.RW)])
+        report = execute_graph(rt.graph, n_workers=8)
+        assert report.ok
+        assert counter["n"] == 30
+
+    def test_dependencies_respected(self):
+        """Each consumer must observe its producer's side effect."""
+        rt = DTDRuntime(execution="deferred")
+        values = {}
+        handles = [rt.new_handle(f"h{i}") for i in range(8)]
+
+        def produce(i):
+            values[i] = i * 10
+
+        def consume(i):
+            assert values[i] == i * 10
+            values[f"c{i}"] = True
+
+        for i in range(8):
+            rt.insert_task(produce, [(handles[i], AccessMode.WRITE)], args=(i,))
+        for i in range(8):
+            rt.insert_task(consume, [(handles[i], AccessMode.READ)], args=(i,))
+        report = execute_graph(rt.graph, n_workers=4)
+        assert report.ok
+        assert all(values[f"c{i}"] for i in range(8))
+
+    def test_error_propagates(self):
+        rt = DTDRuntime(execution="deferred")
+        h = rt.new_handle("h")
+
+        def boom():
+            raise RuntimeError("task failure")
+
+        rt.insert_task(boom, [(h, AccessMode.RW)])
+        with pytest.raises(RuntimeError, match="task failure"):
+            execute_graph(rt.graph, n_workers=2)
+
+    def test_symbolic_tasks_are_noops(self):
+        rt = DTDRuntime(execution="symbolic")
+        h = rt.new_handle("h")
+        for _ in range(5):
+            rt.insert_task(None, [(h, AccessMode.RW)])
+        report = execute_graph(rt.graph, n_workers=2)
+        assert report.ok
+
+    def test_numerical_result_matches_sequential(self, rng):
+        """A small task-parallel matrix pipeline gives the sequential answer."""
+        a = rng.standard_normal((40, 40))
+        a = a @ a.T + 40 * np.eye(40)
+        results = {}
+
+        rt = DTDRuntime(execution="deferred")
+        h_a = rt.new_handle("A")
+        h_l = rt.new_handle("L")
+
+        def chol():
+            results["L"] = np.linalg.cholesky(a)
+
+        def check():
+            results["err"] = np.linalg.norm(results["L"] @ results["L"].T - a)
+
+        rt.insert_task(chol, [(h_a, AccessMode.READ), (h_l, AccessMode.WRITE)])
+        rt.insert_task(check, [(h_l, AccessMode.READ)])
+        report = execute_graph(rt.graph, n_workers=2)
+        assert report.ok
+        assert results["err"] < 1e-10

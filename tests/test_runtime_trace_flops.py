@@ -1,0 +1,99 @@
+"""Tests for the flop-count models and the simulation trace containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.flops import (
+    flops_diag_product,
+    flops_gemm,
+    flops_partial_factor,
+    flops_potrf,
+    flops_qr,
+    flops_svd,
+    flops_syrk,
+    flops_trsm,
+)
+from repro.runtime.trace import SimulationResult, WorkerBreakdown
+
+
+class TestFlopModels:
+    def test_potrf_cubic(self):
+        assert flops_potrf(100) / flops_potrf(50) == pytest.approx(8.0, rel=0.1)
+
+    def test_gemm_formula(self):
+        assert flops_gemm(10, 20, 30) == 2 * 10 * 20 * 30
+
+    def test_trsm_formula(self):
+        assert flops_trsm(16, 4) == 16 * 16 * 4
+
+    def test_syrk_formula(self):
+        assert flops_syrk(8, 3) == 8 * 8 * 3
+
+    def test_qr_positive_and_monotone(self):
+        assert 0 < flops_qr(64, 16) < flops_qr(128, 16)
+
+    def test_svd_positive(self):
+        assert flops_svd(50, 20) > 0
+        assert flops_svd(20, 50) == flops_svd(50, 20)
+
+    def test_diag_product_is_two_gemms(self):
+        n = 32
+        assert flops_diag_product(n) == pytest.approx(2 * flops_gemm(n, n, n))
+
+    def test_partial_factor_degenerate_cases(self):
+        # rank == n: nothing to eliminate.
+        assert flops_partial_factor(16, 16) == 0
+        # rank == 0: a full Cholesky.
+        assert flops_partial_factor(16, 0) == pytest.approx(flops_potrf(16))
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 256), r=st.integers(0, 256))
+    def test_partial_factor_nonnegative(self, n, r):
+        assert flops_partial_factor(n, min(r, n)) >= 0
+
+    def test_partial_factor_less_than_full_cholesky_plus_updates(self):
+        """Eliminating only part of a block never costs more than the pieces imply."""
+        n, r = 128, 32
+        total = flops_potrf(n - r) + flops_trsm(n - r, r) + flops_syrk(r, n - r)
+        assert flops_partial_factor(n, r) == pytest.approx(total)
+
+
+class TestSimulationResult:
+    def _result(self, **kw):
+        defaults = dict(
+            makespan=2.0,
+            policy="async",
+            nodes=4,
+            workers=8,
+            num_tasks=10,
+            total_compute=4.0,
+            total_communication=1.0,
+            total_runtime_overhead=2.0,
+            total_mpi=3.0,
+        )
+        defaults.update(kw)
+        return SimulationResult(**defaults)
+
+    def test_per_worker_averages(self):
+        res = self._result()
+        assert res.compute_task_time == pytest.approx(0.5)
+        assert res.compute_time == res.compute_task_time
+        assert res.runtime_overhead == pytest.approx((2.0 + 1.0) / 8)
+        assert res.mpi_time == pytest.approx(3.0 / 8)
+
+    def test_breakdown_keys(self):
+        b = self._result().breakdown()
+        assert set(b) == {"makespan", "compute_task_time", "runtime_overhead", "mpi_time"}
+
+    def test_zero_workers_guard(self):
+        res = self._result(workers=0)
+        assert np.isfinite(res.compute_task_time)
+
+    def test_worker_breakdown_defaults(self):
+        wb = WorkerBreakdown()
+        assert wb.compute == wb.overhead == wb.communication == wb.idle == 0.0
+
+    def test_repr(self):
+        assert "async" in repr(self._result())
