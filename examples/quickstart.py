@@ -6,6 +6,11 @@ into an HSS matrix, factorizes it with the HSS-ULV algorithm (the paper's core
 contribution) and solves a linear system -- then reports the construction and
 solve errors of Eq. 18/19.
 
+The factorization can also run through the DTD task runtime: pass
+``use_runtime="parallel"`` to :meth:`HSSSolver.factorize` (or ``--runtime
+parallel`` on the ``python -m repro solve`` CLI) to execute the recorded task
+graph out-of-order on a thread pool -- the factors are bit-identical.
+
 Run:  python examples/quickstart.py [N]
 """
 

@@ -6,6 +6,22 @@ The quickstart workflow of the README:
 >>> solver = HSSSolver.from_kernel("yukawa", n=2048, leaf_size=256, max_rank=60)
 >>> x = solver.solve(b)                    # direct solve through the ULV factors
 >>> solver.construction_error(), solver.solve_error()
+
+Execution modes of the factorization (``HSSSolver.factorize``):
+
+``use_runtime=False`` (or ``"off"``)
+    Sequential reference implementation -- the fastest path for small
+    problems and the ground truth the other modes are validated against.
+``use_runtime=True`` (or ``"immediate"``)
+    The factorization is expressed as DTD runtime tasks whose bodies execute
+    at insertion time; records the full task graph for inspection/simulation.
+``use_runtime="parallel"``
+    The task graph is recorded first and then executed *out-of-order* on a
+    thread pool (``n_workers`` threads) by the event-driven graph executor --
+    the shared-memory analogue of the paper's PaRSEC execution.  Use this for
+    large problems where the independent per-block tasks dominate.
+
+All modes produce bit-identical factors.
 """
 
 from __future__ import annotations
@@ -101,23 +117,55 @@ class HSSSolver:
         """Matrix dimension."""
         return self.hss.n
 
-    def factorize(self, *, use_runtime: bool = False, nodes: int = 1) -> HSSULVFactor:
+    def factorize(
+        self,
+        *,
+        use_runtime: bool | str = False,
+        nodes: int = 1,
+        n_workers: int = 4,
+        force: bool = False,
+    ) -> HSSULVFactor:
         """Compute (and cache) the HSS-ULV factorization.
+
+        A cached factor is returned as-is regardless of ``use_runtime`` (all
+        modes produce identical factors); pass ``force=True`` to discard the
+        cache and re-factorize through the requested path, e.g. when timing
+        the parallel executor.
 
         Parameters
         ----------
         use_runtime:
-            If True, run the factorization through the DTD runtime
-            (HATRIX-DTD task graph); otherwise use the sequential reference.
+            Selects the execution path.  ``False`` / ``"off"`` (default) uses
+            the sequential reference implementation; ``True`` / ``"immediate"``
+            runs the factorization through the DTD runtime with task bodies
+            executing at insertion time; ``"deferred"`` records the full task
+            graph first and then runs it sequentially; ``"parallel"`` records
+            the task graph first and then executes it out-of-order on a thread
+            pool with ``n_workers`` threads (the HATRIX-DTD execution model).
+            All paths produce bit-identical factors.
         nodes:
-            Number of simulated processes for the data distribution when
-            ``use_runtime`` is True.
+            Number of simulated processes for the data distribution when the
+            runtime is used.
+        n_workers:
+            Thread count for ``use_runtime="parallel"``.
+        force:
+            Re-factorize even when a factor is already cached.
         """
+        mode = {False: "off", True: "immediate"}.get(use_runtime, use_runtime)
+        if mode not in ("off", "immediate", "deferred", "parallel"):
+            raise ValueError(
+                f"unknown use_runtime {use_runtime!r}; expected False, True, "
+                "'off', 'immediate', 'deferred' or 'parallel'"
+            )
+        if force:
+            self.factor = None
         if self.factor is None:
-            if use_runtime:
-                self.factor, _ = hss_ulv_factorize_dtd(self.hss, nodes=nodes)
-            else:
+            if mode == "off":
                 self.factor = hss_ulv_factorize(self.hss)
+            else:
+                self.factor, _ = hss_ulv_factorize_dtd(
+                    self.hss, nodes=nodes, execution=mode, n_workers=n_workers
+                )
         return self.factor
 
     def solve(self, b: np.ndarray) -> np.ndarray:

@@ -8,16 +8,25 @@ Usage::
     python -m repro fig10
     python -m repro fig11 --nodes 64
     python -m repro fig12 --n 65536
+    python -m repro solve --n 2048 --runtime parallel --workers 4
 
-Each sub-command runs the corresponding experiment driver
+Each experiment sub-command runs the corresponding driver
 (:mod:`repro.experiments`) and prints the same rows/series the paper reports.
 The defaults are reduced sizes; ``--full`` switches to paper-scale settings
 where feasible.
+
+``solve`` runs one end-to-end compress/factorize/solve through the
+:class:`~repro.api.HSSSolver` facade; ``--runtime`` selects the execution
+path (``off``: sequential reference, ``immediate``: DTD tasks executed at
+insertion time, ``parallel``: recorded task graph executed out-of-order on a
+``--workers``-thread pool) and the reported errors demonstrate that all three
+agree.
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 from typing import List, Optional, Sequence
 
 from repro.experiments import (
@@ -25,12 +34,14 @@ from repro.experiments import (
     format_fig10,
     format_fig11,
     format_fig12,
+    format_parallel_speedup,
     format_table1,
     format_table2,
     run_fig9,
     run_fig10,
     run_fig11,
     run_fig12,
+    run_parallel_speedup,
     run_table1,
     run_table2,
 )
@@ -70,7 +81,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=65536)
     p.add_argument("--nodes", type=int, default=128)
 
+    p = sub.add_parser("solve", help="end-to-end kernel solve through the HSSSolver facade")
+    p.add_argument("--n", type=int, default=2048, help="problem size")
+    p.add_argument("--kernel", default="yukawa", help="kernel name")
+    p.add_argument("--leaf-size", type=int, default=256, help="leaf cluster size")
+    p.add_argument("--max-rank", type=int, default=60, help="skeleton rank cap")
+    p.add_argument(
+        "--runtime",
+        choices=("off", "immediate", "parallel"),
+        default="off",
+        help="execution path: off = sequential reference, immediate = DTD tasks "
+        "run at insertion time, parallel = task graph executed out-of-order "
+        "on a thread pool",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, help="thread count for --runtime parallel"
+    )
+    p.add_argument("--nodes", type=int, default=1, help="simulated processes for the data distribution")
+    p.add_argument("--seed", type=int, default=0, help="RNG seed for the right-hand side")
+
+    p = sub.add_parser(
+        "speedup", help="sequential vs parallel execution of the recorded ULV task graphs"
+    )
+    p.add_argument("--n", type=int, default=2048, help="problem size")
+    p.add_argument("--kernel", default="yukawa", help="kernel name")
+    p.add_argument("--leaf-size", type=int, default=256, help="leaf cluster size")
+    p.add_argument("--max-rank", type=int, default=60, help="skeleton rank cap")
+    p.add_argument("--workers", type=int, default=4, help="thread count for the parallel run")
+
     return parser
+
+
+def _run_solve(args: argparse.Namespace) -> str:
+    """Run one compress/factorize/solve cycle and format a small report."""
+    import numpy as np
+
+    from repro.api import HSSSolver
+
+    t0 = time.perf_counter()
+    solver = HSSSolver.from_kernel(
+        args.kernel, n=args.n, leaf_size=args.leaf_size, max_rank=args.max_rank
+    )
+    t_build = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    solver.factorize(use_runtime=args.runtime, nodes=args.nodes, n_workers=args.workers)
+    t_factor = time.perf_counter() - t0
+
+    rng = np.random.default_rng(args.seed)
+    b = rng.standard_normal(args.n)
+    t0 = time.perf_counter()
+    x = solver.solve(b)
+    t_solve = time.perf_counter() - t0
+    residual = np.linalg.norm(solver.matvec(x) - b) / np.linalg.norm(b)
+
+    lines = [
+        f"HSSSolver solve: kernel={args.kernel} n={args.n} "
+        f"leaf_size={args.leaf_size} max_rank={args.max_rank}",
+        f"runtime={args.runtime}" + (f" workers={args.workers}" if args.runtime == "parallel" else ""),
+        f"construct {t_build:8.3f} s",
+        f"factorize {t_factor:8.3f} s",
+        f"solve     {t_solve:8.3f} s",
+        f"construction error {solver.construction_error():.3e}",
+        f"solve error        {solver.solve_error():.3e}",
+        f"residual           {residual:.3e}",
+    ]
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> str:
@@ -103,6 +179,18 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
         out = format_fig11(run_fig11(nodes=args.nodes, sizes=sizes))
     elif args.command == "fig12":
         out = format_fig12(run_fig12(n=args.n, nodes=args.nodes))
+    elif args.command == "solve":
+        out = _run_solve(args)
+    elif args.command == "speedup":
+        out = format_parallel_speedup(
+            run_parallel_speedup(
+                n=args.n,
+                kernel=args.kernel,
+                leaf_size=args.leaf_size,
+                max_rank=args.max_rank,
+                n_workers=args.workers,
+            )
+        )
     else:  # pragma: no cover - argparse enforces the choices
         raise ValueError(f"unknown command {args.command!r}")
 

@@ -7,10 +7,18 @@
   reference implementation.
 * :mod:`repro.core.hss_ulv_dtd` -- HSS-ULV expressed as tasks of the DTD
   runtime (HATRIX-DTD, Sec. 4.2).
+* :mod:`repro.core.blr2_ulv_dtd` -- BLR2-ULV expressed as tasks of the DTD
+  runtime (single-level counterpart of HATRIX-DTD).
+
+Both DTD entry points accept ``execution="immediate" | "deferred" | "parallel"``;
+the parallel mode executes the recorded task graph out-of-order on a thread
+pool (:func:`repro.runtime.executor.execute_graph`) and produces bit-identical
+factors to the sequential references.
 """
 
 from repro.core.partial_cholesky import partial_cholesky
 from repro.core.blr2_ulv import BLR2ULVFactor, blr2_ulv_factorize
+from repro.core.blr2_ulv_dtd import blr2_ulv_factorize_dtd
 from repro.core.hss_ulv import HSSULVFactor, hss_ulv_factorize
 from repro.core.hss_ulv_dtd import hss_ulv_factorize_dtd, build_hss_ulv_taskgraph
 
@@ -18,6 +26,7 @@ __all__ = [
     "partial_cholesky",
     "BLR2ULVFactor",
     "blr2_ulv_factorize",
+    "blr2_ulv_factorize_dtd",
     "HSSULVFactor",
     "hss_ulv_factorize",
     "hss_ulv_factorize_dtd",

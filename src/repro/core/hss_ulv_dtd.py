@@ -28,7 +28,7 @@ from repro.core.partial_cholesky import partial_cholesky
 from repro.distribution.strategies import DistributionStrategy, RowCyclicDistribution
 from repro.formats.hss import HSSMatrix, HSSStructure
 from repro.lowrank.qr import full_orthogonal_basis
-from repro.runtime.dtd import DTDRuntime
+from repro.runtime.dtd import DTDRuntime, resolve_execution
 from repro.runtime.flops import (
     flops_diag_product,
     flops_partial_factor,
@@ -51,6 +51,8 @@ def hss_ulv_factorize_dtd(
     nodes: int = 1,
     distribution: Optional[DistributionStrategy] = None,
     execute: bool = True,
+    execution: Optional[str] = None,
+    n_workers: int = 4,
 ) -> Tuple[HSSULVFactor, DTDRuntime]:
     """Factorize ``hss`` through the DTD runtime (HATRIX-DTD).
 
@@ -59,26 +61,35 @@ def hss_ulv_factorize_dtd(
     hss:
         The SPD HSS matrix to factorize.
     runtime:
-        An existing runtime to insert into (default: a fresh ``immediate``
-        runtime).
+        An existing runtime to insert into (default: a fresh runtime in the
+        mode selected by ``execution``).  Mutually exclusive with
+        ``execution``.
     nodes:
         Number of simulated processes used for the data distribution.
     distribution:
         Distribution strategy for the block handles (default: the paper's
         row-cyclic distribution, Fig. 7).
     execute:
-        If True (default) the inserted tasks are executed before returning
-        (``runtime.run()``).  Pass False with a ``deferred`` runtime to take
-        over execution yourself, e.g. through
-        :func:`repro.runtime.executor.execute_graph`; the returned factor is
-        only populated once the graph has been executed.
+        If True (default) the inserted tasks are executed before returning.
+        Pass False with a ``deferred`` runtime to take over execution
+        yourself, e.g. through :meth:`~repro.runtime.dtd.DTDRuntime.run_parallel`
+        or :func:`repro.runtime.executor.execute_graph`; the returned factor
+        is only populated once the graph has been executed.
+    execution:
+        Execution mode when no ``runtime`` is supplied: ``"immediate"``
+        (default; bodies run at insertion time), ``"deferred"`` (record first,
+        then run sequentially) or ``"parallel"`` (record first, then execute
+        the graph out-of-order on a thread pool with ``n_workers`` threads).
+        All three produce bit-identical factors.
+    n_workers:
+        Thread count for ``execution="parallel"``.
 
     Returns
     -------
     (factor, runtime):
         The ULV factor object and the runtime holding the recorded task graph.
     """
-    rt = runtime if runtime is not None else DTDRuntime(execution="immediate")
+    rt, parallel = resolve_execution(runtime, execution)
     max_level = hss.max_level
     factor = HSSULVFactor(hss=hss)
 
@@ -208,7 +219,10 @@ def hss_ulv_factorize_dtd(
     )
 
     if execute:
-        rt.run()
+        if parallel:
+            rt.run_parallel(n_workers=n_workers)
+        else:
+            rt.run()
     return factor, rt
 
 

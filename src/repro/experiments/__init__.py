@@ -20,8 +20,16 @@ from repro.experiments.fig9_weak_scaling import run_fig9, format_fig9
 from repro.experiments.fig10_breakdown import run_fig10, format_fig10
 from repro.experiments.fig11_problem_size import run_fig11, format_fig11
 from repro.experiments.fig12_leaf_size import run_fig12, format_fig12
+from repro.experiments.parallel_speedup import (
+    SpeedupRow,
+    format_parallel_speedup,
+    run_parallel_speedup,
+)
 
 __all__ = [
+    "SpeedupRow",
+    "run_parallel_speedup",
+    "format_parallel_speedup",
     "KERNEL_RANKS",
     "WeakScalingPoint",
     "build_problem",

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.geometry.cluster_tree import ClusterNode, ClusterTree, build_cluster_tree
 from repro.kernels.assembly import KernelMatrix
+from repro.lowrank.aca import compress_aca
 from repro.lowrank.block import LowRankBlock
 from repro.lowrank.rsvd import compress_rsvd
 from repro.lowrank.svd import compress_svd
@@ -163,8 +164,9 @@ def build_hodlr(
         Partition and compression parameters (each off-diagonal block is
         compressed independently -- no shared bases).
     method:
-        ``"svd"`` (exact truncated SVD of each block) or ``"rsvd"``
-        (randomized SVD, cheaper for large off-diagonal blocks).
+        ``"svd"`` (exact truncated SVD of each block), ``"rsvd"`` (randomized
+        SVD, cheaper for large off-diagonal blocks) or ``"aca"`` (adaptive
+        cross approximation, touches only a few rows/columns per block).
     tree:
         Reuse an existing cluster tree.
     seed:
@@ -172,13 +174,16 @@ def build_hodlr(
     """
     if tree is None:
         tree = build_cluster_tree(kernel_matrix.points, leaf_size=leaf_size)
-    if method not in ("svd", "rsvd"):
+    if method not in ("svd", "rsvd", "aca"):
         raise ValueError(f"unknown compression method {method!r}")
 
     def compress(rows: slice, cols: slice) -> LowRankBlock:
         block = kernel_matrix.block(rows, cols)
         if method == "svd":
             return compress_svd(block, rank=max_rank, tol=tol)
+        if method == "aca":
+            aca_tol = tol if tol is not None else 1e-10
+            return compress_aca(block, tol=aca_tol, max_rank=max_rank, seed=seed)
         return compress_rsvd(block, max_rank or min(block.shape), tol=tol, seed=seed)
 
     def recurse(cnode: ClusterNode) -> HODLRNode:

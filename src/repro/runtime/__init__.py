@@ -18,7 +18,31 @@ programming model in pure Python:
   or *fork-join* (ScaLAPACK/STRUMPACK-style) scheduling, producing the
   compute/overhead/MPI breakdowns of Fig. 10.
 * :func:`~repro.runtime.executor.execute_graph` -- real shared-memory parallel
-  execution of a recorded task graph with a thread pool.
+  execution of a recorded task graph: event-driven worker threads dispatch
+  ready tasks highest-critical-path-first and cancel queued work
+  deterministically when a task body raises.
+
+Execution modes
+---------------
+A :class:`~repro.runtime.dtd.DTDRuntime` runs task bodies in one of three
+modes, all producing bit-identical results:
+
+``immediate``
+    Bodies run at ``insert_task`` time (sequential, deterministic) while the
+    graph is still recorded.  Best for debugging and as a reference.
+``deferred``
+    Bodies are recorded and run later: sequentially via
+    :meth:`~repro.runtime.dtd.DTDRuntime.run`, or out-of-order on a thread
+    pool via :meth:`~repro.runtime.dtd.DTDRuntime.run_parallel`.
+``symbolic``
+    Bodies are never run; only the graph (block sizes, flops, bytes) is
+    recorded.  Used to generate paper-scale DAGs for the machine simulator.
+
+The factorization drivers (:func:`repro.core.hss_ulv_dtd.hss_ulv_factorize_dtd`,
+:func:`repro.core.blr2_ulv_dtd.blr2_ulv_factorize_dtd`) and the
+:class:`~repro.api.HSSSolver` facade expose these as
+``execution="immediate" | "deferred" | "parallel"`` /
+``use_runtime="off" | "immediate" | "parallel"``.
 """
 
 from repro.runtime.data import DataHandle

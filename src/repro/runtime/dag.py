@@ -73,7 +73,7 @@ class TaskGraph:
         return [d for (s, d) in self.edges if s == tid]
 
     def adjacency(self) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
-        """Return ``(successors, predecessors)`` adjacency maps (cached per call)."""
+        """Return ``(successors, predecessors)`` adjacency maps (rebuilt on each call)."""
         succ: Dict[int, List[int]] = defaultdict(list)
         pred: Dict[int, List[int]] = defaultdict(list)
         for s, d in self.edges:
@@ -136,6 +136,32 @@ class TaskGraph:
             best_pred = max((longest.get(p, 0.0) for p in pred.get(task.tid, [])), default=0.0)
             longest[task.tid] = best_pred + task.flops
         return max(longest.values(), default=0.0)
+
+    def critical_path_priorities(
+        self, succ: Dict[int, List[int]] | None = None
+    ) -> Dict[int, float]:
+        """Per-task scheduling priority: flops-weighted distance to the sink.
+
+        ``priority[tid]`` is the length of the longest path from ``tid`` to any
+        sink of the DAG, weighted by task flops (plus one unit per task so that
+        zero-flop tasks such as MERGE still accumulate depth).  A list
+        scheduler that always picks the highest-priority ready task runs the
+        critical path first, which minimises end-of-graph starvation -- this is
+        the classic HLF/CP list-scheduling heuristic.
+
+        ``succ`` may be a precomputed successors map (from :meth:`adjacency`)
+        to avoid rebuilding it.
+        """
+        if succ is None:
+            succ, _ = self.adjacency()
+        priority: Dict[int, float] = {}
+        # Reverse insertion order is reverse topological for runtime-built
+        # graphs; .get() keeps hand-built graphs with out-of-order edges from
+        # crashing (their priorities are then merely approximate).
+        for task in reversed(self.tasks):
+            best_succ = max((priority.get(s, 0.0) for s in succ.get(task.tid, [])), default=0.0)
+            priority[task.tid] = best_succ + task.flops + 1.0
+        return priority
 
     def communication_bytes(self, same_process_free: bool = True) -> float:
         """Total bytes moved along edges whose endpoints live on different processes."""

@@ -19,9 +19,9 @@ Execution modes
     The task body runs at insertion time (sequential, deterministic) while the
     graph is still recorded -- the default for numerical factorizations.
 ``deferred``
-    Bodies are stored and only run when :meth:`DTDRuntime.run` is called
-    (sequentially in insertion order, or in parallel via
-    :func:`repro.runtime.executor.execute_graph`).
+    Bodies are stored and only run when :meth:`DTDRuntime.run` (sequentially,
+    in insertion order) or :meth:`DTDRuntime.run_parallel` (out-of-order on a
+    thread pool, via :func:`repro.runtime.executor.execute_graph`) is called.
 ``symbolic``
     Bodies are never run; only the graph (block sizes, flops, bytes) is
     recorded.  Used to generate paper-scale DAGs for the machine simulator.
@@ -36,7 +36,7 @@ from repro.runtime.dag import TaskGraph
 from repro.runtime.data import DataHandle
 from repro.runtime.task import AccessMode, Task, TaskAccess, normalize_accesses
 
-__all__ = ["DTDRuntime"]
+__all__ = ["DTDRuntime", "resolve_execution"]
 
 
 class DTDRuntime:
@@ -58,6 +58,7 @@ class DTDRuntime:
         self._readers_since_write: Dict[int, List[int]] = {}
         self._handles: Dict[str, DataHandle] = {}
         self._executed: set[int] = set()
+        self._failed: Optional[BaseException] = None
 
     # -- data management ------------------------------------------------------
     def register_handle(self, handle: DataHandle) -> DataHandle:
@@ -149,10 +150,62 @@ class DTDRuntime:
         """Execute all not-yet-executed task bodies in insertion (topological) order."""
         if self.execution == "symbolic":
             return
+        if self._failed is not None:
+            # A failed task may have left its outputs half-written; running
+            # its dependents would propagate garbage silently.
+            raise RuntimeError(
+                "runtime has a failed execution; rebuild the task graph"
+            ) from self._failed
         for task in self.graph.tasks:
             if task.tid not in self._executed and task.func is not None:
                 task.run()
                 self._executed.add(task.tid)
+
+    def run_parallel(self, *, n_workers: int = 4, timeout: Optional[float] = None):
+        """Execute the recorded graph out-of-order on a thread pool.
+
+        The parallel counterpart of :meth:`run`: dispatches the task bodies
+        through :func:`repro.runtime.executor.execute_graph`, respecting the
+        inferred dependencies but otherwise running independent tasks
+        concurrently.  Only valid on a fully deferred graph (no task body may
+        have run yet); use a ``deferred`` runtime and call this once after all
+        ``insert_task`` calls.
+
+        Returns the :class:`~repro.runtime.executor.ExecutionReport`.
+        """
+        from repro.runtime.executor import execute_graph
+
+        if self.execution == "symbolic":
+            raise RuntimeError("cannot run a symbolic graph; task bodies were discarded")
+        if self._failed is not None:
+            raise RuntimeError(
+                "runtime has a failed execution; rebuild the task graph"
+            ) from self._failed
+        if self._executed:
+            # execute_graph re-dispatches the whole graph, so a partially
+            # executed one (e.g. after a clean timeout) must finish through
+            # run(), which skips completed bodies.
+            raise RuntimeError(
+                f"{len(self._executed)} task(s) already executed; "
+                "use run() to finish the remaining tasks sequentially"
+            )
+        try:
+            report = execute_graph(self.graph, n_workers=n_workers, timeout=timeout)
+        except BaseException as exc:
+            partial = getattr(exc, "execution_report", None)
+            if partial is not None:
+                self._executed.update(partial.executed)
+            # A failed task body may have left shared state half-written, so
+            # poison the runtime: run()/run_parallel() must not "resume".  A
+            # pure timeout is different -- every started task ran to
+            # completion before the workers were joined, so finishing the
+            # remaining tasks later (e.g. via run()) is safe.
+            timed_out_cleanly = partial is not None and partial.timed_out and not partial.errors
+            if not timed_out_cleanly:
+                self._failed = exc
+            raise
+        self._executed.update(report.executed)
+        return report
 
     # -- inspection ---------------------------------------------------------------
     @property
@@ -167,3 +220,28 @@ class DTDRuntime:
 
     def __repr__(self) -> str:
         return f"DTDRuntime(execution={self.execution!r}, tasks={self.num_tasks})"
+
+
+def resolve_execution(
+    runtime: Optional[DTDRuntime], execution: Optional[str]
+) -> Tuple[DTDRuntime, bool]:
+    """Resolve the ``runtime`` / ``execution`` arguments of a DTD factorization driver.
+
+    Returns ``(runtime, parallel)`` where ``parallel`` indicates the caller
+    should execute the recorded graph with :meth:`DTDRuntime.run_parallel`
+    instead of :meth:`DTDRuntime.run`.  ``execution`` must be one of
+    ``"immediate"``, ``"deferred"`` or ``"parallel"`` and is mutually
+    exclusive with passing an existing ``runtime``.
+    """
+    if execution is not None:
+        if runtime is not None:
+            raise ValueError("pass either `runtime` or `execution`, not both")
+        if execution == "parallel":
+            return DTDRuntime(execution="deferred"), True
+        if execution in ("immediate", "deferred"):
+            return DTDRuntime(execution=execution), False
+        raise ValueError(
+            f"unknown execution mode {execution!r}; "
+            "expected 'immediate', 'deferred' or 'parallel'"
+        )
+    return (runtime if runtime is not None else DTDRuntime(execution="immediate")), False

@@ -1,19 +1,36 @@
 """Shared-memory parallel execution of a recorded task graph.
 
-This is the "real execution" counterpart of the simulator: a thread pool
-executes the task bodies respecting the DAG dependencies.  NumPy/BLAS releases
-the GIL inside the dense kernels, so genuinely concurrent execution of
-independent tasks is possible.  Used by examples and tests to demonstrate that
-the task-based factorization produces the same numbers as the sequential
-reference regardless of execution order.
+This is the "real execution" counterpart of the simulator: a pool of worker
+threads executes the task bodies respecting the DAG dependencies.  NumPy/BLAS
+releases the GIL inside the dense kernels, so genuinely concurrent execution
+of independent tasks is possible.  Used by the ``"parallel"`` execution mode
+of the DTD factorizations (:func:`repro.core.hss_ulv_dtd.hss_ulv_factorize_dtd`
+and :func:`repro.core.blr2_ulv_dtd.blr2_ulv_factorize_dtd`) and by examples,
+benchmarks and tests to demonstrate that the task-based factorization produces
+the same numbers as the sequential reference regardless of execution order.
+
+Scheduling is entirely event-driven (no polling): workers sleep on a condition
+variable and are woken exactly when a task becomes ready, an error occurs or
+the graph is drained.  Ready tasks are dispatched from a priority queue seeded
+with the flops-weighted critical-path depth of each task
+(:meth:`repro.runtime.dag.TaskGraph.critical_path_priorities`), i.e. the
+longest chain of work that still hangs off a task -- the classic critical-path
+list-scheduling heuristic.
+
+Error handling is deterministic: the first task body that raises stops all
+dispatch; tasks that have not started yet are recorded in
+``ExecutionReport.cancelled`` and are guaranteed never to run, while tasks
+already in flight on other workers are allowed to finish (threads cannot be
+interrupted mid-kernel).
 """
 
 from __future__ import annotations
 
+import heapq
 import threading
-from collections import defaultdict, deque
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional
+import time
+from collections import deque
+from typing import Dict, List, Mapping, Optional
 
 from repro.runtime.dag import TaskGraph
 
@@ -21,96 +38,214 @@ __all__ = ["execute_graph", "ExecutionReport"]
 
 
 class ExecutionReport:
-    """Summary of a parallel graph execution."""
+    """Summary of a parallel graph execution.
+
+    Attributes
+    ----------
+    executed:
+        Task ids that completed successfully, in completion order.
+    errors:
+        ``tid -> exception`` for every task body that raised.
+    cancelled:
+        Task ids that were never started because an earlier task failed (or
+        the execution timed out).  Disjoint from ``executed`` and ``errors``.
+    timed_out:
+        True when the overall ``timeout`` expired before the graph drained.
+    wall_time:
+        Wall-clock seconds spent inside :func:`execute_graph`.
+    """
 
     def __init__(self, num_tasks: int, num_workers: int) -> None:
         self.num_tasks = num_tasks
         self.num_workers = num_workers
         self.executed: List[int] = []
         self.errors: Dict[int, BaseException] = {}
+        self.cancelled: List[int] = []
+        self.timed_out: bool = False
+        self.wall_time: float = 0.0
 
     @property
     def ok(self) -> bool:
-        return not self.errors and len(self.executed) == self.num_tasks
+        return (
+            not self.errors
+            and not self.cancelled
+            and not self.timed_out
+            and len(self.executed) == self.num_tasks
+        )
 
     def __repr__(self) -> str:
         return (
             f"ExecutionReport(tasks={self.num_tasks}, workers={self.num_workers}, "
-            f"executed={len(self.executed)}, errors={len(self.errors)})"
+            f"executed={len(self.executed)}, errors={len(self.errors)}, "
+            f"cancelled={len(self.cancelled)}, wall_time={self.wall_time:.3g}s)"
         )
 
 
 def execute_graph(
-    graph: TaskGraph, *, n_workers: int = 4, timeout: Optional[float] = None
+    graph: TaskGraph,
+    *,
+    n_workers: int = 4,
+    timeout: Optional[float] = None,
+    priorities: Optional[Mapping[int, float]] = None,
+    raise_on_error: bool = True,
 ) -> ExecutionReport:
     """Execute all task bodies of ``graph`` with ``n_workers`` threads.
 
-    A task is submitted to the pool as soon as all of its predecessors have
-    completed.  Tasks with ``func is None`` (symbolic tasks) are treated as
-    instantaneous no-ops.
+    A task becomes *ready* when all of its predecessors have completed; ready
+    tasks are dispatched highest-priority-first.  Tasks with ``func is None``
+    (symbolic tasks) are treated as instantaneous no-ops but still participate
+    in the dependency bookkeeping.
+
+    Parameters
+    ----------
+    graph:
+        The recorded task graph (insertion order must be a topological order,
+        which :class:`~repro.runtime.dtd.DTDRuntime` guarantees).
+    n_workers:
+        Number of worker threads.
+    timeout:
+        Overall wall-clock limit in seconds; on expiry no further tasks are
+        started and not-yet-started tasks are cancelled.
+    priorities:
+        Optional ``tid -> priority`` map (higher runs first among ready
+        tasks).  Defaults to the flops-weighted critical-path depth.
+    raise_on_error:
+        If True (default) the first task error (or :class:`TimeoutError`) is
+        raised after dispatch has stopped; the partial report is attached to
+        the exception as ``exc.execution_report``.  Pass False to inspect the
+        partial :class:`ExecutionReport` (``errors`` / ``cancelled`` /
+        ``timed_out``) instead.
 
     Returns
     -------
     ExecutionReport
         ``report.ok`` is True when every task ran without raising.
     """
+    t0 = time.perf_counter()
     succ, pred = graph.adjacency()
     remaining = {t.tid: len(pred.get(t.tid, [])) for t in graph.tasks}
     report = ExecutionReport(num_tasks=graph.num_tasks, num_workers=n_workers)
     if graph.num_tasks == 0:
         return report
 
-    lock = threading.Lock()
-    done_event = threading.Event()
-    inflight = {"count": 0}
+    # Fail fast on graphs the scheduler could never drain -- otherwise the
+    # workers and the main thread would all block on the condition forever.
+    known = {t.tid for t in graph.tasks}
+    for s, d in graph.edges:
+        if s not in known or d not in known:
+            raise ValueError(f"edge ({s} -> {d}) references an unknown task")
+    indeg = dict(remaining)
+    queue = deque(tid for tid, cnt in indeg.items() if cnt == 0)
+    drainable = 0
+    while queue:
+        tid = queue.popleft()
+        drainable += 1
+        for nxt in succ.get(tid, []):
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                queue.append(nxt)
+    if drainable != graph.num_tasks:
+        raise ValueError(
+            f"task graph has a cycle ({graph.num_tasks - drainable} task(s) unreachable)"
+        )
 
-    ready: deque[int] = deque(tid for tid, cnt in remaining.items() if cnt == 0)
+    if priorities is None:
+        priorities = graph.critical_path_priorities(succ)
 
-    def on_finish(tid: int) -> None:
-        newly_ready: List[int] = []
-        with lock:
-            report.executed.append(tid)
-            inflight["count"] -= 1
-            for nxt in succ.get(tid, []):
-                remaining[nxt] -= 1
-                if remaining[nxt] == 0:
-                    newly_ready.append(nxt)
-            for nxt in newly_ready:
-                ready.append(nxt)
-            if not ready and inflight["count"] == 0:
-                done_event.set()
-            if report.errors:
-                done_event.set()
+    cond = threading.Condition()
+    # Min-heap on (-priority, tid): highest priority first, insertion order as
+    # a deterministic tie-break.  All mutable state below is guarded by `cond`.
+    ready: List[tuple] = [
+        (-priorities.get(tid, 0.0), tid) for tid, cnt in remaining.items() if cnt == 0
+    ]
+    heapq.heapify(ready)
+    started: set = set()
+    cancelled_set: set = set()
+    state = {"inflight": 0, "stop": False, "timed_out": False}
 
-    def run_task(tid: int) -> None:
-        task = graph.task(tid)
-        try:
-            task.run()
-        except BaseException as exc:  # propagate through the report
-            with lock:
-                report.errors[tid] = exc
-        finally:
-            on_finish(tid)
+    def _settled() -> int:  # caller holds cond
+        return len(report.executed) + len(report.errors) + len(report.cancelled)
 
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+    def _cancel_unstarted() -> None:  # caller holds cond
+        ready.clear()
+        for task in graph.tasks:
+            if task.tid not in started and task.tid not in cancelled_set:
+                cancelled_set.add(task.tid)
+                report.cancelled.append(task.tid)
+        state["stop"] = True
+        cond.notify_all()
+
+    def worker() -> None:
         while True:
-            with lock:
-                to_submit = []
-                while ready:
-                    tid = ready.popleft()
-                    inflight["count"] += 1
-                    to_submit.append(tid)
-            for tid in to_submit:
-                pool.submit(run_task, tid)
-            if done_event.wait(timeout=0.01):
-                with lock:
-                    if (not ready and inflight["count"] == 0) or report.errors:
-                        break
-            with lock:
-                if len(report.executed) == graph.num_tasks:
-                    break
+            with cond:
+                while not ready and not state["stop"]:
+                    cond.wait()
+                if state["stop"]:
+                    return
+                _, tid = heapq.heappop(ready)
+                started.add(tid)
+                state["inflight"] += 1
+            task = graph.task(tid)
+            error: Optional[BaseException] = None
+            try:
+                task.run()
+            except BaseException as exc:  # propagate through the report
+                error = exc
+            with cond:
+                state["inflight"] -= 1
+                if error is not None:
+                    report.errors[tid] = error
+                    _cancel_unstarted()
+                else:
+                    report.executed.append(tid)
+                    if not state["stop"]:
+                        for nxt in succ.get(tid, []):
+                            remaining[nxt] -= 1
+                            if remaining[nxt] == 0:
+                                heapq.heappush(ready, (-priorities.get(nxt, 0.0), nxt))
+                        if ready:
+                            cond.notify_all()
+                if _settled() == graph.num_tasks and state["inflight"] == 0:
+                    state["stop"] = True
+                    cond.notify_all()
 
-    if report.errors:
-        first_tid = next(iter(report.errors))
-        raise report.errors[first_tid]
+    threads = [
+        threading.Thread(target=worker, name=f"executor-{i}", daemon=True)
+        for i in range(max(1, min(n_workers, graph.num_tasks)))
+    ]
+    for thread in threads:
+        thread.start()
+
+    try:
+        with cond:
+            finished = cond.wait_for(lambda: state["stop"], timeout=timeout)
+            if not finished:
+                state["timed_out"] = True
+                _cancel_unstarted()
+    finally:
+        # Also reached on KeyboardInterrupt: stop dispatch and wait for
+        # in-flight tasks, so no worker keeps mutating shared state after
+        # execute_graph has returned or raised.
+        with cond:
+            if not state["stop"]:
+                _cancel_unstarted()
+        for thread in threads:
+            thread.join()
+        report.timed_out = state["timed_out"]
+        report.wall_time = time.perf_counter() - t0
+
+    if raise_on_error:
+        # A task error outranks a concurrent timeout: TimeoutError means
+        # "every started task completed", which a failed body violates.
+        if report.errors:
+            first = next(iter(report.errors.values()))
+            first.execution_report = report
+            raise first
+        if report.timed_out:
+            err = TimeoutError(
+                f"graph execution exceeded {timeout}s "
+                f"({len(report.executed)}/{report.num_tasks} tasks completed)"
+            )
+            err.execution_report = report
+            raise err
     return report

@@ -58,6 +58,43 @@ class TestHSSSolver:
         x = factor.solve(solver.matvec(b))
         assert np.linalg.norm(x - b) / np.linalg.norm(b) < 1e-9
 
+    def test_factorize_parallel_runtime(self, rng):
+        """use_runtime="parallel" goes through the thread-pool executor and
+        matches the sequential reference factor exactly."""
+        seq = HSSSolver.from_kernel("yukawa", n=512, leaf_size=64, max_rank=24)
+        par = HSSSolver.from_kernel("yukawa", n=512, leaf_size=64, max_rank=24)
+        b = rng.standard_normal(512)
+        x_seq = seq.factorize().solve(b)
+        x_par = par.factorize(use_runtime="parallel", n_workers=4).solve(b)
+        np.testing.assert_allclose(x_par, x_seq, atol=1e-10)
+        assert par.solve_error() < 1e-10
+
+    def test_factorize_mode_aliases(self):
+        for mode in (False, True, "off", "immediate", "deferred", "parallel"):
+            solver = HSSSolver.from_kernel("yukawa", n=256, leaf_size=64, max_rank=20)
+            factor = solver.factorize(use_runtime=mode, n_workers=2)
+            assert factor is solver.factor
+
+    def test_factorize_rejects_unknown_mode(self):
+        solver = HSSSolver.from_kernel("yukawa", n=256, leaf_size=64, max_rank=20)
+        with pytest.raises(ValueError, match="use_runtime"):
+            solver.factorize(use_runtime="turbo")
+
+    def test_factorize_rejects_unknown_mode_even_when_cached(self):
+        solver = HSSSolver.from_kernel("yukawa", n=256, leaf_size=64, max_rank=20)
+        solver.factorize()
+        with pytest.raises(ValueError, match="use_runtime"):
+            solver.factorize(use_runtime="turbo")
+
+    def test_factorize_force_refactorizes(self, rng):
+        solver = HSSSolver.from_kernel("yukawa", n=256, leaf_size=64, max_rank=20)
+        cached = solver.factorize()
+        assert solver.factorize(use_runtime="parallel") is cached  # cache wins
+        fresh = solver.factorize(use_runtime="parallel", n_workers=2, force=True)
+        assert fresh is not cached
+        b = rng.standard_normal(256)
+        np.testing.assert_allclose(fresh.solve(b), cached.solve(b), atol=1e-12)
+
     def test_repr(self, solver):
         assert "HSSSolver" in repr(solver)
 

@@ -12,9 +12,43 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for cmd in ("table1", "table2", "fig9", "fig10", "fig11", "fig12"):
+        for cmd in ("table1", "table2", "fig9", "fig10", "fig11", "fig12", "solve", "speedup"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
+
+    def test_speedup_defaults_and_flags(self):
+        args = build_parser().parse_args(["speedup"])
+        assert args.n == 2048 and args.workers == 4 and args.kernel == "yukawa"
+        args = build_parser().parse_args(["speedup", "--n", "4096", "--workers", "8"])
+        assert args.n == 4096 and args.workers == 8
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.runtime == "off"
+        assert args.workers == 4
+        assert args.n == 2048
+        assert args.kernel == "yukawa"
+
+    def test_solve_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["solve", "--n", "512", "--runtime", "parallel", "--workers", "8"]
+        )
+        assert args.runtime == "parallel"
+        assert args.workers == 8
+        assert args.n == 512
+
+    def test_solve_runtime_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--runtime", "bogus"])
+
+    def test_solve_help_documents_runtime_modes(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--runtime" in help_text
+        assert "--workers" in help_text
+        for mode in ("off", "immediate", "parallel"):
+            assert mode in help_text
 
     def test_table2_options(self):
         args = build_parser().parse_args(["table2", "--n", "1024", "--kernel", "yukawa"])
@@ -47,3 +81,29 @@ class TestMain:
     def test_fig12_small(self):
         out = main(["fig12", "--n", "16384", "--nodes", "8"])
         assert "Leaf size" in out
+
+    def test_solve_sequential_smoke(self):
+        out = main(["solve", "--n", "512", "--leaf-size", "64", "--max-rank", "24"])
+        assert "runtime=off" in out
+        assert "solve error" in out
+
+    def test_solve_parallel_smoke(self):
+        """End-to-end solve through the thread-pool runtime path."""
+        out = main(
+            [
+                "solve",
+                "--n", "512",
+                "--leaf-size", "64",
+                "--max-rank", "24",
+                "--runtime", "parallel",
+                "--workers", "4",
+            ]
+        )
+        assert "runtime=parallel workers=4" in out
+        # the parallel factorization must still solve to direct-solver accuracy
+        err = float(out.split("solve error")[1].split()[0])
+        assert err < 1e-10
+
+    def test_solve_immediate_smoke(self):
+        out = main(["solve", "--n", "512", "--leaf-size", "64", "--max-rank", "24", "--runtime", "immediate"])
+        assert "runtime=immediate" in out

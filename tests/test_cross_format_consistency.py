@@ -1,0 +1,135 @@
+"""Cross-format consistency: HSS / BLR2 / HODLR / BLR against the dense matrix.
+
+One kernel matrix (the shared N=256 Yukawa fixture), four compressed formats,
+several leaf sizes and compressors: matvec must agree with the dense operator
+to compression accuracy, and the two direct solvers (HSS-ULV, BLR2-ULV) must
+agree with the dense solve and with each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blr2_ulv import blr2_ulv_factorize
+from repro.core.hss_ulv import hss_ulv_factorize
+from repro.formats.blr import build_blr
+from repro.formats.blr2 import build_blr2
+from repro.formats.hodlr import build_hodlr
+from repro.formats.hss import build_hss
+
+LEAF_SIZES = (32, 64)
+MAX_RANK = 40
+MATVEC_TOL = 1e-5
+SOLVE_TOL = 1e-6
+
+
+def _matvec_error(fmt, dense, rng) -> float:
+    x = rng.standard_normal(dense.shape[0])
+    y_ref = dense @ x
+    return float(np.linalg.norm(fmt.matvec(x) - y_ref) / np.linalg.norm(y_ref))
+
+
+@pytest.fixture(scope="module")
+def rhs(dense_small):
+    return np.random.default_rng(99).standard_normal(dense_small.shape[0])
+
+
+class TestMatvecAgainstDense:
+    @pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+    def test_hss(self, kmat_small, dense_small, rng, leaf_size):
+        hss = build_hss(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK)
+        assert _matvec_error(hss, dense_small, rng) < MATVEC_TOL
+
+    @pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+    def test_blr2(self, kmat_small, dense_small, rng, leaf_size):
+        blr2 = build_blr2(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK)
+        assert _matvec_error(blr2, dense_small, rng) < MATVEC_TOL
+
+    @pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+    def test_hodlr(self, kmat_small, dense_small, rng, leaf_size):
+        hodlr = build_hodlr(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK)
+        assert _matvec_error(hodlr, dense_small, rng) < MATVEC_TOL
+
+    @pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+    def test_blr(self, kmat_small, dense_small, rng, leaf_size):
+        blr = build_blr(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK, tol=1e-10)
+        assert _matvec_error(blr, dense_small, rng) < MATVEC_TOL
+
+    @pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+    def test_all_formats_agree_pairwise(self, kmat_small, rng, leaf_size):
+        """All four compressed operators apply the same matrix."""
+        formats = [
+            build_hss(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK),
+            build_blr2(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK),
+            build_hodlr(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK),
+            build_blr(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK, tol=1e-10),
+        ]
+        x = rng.standard_normal(kmat_small.n)
+        ys = [f.matvec(x) for f in formats]
+        scale = np.linalg.norm(ys[0])
+        for y in ys[1:]:
+            assert np.linalg.norm(y - ys[0]) / scale < 2 * MATVEC_TOL
+
+
+class TestCompressors:
+    """One format per compressor: each low-rank engine reproduces the matrix."""
+
+    @pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+    @pytest.mark.parametrize("compressor", ["svd", "rsvd", "aca", "interpolative"])
+    def test_compressor_matvec(self, kmat_small, dense_small, rng, leaf_size, compressor):
+        if compressor == "interpolative":
+            fmt = build_hss(
+                kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK, method="interpolative"
+            )
+        else:
+            fmt = build_hodlr(
+                kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK, method=compressor
+            )
+        assert _matvec_error(fmt, dense_small, rng) < MATVEC_TOL
+
+    @pytest.mark.parametrize("basis_method", ["svd", "qr"])
+    def test_blr2_basis_methods(self, kmat_small, dense_small, rng, basis_method):
+        blr2 = build_blr2(kmat_small, leaf_size=32, max_rank=MAX_RANK, basis_method=basis_method)
+        assert _matvec_error(blr2, dense_small, rng) < MATVEC_TOL
+
+    @pytest.mark.parametrize("method", ["interpolative", "dense_rows"])
+    def test_hss_constructions(self, kmat_small, dense_small, rng, method):
+        hss = build_hss(kmat_small, leaf_size=32, max_rank=MAX_RANK, method=method)
+        assert _matvec_error(hss, dense_small, rng) < MATVEC_TOL
+
+
+class TestSolveAgainstDense:
+    @pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+    def test_hss_ulv_solve(self, kmat_small, dense_small, rhs, leaf_size):
+        hss = build_hss(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK)
+        x = hss_ulv_factorize(hss).solve(rhs)
+        x_ref = np.linalg.solve(dense_small, rhs)
+        assert np.linalg.norm(x - x_ref) / np.linalg.norm(x_ref) < SOLVE_TOL
+
+    @pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+    def test_blr2_ulv_solve(self, kmat_small, dense_small, rhs, leaf_size):
+        blr2 = build_blr2(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK)
+        x = blr2_ulv_factorize(blr2).solve(rhs)
+        x_ref = np.linalg.solve(dense_small, rhs)
+        assert np.linalg.norm(x - x_ref) / np.linalg.norm(x_ref) < SOLVE_TOL
+
+    @pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+    def test_hss_and_blr2_solvers_agree(self, kmat_small, rhs, leaf_size):
+        hss = build_hss(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK)
+        blr2 = build_blr2(kmat_small, leaf_size=leaf_size, max_rank=MAX_RANK)
+        x_hss = hss_ulv_factorize(hss).solve(rhs)
+        x_blr2 = blr2_ulv_factorize(blr2).solve(rhs)
+        assert np.linalg.norm(x_hss - x_blr2) / np.linalg.norm(x_hss) < 2 * SOLVE_TOL
+
+    def test_solve_consistency_roundtrip(self, kmat_small, rng):
+        """solve(matvec(x)) == x within each factorized format."""
+        for build, factorize in (
+            (build_hss, hss_ulv_factorize),
+            (build_blr2, blr2_ulv_factorize),
+        ):
+            fmt = build(kmat_small, leaf_size=32, max_rank=MAX_RANK)
+            factor = factorize(fmt)
+            x = rng.standard_normal(kmat_small.n)
+            roundtrip = factor.solve(fmt.matvec(x))
+            assert np.linalg.norm(roundtrip - x) / np.linalg.norm(x) < 1e-9

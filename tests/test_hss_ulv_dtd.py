@@ -60,6 +60,44 @@ class TestNumericalEquivalence:
         b = rng.standard_normal(hss.n)
         np.testing.assert_allclose(immediate.solve(b), deferred.solve(b), atol=1e-12)
 
+    def test_parallel_execution_mode(self, hss, rng):
+        """Acceptance: execution="parallel" with n_workers >= 4 matches the
+        sequential reference to <= 1e-10."""
+        seq = hss_ulv_factorize(hss)
+        par, rt = hss_ulv_factorize_dtd(hss, execution="parallel", n_workers=4)
+        b = rng.standard_normal(hss.n)
+        assert np.max(np.abs(par.solve(b) - seq.solve(b))) <= 1e-10
+        assert rt.execution == "deferred"  # parallel mode records a deferred graph
+
+    def test_parallel_mode_various_worker_counts(self, hss, rng):
+        seq = hss_ulv_factorize(hss)
+        b = rng.standard_normal(hss.n)
+        for n_workers in (1, 2, 8):
+            par, _ = hss_ulv_factorize_dtd(hss, execution="parallel", n_workers=n_workers)
+            np.testing.assert_allclose(par.solve(b), seq.solve(b), atol=1e-10)
+
+    def test_run_parallel_on_deferred_runtime(self, hss, rng):
+        """The documented deferred -> run_parallel workflow."""
+        runtime = DTDRuntime(execution="deferred")
+        factor, rt = hss_ulv_factorize_dtd(hss, runtime=runtime, nodes=2, execute=False)
+        report = rt.run_parallel(n_workers=4)
+        assert report.ok
+        assert report.wall_time > 0
+        seq = hss_ulv_factorize(hss)
+        b = rng.standard_normal(hss.n)
+        np.testing.assert_allclose(factor.solve(b), seq.solve(b), atol=1e-10)
+
+    def test_runtime_and_execution_are_exclusive(self, hss):
+        with pytest.raises(ValueError, match="not both"):
+            hss_ulv_factorize_dtd(
+                hss, runtime=DTDRuntime(execution="deferred"), execution="parallel"
+            )
+
+    def test_invalid_execution_mode_rejected(self, hss):
+        for bad in ("symbolic", "turbo", ""):
+            with pytest.raises(ValueError, match="unknown execution mode"):
+                hss_ulv_factorize_dtd(hss, execution=bad)
+
 
 class TestTaskGraph:
     def test_graph_is_acyclic_and_ordered(self, hss):

@@ -83,6 +83,25 @@ class TestMetrics:
         g = make_graph([], n=3, flops={0: 5, 1: 7, 2: 3})
         assert g.critical_path_flops() == 7
 
+    def test_critical_path_priorities_chain(self):
+        """Priority = flops-weighted distance to the sink (plus 1 per task)."""
+        g = make_graph([(0, 1), (1, 2)], flops={0: 3, 1: 4, 2: 5})
+        prio = g.critical_path_priorities()
+        assert prio[2] == 6.0          # 5 + 1
+        assert prio[1] == 11.0         # 4 + 1 + prio[2]
+        assert prio[0] == 15.0         # 3 + 1 + prio[1]
+
+    def test_critical_path_priorities_prefer_heavy_branch(self):
+        g = make_graph([(0, 1), (0, 2)], flops={0: 1, 1: 100, 2: 2})
+        prio = g.critical_path_priorities()
+        assert prio[1] > prio[2]
+        assert prio[0] == prio[1] + 2.0
+
+    def test_critical_path_priorities_zero_flop_tasks_accumulate_depth(self):
+        g = make_graph([(0, 1), (1, 2)], flops={0: 0, 1: 0, 2: 0})
+        prio = g.critical_path_priorities()
+        assert prio[0] > prio[1] > prio[2] > 0
+
     def test_tasks_by_phase(self):
         g = make_graph([(0, 1)], phases={0: 0, 1: 1})
         phases = g.tasks_by_phase()

@@ -1,0 +1,175 @@
+"""Randomized-DAG stress tests for the parallel graph executor.
+
+Generates random task graphs (random fan-in from earlier tasks, so insertion
+order is a topological order by construction, exactly like the DTD runtime)
+and checks three properties under varying worker counts and repeated runs:
+
+* every execution completes (``ExecutionReport.ok``),
+* the topological order is respected (every task observes all of its
+  predecessors' side effects before it starts),
+* the computed values are deterministic across worker counts and repetitions
+  (out-of-order execution never changes the numbers).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime.dag import TaskGraph
+from repro.runtime.executor import execute_graph
+from repro.runtime.task import Task
+
+
+def _random_dag(rng, n_tasks: int, max_fanin: int):
+    """Build a random task graph whose bodies fold predecessor values.
+
+    Returns ``(graph, values, order_violations)``; after execution,
+    ``values[tid]`` holds a deterministic function of the DAG structure and
+    ``order_violations`` lists every task that started before one of its
+    predecessors had finished.
+    """
+    graph = TaskGraph()
+    preds: dict[int, list[int]] = {}
+    values: dict[int, int] = {}
+    done: set[int] = set()
+    lock = threading.Lock()
+    order_violations: list[int] = []
+
+    for tid in range(n_tasks):
+        k = int(rng.integers(0, max_fanin + 1))
+        chosen = sorted(rng.choice(tid, size=min(k, tid), replace=False).tolist()) if tid else []
+        preds[tid] = [int(p) for p in chosen]
+
+        def body(tid=tid):
+            with lock:
+                missing = [p for p in preds[tid] if p not in done]
+                if missing:
+                    order_violations.append(tid)
+                acc = sum(values[p] for p in preds[tid] if p in values)
+            value = (tid * 31 + acc * 17 + 7) % 1000003
+            with lock:
+                values[tid] = value
+                done.add(tid)
+
+        task = Task(tid=tid, name=f"t{tid}", kind="STRESS", func=body, flops=float(tid % 5))
+        graph.add_task(task)
+        for p in preds[tid]:
+            graph.add_edge(p, tid)
+    return graph, values, order_violations
+
+
+class TestRandomizedGraphs:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("n_workers", [1, 2, 8])
+    def test_random_dag_executes_ok_and_in_order(self, seed, n_workers):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        graph, values, violations = _random_dag(rng, n_tasks=120, max_fanin=4)
+        assert graph.is_acyclic()
+        report = execute_graph(graph, n_workers=n_workers)
+        assert report.ok
+        assert len(values) == 120
+        assert violations == []
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_results_deterministic_across_worker_counts(self, seed):
+        import numpy as np
+
+        results = []
+        for n_workers in (1, 2, 8):
+            rng = np.random.default_rng(seed)
+            graph, values, _ = _random_dag(rng, n_tasks=150, max_fanin=5)
+            report = execute_graph(graph, n_workers=n_workers)
+            assert report.ok
+            results.append(dict(values))
+        assert results[0] == results[1] == results[2]
+
+    def test_results_deterministic_across_repeated_runs(self):
+        import numpy as np
+
+        baseline = None
+        for _ in range(5):
+            rng = np.random.default_rng(42)
+            graph, values, _ = _random_dag(rng, n_tasks=100, max_fanin=3)
+            report = execute_graph(graph, n_workers=8)
+            assert report.ok
+            if baseline is None:
+                baseline = dict(values)
+            else:
+                assert dict(values) == baseline
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 8])
+    def test_wide_graph_all_tasks_execute(self, n_workers):
+        """A DAG with no edges exercises maximal concurrency."""
+        graph = TaskGraph()
+        lock = threading.Lock()
+        count = {"n": 0}
+
+        def body():
+            with lock:
+                count["n"] += 1
+
+        for tid in range(200):
+            graph.add_task(Task(tid=tid, name=f"w{tid}", kind="WIDE", func=body))
+        report = execute_graph(graph, n_workers=n_workers)
+        assert report.ok
+        assert count["n"] == 200
+
+    def test_deep_chain_respects_order(self):
+        """A 300-deep pure chain must execute strictly in order."""
+        graph = TaskGraph()
+        order: list[int] = []
+
+        def body(tid):
+            order.append(tid)
+
+        for tid in range(300):
+            graph.add_task(Task(tid=tid, name=f"c{tid}", kind="CHAIN", func=lambda tid=tid: body(tid)))
+            if tid:
+                graph.add_edge(tid - 1, tid)
+        report = execute_graph(graph, n_workers=8)
+        assert report.ok
+        assert order == list(range(300))
+
+    def test_dangling_edge_rejected_instead_of_hanging(self):
+        """An edge to a task that was never added must raise, not deadlock."""
+        graph = TaskGraph()
+        graph.add_task(Task(tid=0, name="t0", kind="X", func=lambda: None))
+        graph.add_edge(1, 0)  # tid 1 does not exist
+        with pytest.raises(ValueError, match="unknown task"):
+            execute_graph(graph, n_workers=2)
+
+    def test_cyclic_graph_rejected_instead_of_hanging(self):
+        graph = TaskGraph()
+        ran = []
+        for tid in range(3):
+            graph.add_task(Task(tid=tid, name=f"t{tid}", kind="X", func=lambda tid=tid: ran.append(tid)))
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)  # 1 <-> 2 cycle behind a drainable prefix
+        with pytest.raises(ValueError, match="cycle"):
+            execute_graph(graph, n_workers=2)
+        assert ran == []  # validation happens before any task runs
+
+    @pytest.mark.parametrize("seed", [7])
+    def test_mid_graph_failure_is_contained(self, seed):
+        """Injecting a failure into a random DAG cancels all transitive
+        successors (none of them runs) and the report stays consistent."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        graph, values, _ = _random_dag(rng, n_tasks=80, max_fanin=3)
+        fail_tid = 40
+        graph.task(fail_tid).func = lambda: (_ for _ in ()).throw(RuntimeError("inject"))
+
+        report = execute_graph(graph, n_workers=4, raise_on_error=False)
+        assert not report.ok
+        assert fail_tid in report.errors
+        assert fail_tid not in values
+        accounted = list(report.executed) + list(report.errors) + list(report.cancelled)
+        assert sorted(accounted) == list(range(80))
+        # no cancelled task ever produced a value
+        assert all(tid not in values for tid in report.cancelled)
