@@ -1,10 +1,21 @@
-"""Helpers shared by the benchmark modules (scale switch and table printing)."""
+"""Helpers shared by the benchmark modules.
+
+Besides the scale switch and table printing, this module emits the
+machine-readable ``BENCH_runtime.json`` artifact: every benchmark that
+measures something calls :func:`record_bench` with a plain-dict payload (wall
+times, speedups, communication volume, ...), and the entries accumulate into
+one JSON file so the performance trajectory can be tracked across PRs and CI
+runs.
+"""
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
+from typing import Any, Dict
 
-__all__ = ["full_scale", "print_table"]
+__all__ = ["full_scale", "print_table", "record_bench", "bench_json_path"]
 
 
 def full_scale() -> bool:
@@ -19,3 +30,39 @@ def print_table(title: str, body: str) -> None:
     print(title)
     print("=" * 78)
     print(body)
+
+
+def bench_json_path() -> Path:
+    """Location of the benchmark artifact (override with REPRO_BENCH_JSON)."""
+    override = os.environ.get("REPRO_BENCH_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "BENCH_runtime.json"
+
+
+def record_bench(section: str, payload: Dict[str, Any]) -> Path:
+    """Merge one benchmark's measurements into ``BENCH_runtime.json``.
+
+    ``section`` names the benchmark (e.g. ``"parallel_speedup"``); ``payload``
+    must be JSON-serializable (floats/ints/strings/lists/dicts).  Existing
+    sections from earlier benchmarks in the same run are preserved; a corrupt
+    or missing file is replaced.  The scale flag is recorded per section, so
+    sections measured at different REPRO_FULL settings stay correctly
+    labelled.  Returns the artifact path.
+    """
+    path = bench_json_path()
+    data: Dict[str, Any] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            loaded = json.load(fh)
+        if isinstance(loaded, dict):
+            data = loaded
+    except (OSError, ValueError):
+        pass
+    data[section] = {"full_scale": full_scale(), **payload}
+    tmp = path.with_suffix(".json.tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path

@@ -1,0 +1,83 @@
+"""Benchmark: distributed weak scaling, measured vs simulated on the same graph.
+
+The headline claim of the paper is *distributed-memory* ULV factorization
+driven by a task runtime.  This benchmark runs the weak-scaling sweep of
+:mod:`repro.experiments.distributed_weak_scaling`: for each node count the
+same recorded task graph executes on the real multi-process backend (forked
+workers, owner-computes placement, explicit transfers) and is replayed
+through the discrete-event machine simulator, under both the row-cyclic and
+the block-cyclic distribution.
+
+Wall times depend on the host, so they are reported (and recorded in
+``BENCH_runtime.json``); the assertions cover correctness of the accounting:
+measured communication volume must equal the static model of the graph.
+"""
+
+import os
+
+import pytest
+
+from bench_utils import full_scale, print_table, record_bench
+
+from repro.experiments.distributed_weak_scaling import (
+    format_distributed_weak_scaling,
+    run_distributed_weak_scaling,
+)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="distributed backend requires fork (POSIX)"
+)
+
+BASE_N = 1024 if full_scale() else 256
+NODE_COUNTS = (1, 2, 4)
+
+
+def _run():
+    return run_distributed_weak_scaling(
+        base_n=BASE_N,
+        node_counts=NODE_COUNTS,
+        leaf_size=64,
+        max_rank=24,
+        distributions=("row", "block"),
+    )
+
+
+def test_distributed_weak_scaling(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        f"Distributed weak scaling, measured vs simulated (base N={BASE_N})",
+        format_distributed_weak_scaling(rows),
+    )
+    record_bench(
+        "distributed_weak_scaling",
+        {
+            "base_n": BASE_N,
+            "node_counts": list(NODE_COUNTS),
+            "rows": [
+                {
+                    "distribution": r.distribution,
+                    "nodes": r.nodes,
+                    "n": r.n,
+                    "num_tasks": r.num_tasks,
+                    "measured_seconds": r.measured_seconds,
+                    "simulated_makespan": r.simulated_makespan,
+                    "measured_messages": r.measured_messages,
+                    "measured_bytes": r.measured_bytes,
+                    "modeled_bytes": r.modeled_bytes,
+                }
+                for r in rows
+            ],
+        },
+    )
+
+    assert len(rows) == 2 * len(NODE_COUNTS)
+    for row in rows:
+        assert row.measured_seconds > 0
+        assert row.simulated_makespan > 0
+        # the measured transfers must match the graph's static communication model
+        assert row.comm_bytes_match
+        if row.nodes == 1:
+            assert row.measured_messages == 0
+    # more processes must not reduce the communication volume to zero
+    multi = [r for r in rows if r.nodes > 1]
+    assert any(r.measured_bytes > 0 for r in multi)

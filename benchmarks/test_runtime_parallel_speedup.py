@@ -12,7 +12,7 @@ Speedups depend on the available core count, BLAS threading and machine load
 times are *reported* but only correctness (and completion) is asserted.
 """
 
-from bench_utils import full_scale, print_table
+from bench_utils import full_scale, print_table, record_bench
 
 from repro.experiments.parallel_speedup import format_parallel_speedup, run_parallel_speedup
 
@@ -29,6 +29,25 @@ def test_runtime_parallel_speedup(benchmark):
     print_table(
         f"Sequential vs parallel task-graph execution (N={N}, {WORKERS} workers)",
         format_parallel_speedup(rows),
+    )
+    record_bench(
+        "parallel_speedup",
+        {
+            "n": N,
+            "workers": WORKERS,
+            "backend": "thread",
+            "rows": [
+                {
+                    "algorithm": r.algorithm,
+                    "num_tasks": r.num_tasks,
+                    "seq_seconds": r.seq_seconds,
+                    "par_seconds": r.par_seconds,
+                    "speedup": r.speedup,
+                    "max_abs_diff": r.max_abs_diff,
+                }
+                for r in rows
+            ],
+        },
     )
 
     assert {r.algorithm for r in rows} == {"HSS-ULV", "BLR2-ULV"}

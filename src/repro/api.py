@@ -20,6 +20,12 @@ Execution modes of the factorization (``HSSSolver.factorize``):
     thread pool (``n_workers`` threads) by the event-driven graph executor --
     the shared-memory analogue of the paper's PaRSEC execution.  Use this for
     large problems where the independent per-block tasks dominate.
+``use_runtime="distributed"``
+    The task graph is recorded first and then executed across ``nodes`` forked
+    worker processes with owner-computes placement from a distribution
+    strategy (``distribution="row"`` or ``"block"``), explicit inter-process
+    data transfers and communication accounting -- the distributed-memory
+    analogue of the paper's deployment.  Sidesteps the GIL entirely.
 
 All modes produce bit-identical factors.
 """
@@ -27,13 +33,14 @@ All modes produce bit-identical factors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.analysis.errors import construction_error, solve_error
 from repro.core.hss_ulv import HSSULVFactor, hss_ulv_factorize
 from repro.core.hss_ulv_dtd import hss_ulv_factorize_dtd
+from repro.distribution.strategies import DistributionStrategy, strategy_by_name
 from repro.formats.hss import HSSMatrix, build_hss
 from repro.geometry.points import PointCloud, uniform_grid_2d
 from repro.kernels.assembly import KernelMatrix
@@ -123,6 +130,7 @@ class HSSSolver:
         use_runtime: bool | str = False,
         nodes: int = 1,
         n_workers: int = 4,
+        distribution: Optional[Union[str, DistributionStrategy]] = None,
         force: bool = False,
     ) -> HSSULVFactor:
         """Compute (and cache) the HSS-ULV factorization.
@@ -141,21 +149,34 @@ class HSSSolver:
             executing at insertion time; ``"deferred"`` records the full task
             graph first and then runs it sequentially; ``"parallel"`` records
             the task graph first and then executes it out-of-order on a thread
-            pool with ``n_workers`` threads (the HATRIX-DTD execution model).
-            All paths produce bit-identical factors.
+            pool with ``n_workers`` threads; ``"distributed"`` records the
+            task graph first and then executes it across ``nodes`` forked
+            worker processes with owner-computes placement (the HATRIX-DTD
+            distributed-memory execution model).  All paths produce
+            bit-identical factors.
         nodes:
-            Number of simulated processes for the data distribution when the
-            runtime is used.
+            Number of processes for the data distribution when the runtime is
+            used (real worker processes for ``"distributed"``, simulated ranks
+            otherwise).
         n_workers:
             Thread count for ``use_runtime="parallel"``.
+        distribution:
+            Data-distribution strategy for the runtime paths: a
+            :class:`~repro.distribution.strategies.DistributionStrategy`
+            instance or a name (``"row"`` / ``"block"`` / ``"element"``).
+            Default: the paper's row-cyclic distribution.
         force:
             Re-factorize even when a factor is already cached.
         """
         mode = {False: "off", True: "immediate"}.get(use_runtime, use_runtime)
-        if mode not in ("off", "immediate", "deferred", "parallel"):
+        if mode not in ("off", "immediate", "deferred", "parallel", "distributed"):
             raise ValueError(
                 f"unknown use_runtime {use_runtime!r}; expected False, True, "
-                "'off', 'immediate', 'deferred' or 'parallel'"
+                "'off', 'immediate', 'deferred', 'parallel' or 'distributed'"
+            )
+        if isinstance(distribution, str):
+            distribution = strategy_by_name(
+                distribution, nodes, max_level=self.hss.max_level
             )
         if force:
             self.factor = None
@@ -164,7 +185,11 @@ class HSSSolver:
                 self.factor = hss_ulv_factorize(self.hss)
             else:
                 self.factor, _ = hss_ulv_factorize_dtd(
-                    self.hss, nodes=nodes, execution=mode, n_workers=n_workers
+                    self.hss,
+                    nodes=nodes,
+                    execution=mode,
+                    n_workers=n_workers,
+                    distribution=distribution,
                 )
         return self.factor
 

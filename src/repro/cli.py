@@ -9,6 +9,9 @@ Usage::
     python -m repro fig11 --nodes 64
     python -m repro fig12 --n 65536
     python -m repro solve --n 2048 --runtime parallel --workers 4
+    python -m repro solve --n 2048 --runtime distributed --nodes 4 --distribution row
+    python -m repro speedup --backend process --workers 4
+    python -m repro weakscale --base-n 512 --max-nodes 4
 
 Each experiment sub-command runs the corresponding driver
 (:mod:`repro.experiments`) and prints the same rows/series the paper reports.
@@ -19,8 +22,14 @@ where feasible.
 :class:`~repro.api.HSSSolver` facade; ``--runtime`` selects the execution
 path (``off``: sequential reference, ``immediate``: DTD tasks executed at
 insertion time, ``parallel``: recorded task graph executed out-of-order on a
-``--workers``-thread pool) and the reported errors demonstrate that all three
-agree.
+``--workers``-thread pool, ``distributed``: recorded task graph executed
+across ``--nodes`` worker processes under the ``--distribution`` placement)
+and the reported errors demonstrate that all modes agree.
+
+``weakscale`` runs the distributed weak-scaling experiment: the same recorded
+task graph is executed on the real multi-process backend and replayed through
+the machine simulator, reporting measured vs modelled makespan and per-strategy
+communication volume.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.experiments import (
+    format_distributed_weak_scaling,
     format_fig9,
     format_fig10,
     format_fig11,
@@ -37,6 +47,7 @@ from repro.experiments import (
     format_parallel_speedup,
     format_table1,
     format_table2,
+    run_distributed_weak_scaling,
     run_fig9,
     run_fig10,
     run_fig11,
@@ -88,16 +99,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-rank", type=int, default=60, help="skeleton rank cap")
     p.add_argument(
         "--runtime",
-        choices=("off", "immediate", "parallel"),
+        choices=("off", "immediate", "parallel", "distributed"),
         default="off",
         help="execution path: off = sequential reference, immediate = DTD tasks "
         "run at insertion time, parallel = task graph executed out-of-order "
-        "on a thread pool",
+        "on a thread pool, distributed = task graph executed across --nodes "
+        "worker processes with owner-computes placement",
     )
     p.add_argument(
         "--workers", type=int, default=4, help="thread count for --runtime parallel"
     )
-    p.add_argument("--nodes", type=int, default=1, help="simulated processes for the data distribution")
+    p.add_argument(
+        "--nodes",
+        type=int,
+        default=1,
+        help="processes for the data distribution (worker processes for --runtime distributed)",
+    )
+    p.add_argument(
+        "--distribution",
+        choices=("row", "block", "element"),
+        default="row",
+        help="data-distribution strategy for the runtime paths",
+    )
     p.add_argument("--seed", type=int, default=0, help="RNG seed for the right-hand side")
 
     p = sub.add_parser(
@@ -107,7 +130,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", default="yukawa", help="kernel name")
     p.add_argument("--leaf-size", type=int, default=256, help="leaf cluster size")
     p.add_argument("--max-rank", type=int, default=60, help="skeleton rank cap")
-    p.add_argument("--workers", type=int, default=4, help="thread count for the parallel run")
+    p.add_argument("--workers", type=int, default=4, help="thread/process count for the parallel run")
+    p.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="parallel substrate: thread = shared-memory thread pool, "
+        "process = distributed multi-process backend",
+    )
+
+    p = sub.add_parser(
+        "weakscale",
+        help="distributed weak scaling: measured (multi-process) vs simulated makespan and comm volume",
+    )
+    p.add_argument("--base-n", type=int, default=512, help="problem size per node")
+    p.add_argument("--max-nodes", type=int, default=4, help="largest node count (doubling from 1)")
+    p.add_argument("--kernel", default="yukawa", help="kernel name")
+    p.add_argument("--leaf-size", type=int, default=64, help="leaf cluster size")
+    p.add_argument("--max-rank", type=int, default=24, help="skeleton rank cap")
+    p.add_argument(
+        "--distribution",
+        action="append",
+        dest="distributions",
+        choices=("row", "block", "element"),
+        help="distribution strategy (repeatable; default: row and block)",
+    )
 
     return parser
 
@@ -125,7 +172,12 @@ def _run_solve(args: argparse.Namespace) -> str:
     t_build = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    solver.factorize(use_runtime=args.runtime, nodes=args.nodes, n_workers=args.workers)
+    solver.factorize(
+        use_runtime=args.runtime,
+        nodes=args.nodes,
+        n_workers=args.workers,
+        distribution=args.distribution if args.runtime == "distributed" else None,
+    )
     t_factor = time.perf_counter() - t0
 
     rng = np.random.default_rng(args.seed)
@@ -135,10 +187,15 @@ def _run_solve(args: argparse.Namespace) -> str:
     t_solve = time.perf_counter() - t0
     residual = np.linalg.norm(solver.matvec(x) - b) / np.linalg.norm(b)
 
+    runtime_detail = ""
+    if args.runtime == "parallel":
+        runtime_detail = f" workers={args.workers}"
+    elif args.runtime == "distributed":
+        runtime_detail = f" nodes={args.nodes} distribution={args.distribution}"
     lines = [
         f"HSSSolver solve: kernel={args.kernel} n={args.n} "
         f"leaf_size={args.leaf_size} max_rank={args.max_rank}",
-        f"runtime={args.runtime}" + (f" workers={args.workers}" if args.runtime == "parallel" else ""),
+        f"runtime={args.runtime}" + runtime_detail,
         f"construct {t_build:8.3f} s",
         f"factorize {t_factor:8.3f} s",
         f"solve     {t_solve:8.3f} s",
@@ -189,6 +246,23 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
                 leaf_size=args.leaf_size,
                 max_rank=args.max_rank,
                 n_workers=args.workers,
+                backend=args.backend,
+            )
+        )
+    elif args.command == "weakscale":
+        node_counts = []
+        nodes = 1
+        while nodes <= args.max_nodes:
+            node_counts.append(nodes)
+            nodes *= 2
+        out = format_distributed_weak_scaling(
+            run_distributed_weak_scaling(
+                base_n=args.base_n,
+                node_counts=node_counts,
+                kernel=args.kernel,
+                leaf_size=args.leaf_size,
+                max_rank=args.max_rank,
+                distributions=tuple(args.distributions) if args.distributions else ("row", "block"),
             )
         )
     else:  # pragma: no cover - argparse enforces the choices

@@ -47,18 +47,21 @@ def blr2_ulv_factorize_dtd(
     """Factorize an SPD BLR2 matrix through the DTD runtime.
 
     Parameters mirror :func:`repro.core.hss_ulv_dtd.hss_ulv_factorize_dtd`:
-    ``execution`` selects ``"immediate"`` (default), ``"deferred"`` or
-    ``"parallel"`` (thread-pool, ``n_workers`` threads) execution of the task
-    bodies; alternatively pass an existing ``runtime`` and ``execute=False``
-    to take over execution yourself.
+    ``execution`` selects ``"immediate"`` (default), ``"deferred"``,
+    ``"parallel"`` (thread-pool, ``n_workers`` threads) or ``"distributed"``
+    (``nodes`` forked worker processes with owner-computes placement)
+    execution of the task bodies; alternatively pass an existing ``runtime``
+    and ``execute=False`` to take over execution yourself.
 
     Returns
     -------
     (factor, runtime):
         The ULV factor object and the runtime holding the recorded task graph.
-        The factor is only populated once the graph has been executed.
+        The factor is only populated once the graph has been executed.  After
+        ``execution="distributed"``, ``runtime.last_distributed_report`` holds
+        the measured communication ledger.
     """
-    rt, parallel = resolve_execution(runtime, execution)
+    rt, mode = resolve_execution(runtime, execution)
 
     nb = blr2.nblocks
     factor = BLR2ULVFactor(blr2=blr2)
@@ -81,21 +84,30 @@ def blr2_ulv_factorize_dtd(
     for i in range(nb):
         m = blr2.diag[i].shape[0]
         r = blr2.rank(i)
+        # Mutable handles are bound to their stores so the distributed
+        # backend can move their values between worker processes.
         d_handle[i] = rt.new_handle(
             f"D[{i}]", nbytes=8 * m * m, level=level, row=i, max_level=level
-        )
+        ).bind_item(diag, i)
         u_handle[i] = rt.new_handle(
             f"U[{i}]", nbytes=8 * m * r, level=level, row=i, max_level=level
         )
         schur_handle[i] = rt.new_handle(
             f"SCHUR[{i}]", nbytes=8 * r * r, level=level, row=i, max_level=level
-        )
+        ).bind_item(schur, i)
         row_handle[i] = rt.new_handle(
             f"MERGED_ROW[{i}]",
             nbytes=8 * r * offsets[-1],
             level=level,
             row=i,
             max_level=level,
+        ).bind(
+            # The merged-row strip lives inside the shared `merged` array, so
+            # the accessors copy the block-row slice in and out.
+            lambda i=i: merged[offsets[i] : offsets[i + 1], :].copy(),
+            lambda value, i=i: merged.__setitem__(
+                (slice(offsets[i], offsets[i + 1]), slice(None)), value
+            ),
         )
     s_handle: Dict[Tuple[int, int], object] = {}
     for i in range(nb):
@@ -191,7 +203,24 @@ def blr2_ulv_factorize_dtd(
     )
 
     if execute:
-        if parallel:
+        if mode == "distributed":
+
+            def _collect():
+                # Runs inside each worker: ship back the per-row factor pieces
+                # produced locally plus the root Cholesky if this worker ran it.
+                return {
+                    "bases": dict(factor.bases),
+                    "partials": dict(factor.partials),
+                    "merged_chol": factor.merged_chol if factor.merged_chol.size else None,
+                }
+
+            report = rt.run_distributed(nodes=nodes, strategy=strategy, collect=_collect)
+            for frag in report.fragments:
+                factor.bases.update(frag["bases"])
+                factor.partials.update(frag["partials"])
+                if frag["merged_chol"] is not None:
+                    factor.merged_chol = frag["merged_chol"]
+        elif mode == "parallel":
             rt.run_parallel(n_workers=n_workers)
         else:
             rt.run()

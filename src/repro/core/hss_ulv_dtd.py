@@ -65,7 +65,9 @@ def hss_ulv_factorize_dtd(
         mode selected by ``execution``).  Mutually exclusive with
         ``execution``.
     nodes:
-        Number of simulated processes used for the data distribution.
+        Number of processes used for the data distribution: simulated ranks
+        for graph inspection/simulation, real worker processes for
+        ``execution="distributed"``.
     distribution:
         Distribution strategy for the block handles (default: the paper's
         row-cyclic distribution, Fig. 7).
@@ -78,9 +80,11 @@ def hss_ulv_factorize_dtd(
     execution:
         Execution mode when no ``runtime`` is supplied: ``"immediate"``
         (default; bodies run at insertion time), ``"deferred"`` (record first,
-        then run sequentially) or ``"parallel"`` (record first, then execute
-        the graph out-of-order on a thread pool with ``n_workers`` threads).
-        All three produce bit-identical factors.
+        then run sequentially), ``"parallel"`` (record first, then execute
+        the graph out-of-order on a thread pool with ``n_workers`` threads) or
+        ``"distributed"`` (record first, then execute across ``nodes`` forked
+        worker processes with owner-computes placement and explicit,
+        accounted data transfers).  All modes produce bit-identical factors.
     n_workers:
         Thread count for ``execution="parallel"``.
 
@@ -88,8 +92,10 @@ def hss_ulv_factorize_dtd(
     -------
     (factor, runtime):
         The ULV factor object and the runtime holding the recorded task graph.
+        After ``execution="distributed"``, ``runtime.last_distributed_report``
+        holds the measured communication ledger.
     """
-    rt, parallel = resolve_execution(runtime, execution)
+    rt, mode = resolve_execution(runtime, execution)
     max_level = hss.max_level
     factor = HSSULVFactor(hss=hss)
 
@@ -106,9 +112,11 @@ def hss_ulv_factorize_dtd(
     for level in range(max_level, -1, -1):
         for i in range(2**level):
             m = hss.block_size(level, i)
+            # The D/SCHUR handles are bound to the mutable stores so the
+            # distributed backend can move their values between processes.
             d_handle[(level, i)] = rt.new_handle(
                 f"D[{level};{i}]", nbytes=8 * m * m, level=level, row=i, max_level=max_level
-            )
+            ).bind_item(diag, (level, i))
             if level > 0:
                 node = hss.node(level, i)
                 u_handle[(level, i)] = rt.new_handle(
@@ -120,7 +128,7 @@ def hss_ulv_factorize_dtd(
                     level=level,
                     row=i,
                     max_level=max_level,
-                )
+                ).bind_item(schur, (level, i))
     for level in range(1, max_level + 1):
         for k in range(2 ** (level - 1)):
             ri = hss.node(level, 2 * k + 1).rank
@@ -219,7 +227,25 @@ def hss_ulv_factorize_dtd(
     )
 
     if execute:
-        if parallel:
+        if mode == "distributed":
+
+            def _collect():
+                # Runs inside each worker: ship back the factor pieces its
+                # local tasks produced (an entry is complete once its
+                # PARTIAL_FACTOR has run, which happens on the D-block owner).
+                return {
+                    "node_factors": {
+                        k: v for k, v in factor.node_factors.items() if v.partial is not None
+                    },
+                    "root_chol": factor.root_chol if factor.root_chol.size else None,
+                }
+
+            report = rt.run_distributed(nodes=nodes, strategy=strategy, collect=_collect)
+            for frag in report.fragments:
+                factor.node_factors.update(frag["node_factors"])
+                if frag["root_chol"] is not None:
+                    factor.root_chol = frag["root_chol"]
+        elif mode == "parallel":
             rt.run_parallel(n_workers=n_workers)
         else:
             rt.run()

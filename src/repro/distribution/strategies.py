@@ -25,6 +25,7 @@ __all__ = [
     "BlockCyclicDistribution",
     "ElementCyclicDistribution",
     "distribute_handles",
+    "strategy_by_name",
 ]
 
 
@@ -127,3 +128,34 @@ def distribute_handles(
 ) -> None:
     """Assign owners to all handles with the given strategy (convenience wrapper)."""
     strategy.assign(handles)
+
+
+_STRATEGIES = {
+    "row": RowCyclicDistribution,
+    "row-cyclic": RowCyclicDistribution,
+    "block": BlockCyclicDistribution,
+    "block-cyclic": BlockCyclicDistribution,
+    "element": ElementCyclicDistribution,
+    "element-cyclic": ElementCyclicDistribution,
+}
+
+
+def strategy_by_name(
+    name: str, nodes: int, *, max_level: Optional[int] = None
+) -> DistributionStrategy:
+    """Construct a distribution strategy from its CLI/API name.
+
+    Accepts ``"row"``/``"row-cyclic"`` (HATRIX-DTD), ``"block"``/
+    ``"block-cyclic"`` (ScaLAPACK-style) and ``"element"``/``"element-cyclic"``
+    (Elemental-style).  ``max_level`` is only honoured by the row-cyclic
+    strategy (merge-aware coarsening).
+    """
+    try:
+        cls = _STRATEGIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {name!r}; expected one of {sorted(_STRATEGIES)}"
+        ) from None
+    if cls is RowCyclicDistribution:
+        return cls(nodes, max_level=max_level)
+    return cls(nodes)

@@ -25,11 +25,19 @@ from repro.experiments.parallel_speedup import (
     format_parallel_speedup,
     run_parallel_speedup,
 )
+from repro.experiments.distributed_weak_scaling import (
+    DistributedWeakScalingRow,
+    format_distributed_weak_scaling,
+    run_distributed_weak_scaling,
+)
 
 __all__ = [
     "SpeedupRow",
     "run_parallel_speedup",
     "format_parallel_speedup",
+    "DistributedWeakScalingRow",
+    "run_distributed_weak_scaling",
+    "format_distributed_weak_scaling",
     "KERNEL_RANKS",
     "WeakScalingPoint",
     "build_problem",

@@ -1,0 +1,135 @@
+"""Measured vs simulated weak scaling of the distributed HSS-ULV factorization.
+
+For each node count ``P`` the problem size grows proportionally
+(``n = base_n * P``, the paper's weak-scaling protocol, Fig. 9) and the *same*
+recorded task graph is both
+
+* executed for real on the multi-process distributed backend (``P`` forked
+  worker processes, owner-computes placement, explicit data transfers), and
+* replayed through the discrete-event machine simulator,
+
+so the measured makespan and communication volume can be cross-validated
+against the model.  Each configuration runs under every requested distribution
+strategy (row-cyclic vs block-cyclic), exposing how placement alone changes
+the communication volume of an identical DAG.
+
+Used by ``python -m repro weakscale`` and
+``benchmarks/test_runtime_distributed_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.hss_ulv_dtd import hss_ulv_factorize_dtd
+from repro.distribution.strategies import strategy_by_name
+from repro.formats.hss import build_hss
+from repro.geometry.points import uniform_grid_2d
+from repro.kernels.assembly import KernelMatrix
+from repro.kernels.greens import kernel_by_name
+from repro.runtime.machine import MachineConfig, laptop_like
+from repro.runtime.simulator import simulate
+
+__all__ = [
+    "DistributedWeakScalingRow",
+    "run_distributed_weak_scaling",
+    "format_distributed_weak_scaling",
+]
+
+
+@dataclass
+class DistributedWeakScalingRow:
+    """One (strategy, node-count) configuration: measured vs modelled."""
+
+    distribution: str
+    nodes: int
+    n: int
+    num_tasks: int
+    measured_seconds: float
+    simulated_makespan: float
+    measured_messages: int
+    measured_bytes: int
+    modeled_bytes: float
+
+    @property
+    def comm_bytes_match(self) -> bool:
+        """Measured transfer volume agrees with the graph's static model."""
+        return abs(self.measured_bytes - self.modeled_bytes) < 0.5
+
+
+def run_distributed_weak_scaling(
+    *,
+    base_n: int = 512,
+    node_counts: Sequence[int] = (1, 2, 4),
+    kernel: str = "yukawa",
+    leaf_size: int = 64,
+    max_rank: int = 24,
+    distributions: Sequence[str] = ("row", "block"),
+    machine: Optional[MachineConfig] = None,
+) -> List[DistributedWeakScalingRow]:
+    """Run the weak-scaling sweep on the real backend and the simulator.
+
+    ``machine`` defaults to a one-core-per-node laptop preset so the simulated
+    topology matches the real backend (one single-threaded worker process per
+    node).
+    """
+    rows: List[DistributedWeakScalingRow] = []
+    for dist_name in distributions:
+        for nodes in node_counts:
+            n = base_n * nodes
+            points = uniform_grid_2d(n)
+            kmat = KernelMatrix(kernel_by_name(kernel), points)
+            hss = build_hss(kmat, leaf_size=leaf_size, max_rank=max_rank)
+            strategy = strategy_by_name(dist_name, nodes, max_level=hss.max_level)
+
+            t0 = time.perf_counter()
+            _, rt = hss_ulv_factorize_dtd(
+                hss, execution="distributed", nodes=nodes, distribution=strategy
+            )
+            measured = time.perf_counter() - t0
+            report = rt.last_distributed_report
+
+            mach = machine if machine is not None else laptop_like(nodes, cores_per_node=1)
+            sim = simulate(
+                rt.graph, mach.with_nodes(nodes), policy="async", distribution=strategy
+            )
+
+            rows.append(
+                DistributedWeakScalingRow(
+                    distribution=dist_name,
+                    nodes=nodes,
+                    n=n,
+                    num_tasks=rt.num_tasks,
+                    measured_seconds=measured,
+                    simulated_makespan=sim.makespan,
+                    measured_messages=report.ledger.num_messages,
+                    measured_bytes=report.ledger.total_bytes,
+                    modeled_bytes=rt.graph.communication_bytes(),
+                )
+            )
+    return rows
+
+
+def format_distributed_weak_scaling(rows: List[DistributedWeakScalingRow]) -> str:
+    """Format the sweep as a fixed-width table."""
+    if not rows:
+        return "no weak-scaling configurations ran (check --max-nodes / node_counts)"
+    lines = [
+        f"{'dist':<6} {'nodes':>5} {'N':>7} {'tasks':>6} {'measured [s]':>12} "
+        f"{'simulated [s]':>13} {'msgs':>5} {'comm [B]':>10} {'model [B]':>10}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.distribution:<6} {r.nodes:>5} {r.n:>7} {r.num_tasks:>6} "
+            f"{r.measured_seconds:>12.3f} {r.simulated_makespan:>13.3e} "
+            f"{r.measured_messages:>5} {r.measured_bytes:>10} {r.modeled_bytes:>10.0f}"
+        )
+    mismatched = [r for r in rows if not r.comm_bytes_match]
+    lines.append(
+        "communication volume: measured == static model"
+        if not mismatched
+        else f"WARNING: {len(mismatched)} row(s) disagree with the static comm model"
+    )
+    return "\n".join(lines)

@@ -2,12 +2,24 @@
 
 The paper's central claim is that the ULV factorization expressed as
 ``insert_task`` calls runs correctly under out-of-order parallel execution.
-This driver measures the actual wall time of the same recorded task graph
-executed (a) sequentially in insertion order and (b) out-of-order on a thread
-pool, for both the HSS-ULV and the BLR2-ULV task graphs, and verifies the
-parallel factors are bit-identical to the sequential ones.
+This driver measures the actual wall time of the same task graph executed
+sequentially and in parallel, for both the HSS-ULV and the BLR2-ULV task
+graphs, and verifies the parallel factors are bit-identical to the sequential
+ones.  Two parallel backends are supported:
 
-Used by ``python -m repro speedup`` and by
+``thread``
+    The recorded graph is executed out-of-order on an ``n_workers``-thread
+    pool (:meth:`~repro.runtime.dtd.DTDRuntime.run_parallel`); timings cover
+    pure execution of an already-recorded graph.
+``process``
+    The factorization runs on the distributed multi-process backend with
+    ``n_workers`` forked worker processes
+    (:meth:`~repro.runtime.dtd.DTDRuntime.run_distributed`); timings cover
+    recording plus execution for both the sequential and the distributed run
+    (the graph must be recorded inside each address-space configuration), and
+    the row also reports the measured communication volume.
+
+Used by ``python -m repro speedup [--backend thread|process]`` and by
 ``benchmarks/test_runtime_parallel_speedup.py``.
 """
 
@@ -41,6 +53,8 @@ class SpeedupRow:
     seq_seconds: float
     par_seconds: float
     max_abs_diff: float
+    backend: str = "thread"
+    comm_bytes: int = 0
 
     @property
     def speedup(self) -> float:
@@ -60,9 +74,17 @@ def run_parallel_speedup(
     leaf_size: int = 256,
     max_rank: int = 60,
     n_workers: int = 4,
+    backend: str = "thread",
     seed: int = 0,
 ) -> List[SpeedupRow]:
-    """Measure sequential vs thread-pool task-graph execution for both formats."""
+    """Measure sequential vs parallel task-graph execution for both formats.
+
+    ``backend`` selects the parallel execution substrate: ``"thread"`` (thread
+    pool, shared memory) or ``"process"`` (distributed multi-process backend,
+    ``n_workers`` worker processes with owner-computes placement).
+    """
+    if backend not in ("thread", "process"):
+        raise ValueError(f"unknown backend {backend!r}; expected 'thread' or 'process'")
     points = uniform_grid_2d(n)
     kmat = KernelMatrix(kernel_by_name(kernel), points)
     b = np.random.default_rng(seed).standard_normal(n)
@@ -74,12 +96,32 @@ def run_parallel_speedup(
     rows: List[SpeedupRow] = []
     for name, build, factorize_dtd in algorithms:
         matrix = build(kmat, leaf_size=leaf_size, max_rank=max_rank)
-        # Record each graph without executing, so the timings below cover
-        # pure execution (insert_task recording cost is identical either way).
-        seq_factor, seq_rt = factorize_dtd(matrix, execution="deferred", execute=False)
-        par_factor, par_rt = factorize_dtd(matrix, execution="deferred", execute=False)
-        t_seq = _timed(seq_rt.run)
-        t_par = _timed(lambda: par_rt.run_parallel(n_workers=n_workers))
+        comm_bytes = 0
+        if backend == "thread":
+            # Record each graph without executing, so the timings below cover
+            # pure execution (insert_task recording cost is identical either way).
+            seq_factor, seq_rt = factorize_dtd(matrix, execution="deferred", execute=False)
+            par_factor, par_rt = factorize_dtd(matrix, execution="deferred", execute=False)
+            t_seq = _timed(seq_rt.run)
+            t_par = _timed(lambda: par_rt.run_parallel(n_workers=n_workers))
+        else:
+            # The distributed backend records and executes in one call (each
+            # worker's address space needs the recorded closures), so time the
+            # full record+execute path for both runs to keep them comparable.
+            seq_holder, par_holder = {}, {}
+            t_seq = _timed(
+                lambda: seq_holder.update(
+                    factor=factorize_dtd(matrix, execution="deferred")[0]
+                )
+            )
+            t_par = _timed(
+                lambda: par_holder.update(
+                    result=factorize_dtd(matrix, execution="distributed", nodes=n_workers)
+                )
+            )
+            seq_factor = seq_holder["factor"]
+            par_factor, par_rt = par_holder["result"]
+            comm_bytes = par_rt.last_distributed_report.ledger.total_bytes
         diff = float(np.max(np.abs(par_factor.solve(b) - seq_factor.solve(b))))
         rows.append(
             SpeedupRow(
@@ -90,6 +132,8 @@ def run_parallel_speedup(
                 seq_seconds=t_seq,
                 par_seconds=t_par,
                 max_abs_diff=diff,
+                backend=backend,
+                comm_bytes=comm_bytes,
             )
         )
     return rows
@@ -98,12 +142,13 @@ def run_parallel_speedup(
 def format_parallel_speedup(rows: List[SpeedupRow]) -> str:
     """Format the measurement as a fixed-width table."""
     lines = [
-        f"{'algorithm':<10} {'N':>7} {'tasks':>6} {'workers':>7} "
-        f"{'seq [s]':>9} {'par [s]':>9} {'speedup':>8} {'max diff':>10}"
+        f"{'algorithm':<10} {'backend':<8} {'N':>7} {'tasks':>6} {'workers':>7} "
+        f"{'seq [s]':>9} {'par [s]':>9} {'speedup':>8} {'comm [B]':>9} {'max diff':>10}"
     ]
     for r in rows:
         lines.append(
-            f"{r.algorithm:<10} {r.n:>7} {r.num_tasks:>6} {r.n_workers:>7} "
-            f"{r.seq_seconds:>9.3f} {r.par_seconds:>9.3f} {r.speedup:>8.2f} {r.max_abs_diff:>10.2e}"
+            f"{r.algorithm:<10} {r.backend:<8} {r.n:>7} {r.num_tasks:>6} {r.n_workers:>7} "
+            f"{r.seq_seconds:>9.3f} {r.par_seconds:>9.3f} {r.speedup:>8.2f} "
+            f"{r.comm_bytes:>9} {r.max_abs_diff:>10.2e}"
         )
     return "\n".join(lines)

@@ -21,6 +21,13 @@ programming model in pure Python:
   execution of a recorded task graph: event-driven worker threads dispatch
   ready tasks highest-critical-path-first and cancel queued work
   deterministically when a task body raises.
+* :mod:`~repro.runtime.distributed` -- real *distributed-memory* execution:
+  :func:`~repro.runtime.distributed.execute_graph_distributed` runs the graph
+  across forked worker processes with owner-computes placement from a
+  :class:`~repro.distribution.strategies.DistributionStrategy`, explicit
+  serialized data transfers on cross-process dependency edges, and a
+  :class:`~repro.runtime.distributed.CommLedger` accounting every message, so
+  measured communication can be cross-validated against the simulator's model.
 
 Execution modes
 ---------------
@@ -32,8 +39,9 @@ modes, all producing bit-identical results:
     graph is still recorded.  Best for debugging and as a reference.
 ``deferred``
     Bodies are recorded and run later: sequentially via
-    :meth:`~repro.runtime.dtd.DTDRuntime.run`, or out-of-order on a thread
-    pool via :meth:`~repro.runtime.dtd.DTDRuntime.run_parallel`.
+    :meth:`~repro.runtime.dtd.DTDRuntime.run`, out-of-order on a thread
+    pool via :meth:`~repro.runtime.dtd.DTDRuntime.run_parallel`, or across
+    worker processes via :meth:`~repro.runtime.dtd.DTDRuntime.run_distributed`.
 ``symbolic``
     Bodies are never run; only the graph (block sizes, flops, bytes) is
     recorded.  Used to generate paper-scale DAGs for the machine simulator.
@@ -41,8 +49,8 @@ modes, all producing bit-identical results:
 The factorization drivers (:func:`repro.core.hss_ulv_dtd.hss_ulv_factorize_dtd`,
 :func:`repro.core.blr2_ulv_dtd.blr2_ulv_factorize_dtd`) and the
 :class:`~repro.api.HSSSolver` facade expose these as
-``execution="immediate" | "deferred" | "parallel"`` /
-``use_runtime="off" | "immediate" | "parallel"``.
+``execution="immediate" | "deferred" | "parallel" | "distributed"`` /
+``use_runtime="off" | "immediate" | "parallel" | "distributed"``.
 """
 
 from repro.runtime.data import DataHandle
@@ -53,6 +61,11 @@ from repro.runtime.machine import MachineConfig, fugaku_like, laptop_like
 from repro.runtime.trace import SimulationResult, WorkerBreakdown
 from repro.runtime.simulator import simulate
 from repro.runtime.executor import execute_graph
+from repro.runtime.distributed import (
+    CommLedger,
+    DistributedReport,
+    execute_graph_distributed,
+)
 
 __all__ = [
     "DataHandle",
@@ -68,4 +81,7 @@ __all__ = [
     "WorkerBreakdown",
     "simulate",
     "execute_graph",
+    "CommLedger",
+    "DistributedReport",
+    "execute_graph_distributed",
 ]

@@ -81,8 +81,8 @@ class TaskGraph:
             pred[d].append(s)
         return succ, pred
 
-    def is_acyclic(self) -> bool:
-        """True if the graph has no cycles (Kahn's algorithm)."""
+    def _drained_count(self) -> int:
+        """Number of tasks reachable by Kahn's algorithm (== num_tasks iff acyclic)."""
         succ, pred = self.adjacency()
         indeg = {t.tid: len(pred.get(t.tid, [])) for t in self.tasks}
         queue = deque([tid for tid, d in indeg.items() if d == 0])
@@ -94,7 +94,11 @@ class TaskGraph:
                 indeg[nxt] -= 1
                 if indeg[nxt] == 0:
                     queue.append(nxt)
-        return seen == len(self.tasks)
+        return seen
+
+    def is_acyclic(self) -> bool:
+        """True if the graph has no cycles (Kahn's algorithm)."""
+        return self._drained_count() == len(self.tasks)
 
     def topological_order(self) -> List[Task]:
         """Tasks in a topological order (insertion order is one by construction)."""
@@ -107,6 +111,24 @@ class TaskGraph:
         for s, d in self.edges:
             if s >= d:
                 raise ValueError(f"edge ({s} -> {d}) violates insertion order")
+
+    def validate_drainable(self) -> None:
+        """Fail fast on graphs no scheduler could drain.
+
+        Raises :class:`ValueError` when an edge references a task id that is
+        not in the graph, or when the graph has a cycle -- either would leave
+        an executor's workers blocked forever.  Shared by the thread-pool and
+        the distributed executors.
+        """
+        known = {t.tid for t in self.tasks}
+        for s, d in self.edges:
+            if s not in known or d not in known:
+                raise ValueError(f"edge ({s} -> {d}) references an unknown task")
+        drained = self._drained_count()
+        if drained != self.num_tasks:
+            raise ValueError(
+                f"task graph has a cycle ({self.num_tasks - drained} task(s) unreachable)"
+            )
 
     # -- metrics ------------------------------------------------------------
     def total_flops(self) -> float:

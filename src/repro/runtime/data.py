@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, MutableMapping, Optional
 
 __all__ = ["DataHandle"]
 
@@ -35,6 +35,12 @@ class DataHandle:
     meta:
         Free-form metadata (level, block index, ...), used by distribution
         strategies.
+    getter / setter:
+        Optional value accessors bound by the task-graph builders
+        (:meth:`bind` / :meth:`bind_item`).  The distributed backend uses them
+        to serialize the handle's current value out of the producer's process
+        and install it in a consumer's process; they are inherited by forked
+        workers and never cross a process boundary themselves.
     """
 
     name: str
@@ -43,9 +49,37 @@ class DataHandle:
     payload: Any = None
     meta: dict = field(default_factory=dict)
     hid: int = field(default_factory=lambda: next(_handle_counter))
+    getter: Optional[Callable[[], Any]] = field(default=None, repr=False)
+    setter: Optional[Callable[[Any], None]] = field(default=None, repr=False)
 
     def __hash__(self) -> int:
         return hash(self.hid)
+
+    # -- value binding (used by the distributed backend) ---------------------
+    def bind(
+        self, getter: Callable[[], Any], setter: Callable[[Any], None]
+    ) -> "DataHandle":
+        """Attach value accessors so this handle's data can move between processes."""
+        self.getter = getter
+        self.setter = setter
+        return self
+
+    def bind_item(self, store: MutableMapping, key: Any) -> "DataHandle":
+        """Bind to one entry of a mutable mapping (the common builder pattern)."""
+        return self.bind(lambda: store.get(key), lambda value: store.__setitem__(key, value))
+
+    @property
+    def bound(self) -> bool:
+        return self.getter is not None
+
+    def get_value(self) -> Any:
+        """Current value of the handle, or ``None`` when unbound/unmaterialized."""
+        return self.getter() if self.getter is not None else None
+
+    def set_value(self, value: Any) -> None:
+        """Install a (possibly remote) value; a no-op for unbound handles."""
+        if self.setter is not None:
+            self.setter(value)
 
     def __repr__(self) -> str:
         own = f", owner={self.owner}" if self.owner is not None else ""

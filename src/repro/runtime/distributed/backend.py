@@ -1,0 +1,385 @@
+"""Multi-process execution of a recorded task graph (owner-computes placement).
+
+The distributed counterpart of :func:`repro.runtime.executor.execute_graph`:
+``nodes`` worker *processes* (forked, so each inherits the recorded graph and
+the pre-execution numerical state) each run an event loop over the tasks they
+own.  Placement is owner-computes: a task executes on the process that owns
+its primary written handle, as assigned by a
+:class:`~repro.distribution.strategies.DistributionStrategy` (row-cyclic /
+block-cyclic, paper Sec. 4.3).  Within a process, ready tasks are dispatched
+highest critical-path priority first, mirroring the thread executor's
+list-scheduling heuristic.
+
+Data movement is explicit: every dependency edge whose endpoints live on
+different processes becomes exactly one message carrying the serialized
+values of the edge's handles (:mod:`repro.runtime.distributed.comm` plans and
+accounts these).  Receipt of the message releases the dependency *and*
+installs the remote value into the consumer's address space -- PaRSEC's
+data-flow semantics, where data availability and dependency release are one
+event.  Because every process discovers the whole graph (each worker walks
+the full task list to find its local tasks and compute priorities), the
+backend reproduces the DTD discovery behaviour the paper identifies as the
+scaling limiter (Sec. 5.3.3).
+
+Results are gathered through per-worker ``collect`` callbacks: after a worker
+drains its local tasks it serializes a *fragment* of the results it produced
+(e.g. the factor pieces of its block rows) back to the parent, which merges
+the fragments -- so the parent ends up with factors bit-identical to a
+sequential in-process run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.runtime.dag import TaskGraph
+from repro.runtime.distributed.comm import CommEvent, CommLedger
+from repro.runtime.distributed.protocol import DataMessage, RemoteTaskError, WorkerResult
+
+__all__ = ["DistributedReport", "execute_graph_distributed", "resolve_owners"]
+
+_WORKER_POLL_SECONDS = 0.05
+_PARENT_POLL_SECONDS = 0.2
+
+
+@dataclass
+class DistributedReport:
+    """Summary of one multi-process graph execution.
+
+    Attributes
+    ----------
+    nodes:
+        Number of worker processes.
+    executed:
+        Task ids that completed, grouped by ascending worker rank (each
+        rank's ids in its local completion order).
+    errors:
+        ``tid -> RemoteTaskError`` for task bodies that raised in a worker.
+    cancelled:
+        Task ids that never ran because of an error or timeout.
+    timed_out:
+        True when the parent's overall ``timeout`` expired.
+    ledger:
+        Communication ledger aggregating every inter-process message.
+    fragments:
+        Per-worker result fragments returned by the ``collect`` callback.
+    per_rank:
+        Per-worker statistics (task count, messages sent, wall time).
+    wall_time:
+        Parent-side wall-clock seconds for the whole execution.
+    """
+
+    nodes: int
+    num_tasks: int
+    executed: List[int] = field(default_factory=list)
+    errors: Dict[int, RemoteTaskError] = field(default_factory=dict)
+    cancelled: List[int] = field(default_factory=list)
+    timed_out: bool = False
+    ledger: CommLedger = field(default_factory=CommLedger)
+    fragments: List[Any] = field(default_factory=list)
+    per_rank: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.errors
+            and not self.cancelled
+            and not self.timed_out
+            and len(self.executed) == self.num_tasks
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedReport(nodes={self.nodes}, tasks={self.num_tasks}, "
+            f"executed={len(self.executed)}, messages={self.ledger.num_messages}, "
+            f"comm_bytes={self.ledger.total_bytes}, wall_time={self.wall_time:.3g}s)"
+        )
+
+
+def resolve_owners(graph: TaskGraph, nodes: int, strategy=None) -> Dict[int, int]:
+    """Owner-computes placement map ``tid -> rank`` for every task.
+
+    When ``strategy`` is given, it (re)assigns every handle's owner first.
+    Tasks whose handles carry no ownership information fall back to
+    ``tid % nodes``; every rank is reduced modulo ``nodes`` so a strategy
+    configured for more processes still yields a valid placement.
+    """
+    if strategy is not None:
+        handles = {a.handle for t in graph.tasks for a in t.accesses}
+        strategy.assign(handles)
+    proc_of: Dict[int, int] = {}
+    for task in graph.tasks:
+        proc = task.owner_process()
+        proc_of[task.tid] = (proc if proc is not None else task.tid) % nodes
+    return proc_of
+
+
+def _worker_main(
+    rank: int,
+    graph: TaskGraph,
+    proc_of: Mapping[int, int],
+    priorities: Mapping[int, float],
+    inboxes: List[Any],
+    report_queue: Any,
+    collect: Optional[Callable[[], Any]],
+) -> None:
+    """Event loop of one worker process (runs in a forked child)."""
+    t0 = time.perf_counter()
+    result = WorkerResult(rank=rank)
+    succ, pred = graph.adjacency()
+    local = [t.tid for t in graph.tasks if proc_of[t.tid] == rank]
+    remaining = {tid: len(pred.get(tid, [])) for tid in local}
+    # Min-heap on (-priority, tid): highest critical-path depth first, insertion
+    # order as the deterministic tie-break -- same policy as the thread executor.
+    ready = [(-priorities.get(tid, 0.0), tid) for tid in local if remaining[tid] == 0]
+    heapq.heapify(ready)
+    inbox = inboxes[rank]
+
+    def apply_message(msg: DataMessage) -> None:
+        # Install the remote values, then release the dependency: receipt of
+        # the data *is* the producer's completion notification.
+        handles = graph.edge_data.get(msg.edge, [])
+        for handle, value in zip(handles, pickle.loads(msg.payload)):
+            if value is not None:
+                handle.set_value(value)
+        consumer = msg.edge[1]
+        remaining[consumer] -= 1
+        if remaining[consumer] == 0:
+            heapq.heappush(ready, (-priorities.get(consumer, 0.0), consumer))
+
+    try:
+        while len(result.executed) < len(local):
+            # Drain any transfers that arrived while computing.
+            while True:
+                try:
+                    apply_message(inbox.get_nowait())
+                except queue_mod.Empty:
+                    break
+            if not ready:
+                try:
+                    apply_message(inbox.get(timeout=_WORKER_POLL_SECONDS))
+                except queue_mod.Empty:
+                    pass
+                continue
+            _, tid = heapq.heappop(ready)
+            task = graph.task(tid)
+            try:
+                task.run()
+            except BaseException as exc:
+                result.error = RemoteTaskError(
+                    rank, tid, task.name, repr(exc), traceback.format_exc()
+                )
+                break
+            result.executed.append(tid)
+            for nxt in succ.get(tid, []):
+                dst = proc_of[nxt]
+                if dst == rank:
+                    remaining[nxt] -= 1
+                    if remaining[nxt] == 0:
+                        heapq.heappush(ready, (-priorities.get(nxt, 0.0), nxt))
+                else:
+                    handles = graph.edge_data.get((tid, nxt), [])
+                    values = tuple(h.get_value() if h.bound else None for h in handles)
+                    # Serialize once: the pickled payload both crosses the
+                    # queue and yields the measured byte count.
+                    payload = pickle.dumps(values, pickle.HIGHEST_PROTOCOL)
+                    inboxes[dst].put(DataMessage(edge=(tid, nxt), src=rank, dst=dst, payload=payload))
+                    result.events.append(
+                        CommEvent(
+                            src=rank,
+                            dst=dst,
+                            edge=(tid, nxt),
+                            handles=tuple(h.name for h in handles),
+                            nbytes=int(sum(h.nbytes for h in handles)),
+                            payload_nbytes=len(payload),
+                        )
+                    )
+        if result.error is None and collect is not None:
+            result.fragment = collect()
+    except BaseException as exc:  # protocol/serialization failure, not a task body
+        if result.error is None:
+            result.error = RemoteTaskError(rank, -1, "<runtime>", repr(exc), traceback.format_exc())
+    result.wall_time = time.perf_counter() - t0
+    report_queue.put(result)
+
+
+def execute_graph_distributed(
+    graph: TaskGraph,
+    *,
+    nodes: int = 2,
+    strategy=None,
+    collect: Optional[Callable[[], Any]] = None,
+    timeout: Optional[float] = None,
+    raise_on_error: bool = True,
+) -> DistributedReport:
+    """Execute all task bodies of ``graph`` across ``nodes`` worker processes.
+
+    Parameters
+    ----------
+    graph:
+        The recorded task graph (insertion order must be a topological order,
+        which :class:`~repro.runtime.dtd.DTDRuntime` guarantees).
+    nodes:
+        Number of worker processes (one per simulated cluster node).
+    strategy:
+        Optional :class:`~repro.distribution.strategies.DistributionStrategy`
+        used to (re)assign handle owners before placement.  When omitted, the
+        owners already present on the handles are used (tasks without any
+        ownership information fall back to ``tid % nodes``).
+    collect:
+        Zero-argument callable executed in *each worker* after it drains its
+        local tasks; its picklable return value is shipped back to the parent
+        and appended to ``report.fragments`` (a ``None`` return contributes no
+        fragment).  This is how factorization drivers gather their result
+        pieces from the worker address spaces.
+    timeout:
+        Overall wall-clock limit in seconds.  On expiry the workers are
+        terminated; unlike the thread executor, partially computed remote
+        state is lost.
+    raise_on_error:
+        If True (default) the first worker error (or :class:`TimeoutError`)
+        is raised with the partial report attached as ``exc.execution_report``.
+
+    Returns
+    -------
+    DistributedReport
+        ``report.ok`` is True when every task ran; ``report.ledger`` holds the
+        measured communication (message/byte counts per process pair).
+    """
+    import multiprocessing
+
+    if nodes <= 0:
+        raise ValueError("nodes must be positive")
+    t0 = time.perf_counter()
+    report = DistributedReport(nodes=nodes, num_tasks=graph.num_tasks)
+    if graph.num_tasks == 0:
+        return report
+    # Fail fast on graphs no scheduler could drain -- otherwise the workers
+    # would block on their inboxes forever.
+    graph.validate_drainable()
+    proc_of = resolve_owners(graph, nodes, strategy)
+    priorities = graph.critical_path_priorities()
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+        raise RuntimeError(
+            "the distributed backend requires the 'fork' start method "
+            "(POSIX only); use the thread executor on this platform"
+        ) from exc
+
+    inboxes = [ctx.Queue() for _ in range(nodes)]
+    report_queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_worker_main,
+            args=(rank, graph, proc_of, priorities, inboxes, report_queue, collect),
+            name=f"dtd-rank{rank}",
+            daemon=True,
+        )
+        for rank in range(nodes)
+    ]
+    for w in workers:
+        w.start()
+
+    deadline = None if timeout is None else t0 + timeout
+    results: Dict[int, WorkerResult] = {}
+    try:
+        while len(results) < nodes:
+            now = time.perf_counter()
+            if deadline is not None and now >= deadline:
+                report.timed_out = True
+                break
+            poll = _PARENT_POLL_SECONDS
+            if deadline is not None:
+                poll = max(min(poll, deadline - now), 0.01)
+            try:
+                res: WorkerResult = report_queue.get(timeout=poll)
+            except queue_mod.Empty:
+                # A worker that died without reporting (segfault in a BLAS
+                # kernel, OOM kill, os._exit) would otherwise hang this loop
+                # and every peer waiting on its data forever.
+                dead = [
+                    r for r in range(nodes) if r not in results and not workers[r].is_alive()
+                ]
+                if not dead:
+                    continue
+                try:
+                    # Its final report may still be in flight in the queue.
+                    res = report_queue.get(timeout=0.5)
+                except queue_mod.Empty:
+                    rank = dead[0]
+                    res = WorkerResult(
+                        rank=rank,
+                        error=RemoteTaskError(
+                            rank,
+                            -1,
+                            "<worker>",
+                            "worker process died without reporting "
+                            f"(exitcode={workers[rank].exitcode})",
+                            "",
+                        ),
+                    )
+            results[res.rank] = res
+            if res.error is not None:
+                # Peers may be blocked waiting for this worker's data forever;
+                # give already-finished workers a moment to report, then stop.
+                grace = time.perf_counter() + 0.2
+                while len(results) < nodes and time.perf_counter() < grace:
+                    try:
+                        late: WorkerResult = report_queue.get(timeout=0.05)
+                        results[late.rank] = late
+                    except queue_mod.Empty:
+                        break
+                break
+    finally:
+        failed = report.timed_out or any(r.error is not None for r in results.values())
+        for w in workers:
+            if failed and w.is_alive():
+                w.terminate()
+            w.join(timeout=5.0)
+            if w.is_alive():  # pragma: no cover - last-resort cleanup
+                w.terminate()
+                w.join(timeout=5.0)
+        for q in inboxes:
+            q.cancel_join_thread()
+
+    for rank in sorted(results):
+        res = results[rank]
+        report.executed.extend(res.executed)
+        report.ledger.events.extend(res.events)
+        if res.error is not None:
+            report.errors[res.error.tid] = res.error
+        elif res.fragment is not None:
+            report.fragments.append(res.fragment)
+        report.per_rank[rank] = {
+            "executed": len(res.executed),
+            "messages_sent": len(res.events),
+            "wall_time": res.wall_time,
+        }
+    if report.errors or report.timed_out:
+        # Disjoint from executed and errors, matching ExecutionReport's contract.
+        settled = set(report.executed) | set(report.errors)
+        report.cancelled = [t.tid for t in graph.tasks if t.tid not in settled]
+    report.wall_time = time.perf_counter() - t0
+
+    if raise_on_error:
+        if report.errors:
+            first = next(iter(report.errors.values()))
+            first.execution_report = report
+            raise first
+        if report.timed_out:
+            err = TimeoutError(
+                f"distributed execution exceeded {timeout}s "
+                f"({len(report.executed)}/{report.num_tasks} tasks completed)"
+            )
+            err.execution_report = report
+            raise err
+    return report

@@ -1,0 +1,80 @@
+"""Wire protocol of the multi-process backend.
+
+Workers exchange two message kinds over ``multiprocessing`` queues:
+
+* :class:`DataMessage` -- worker-to-worker: the serialized values of the
+  handles on one cross-process dependency edge.  Receipt of the message *is*
+  the completion notification for the remote producer (PaRSEC's data-flow
+  semantics: data availability and dependency release are the same event).
+* :class:`WorkerResult` -- worker-to-parent: the final report of one worker
+  process (executed tasks, recorded communication events, the collected
+  result fragment, and the first error if any).
+
+Only plain values (numpy arrays, factor dataclasses, strings, ints) cross the
+process boundary; task bodies, handles and the graph itself are inherited via
+``fork`` and never serialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.runtime.distributed.comm import CommEvent
+
+__all__ = ["DataMessage", "WorkerResult", "RemoteTaskError"]
+
+
+@dataclass
+class DataMessage:
+    """Values of one dependency edge's handles, sent producer -> consumer.
+
+    ``payload`` is the pickled tuple of handle values: serializing once in the
+    sender both produces the bytes that cross the queue and yields the
+    measured payload size for the communication ledger.
+    """
+
+    edge: Tuple[int, int]
+    src: int
+    dst: int
+    payload: bytes
+
+
+@dataclass
+class WorkerResult:
+    """Final report of one worker process, sent to the parent."""
+
+    rank: int
+    executed: List[int] = field(default_factory=list)
+    events: List[CommEvent] = field(default_factory=list)
+    fragment: Any = None
+    error: Optional["RemoteTaskError"] = None
+    wall_time: float = 0.0
+
+
+class RemoteTaskError(RuntimeError):
+    """A task body raised inside a worker process.
+
+    The original exception cannot always be pickled faithfully, so the worker
+    ships its ``repr`` and formatted traceback; the parent re-raises this
+    wrapper with the partial :class:`~repro.runtime.distributed.backend.DistributedReport`
+    attached as ``execution_report``.
+    """
+
+    def __init__(self, rank: int, tid: int, task_name: str, exc_repr: str, traceback_text: str) -> None:
+        super().__init__(
+            f"task {tid} ({task_name!r}) failed on process {rank}: {exc_repr}"
+        )
+        self.rank = rank
+        self.tid = tid
+        self.task_name = task_name
+        self.exc_repr = exc_repr
+        self.traceback_text = traceback_text
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted message)
+        # into __init__, which has a different signature -- spell it out.
+        return (
+            RemoteTaskError,
+            (self.rank, self.tid, self.task_name, self.exc_repr, self.traceback_text),
+        )

@@ -20,8 +20,10 @@ Execution modes
     graph is still recorded -- the default for numerical factorizations.
 ``deferred``
     Bodies are stored and only run when :meth:`DTDRuntime.run` (sequentially,
-    in insertion order) or :meth:`DTDRuntime.run_parallel` (out-of-order on a
-    thread pool, via :func:`repro.runtime.executor.execute_graph`) is called.
+    in insertion order), :meth:`DTDRuntime.run_parallel` (out-of-order on a
+    thread pool, via :func:`repro.runtime.executor.execute_graph`) or
+    :meth:`DTDRuntime.run_distributed` (across forked worker processes, via
+    :func:`repro.runtime.distributed.execute_graph_distributed`) is called.
 ``symbolic``
     Bodies are never run; only the graph (block sizes, flops, bytes) is
     recorded.  Used to generate paper-scale DAGs for the machine simulator.
@@ -59,6 +61,8 @@ class DTDRuntime:
         self._handles: Dict[str, DataHandle] = {}
         self._executed: set[int] = set()
         self._failed: Optional[BaseException] = None
+        #: Report of the most recent :meth:`run_distributed` call (or None).
+        self.last_distributed_report = None
 
     # -- data management ------------------------------------------------------
     def register_handle(self, handle: DataHandle) -> DataHandle:
@@ -207,6 +211,59 @@ class DTDRuntime:
         self._executed.update(report.executed)
         return report
 
+    def run_distributed(
+        self,
+        *,
+        nodes: int = 2,
+        strategy=None,
+        collect=None,
+        timeout: Optional[float] = None,
+    ):
+        """Execute the recorded graph across ``nodes`` forked worker processes.
+
+        The distributed counterpart of :meth:`run_parallel`: each worker
+        process inherits the graph (and all pre-execution numerical state) via
+        ``fork``, runs only the tasks placed on it by owner-computes over the
+        handle owners (optionally reassigned through ``strategy``), and ships
+        written handle values to remote consumers as explicit, accounted
+        messages.  ``collect`` is the per-worker result-gathering callback
+        (see :func:`repro.runtime.distributed.execute_graph_distributed`).
+
+        Only valid on a fully deferred graph.  Any failure -- a remote task
+        error or a timeout -- poisons the runtime: the partially computed
+        state lives in terminated worker processes and cannot be resumed.
+
+        Returns the :class:`~repro.runtime.distributed.DistributedReport`,
+        also stored as :attr:`last_distributed_report`.
+        """
+        from repro.runtime.distributed import execute_graph_distributed
+
+        if self.execution == "symbolic":
+            raise RuntimeError("cannot run a symbolic graph; task bodies were discarded")
+        if self._failed is not None:
+            raise RuntimeError(
+                "runtime has a failed execution; rebuild the task graph"
+            ) from self._failed
+        if self._executed:
+            raise RuntimeError(
+                f"{len(self._executed)} task(s) already executed; "
+                "the distributed backend requires a fully deferred graph"
+            )
+        try:
+            report = execute_graph_distributed(
+                self.graph, nodes=nodes, strategy=strategy, collect=collect, timeout=timeout
+            )
+        except BaseException as exc:
+            partial = getattr(exc, "execution_report", None)
+            if partial is not None:
+                self._executed.update(partial.executed)
+                self.last_distributed_report = partial
+            self._failed = exc
+            raise
+        self._executed.update(report.executed)
+        self.last_distributed_report = report
+        return report
+
     # -- inspection ---------------------------------------------------------------
     @property
     def num_tasks(self) -> int:
@@ -224,24 +281,25 @@ class DTDRuntime:
 
 def resolve_execution(
     runtime: Optional[DTDRuntime], execution: Optional[str]
-) -> Tuple[DTDRuntime, bool]:
+) -> Tuple[DTDRuntime, str]:
     """Resolve the ``runtime`` / ``execution`` arguments of a DTD factorization driver.
 
-    Returns ``(runtime, parallel)`` where ``parallel`` indicates the caller
-    should execute the recorded graph with :meth:`DTDRuntime.run_parallel`
-    instead of :meth:`DTDRuntime.run`.  ``execution`` must be one of
-    ``"immediate"``, ``"deferred"`` or ``"parallel"`` and is mutually
-    exclusive with passing an existing ``runtime``.
+    Returns ``(runtime, mode)`` where ``mode`` tells the caller how to execute
+    the recorded graph: ``"sequential"`` (:meth:`DTDRuntime.run`),
+    ``"parallel"`` (:meth:`DTDRuntime.run_parallel`) or ``"distributed"``
+    (:meth:`DTDRuntime.run_distributed`).  ``execution`` must be one of
+    ``"immediate"``, ``"deferred"``, ``"parallel"`` or ``"distributed"`` and
+    is mutually exclusive with passing an existing ``runtime``.
     """
     if execution is not None:
         if runtime is not None:
             raise ValueError("pass either `runtime` or `execution`, not both")
-        if execution == "parallel":
-            return DTDRuntime(execution="deferred"), True
+        if execution in ("parallel", "distributed"):
+            return DTDRuntime(execution="deferred"), execution
         if execution in ("immediate", "deferred"):
-            return DTDRuntime(execution=execution), False
+            return DTDRuntime(execution=execution), "sequential"
         raise ValueError(
             f"unknown execution mode {execution!r}; "
-            "expected 'immediate', 'deferred' or 'parallel'"
+            "expected 'immediate', 'deferred', 'parallel' or 'distributed'"
         )
-    return (runtime if runtime is not None else DTDRuntime(execution="immediate")), False
+    return (runtime if runtime is not None else DTDRuntime(execution="immediate")), "sequential"

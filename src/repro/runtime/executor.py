@@ -29,7 +29,6 @@ from __future__ import annotations
 import heapq
 import threading
 import time
-from collections import deque
 from typing import Dict, List, Mapping, Optional
 
 from repro.runtime.dag import TaskGraph
@@ -130,24 +129,7 @@ def execute_graph(
 
     # Fail fast on graphs the scheduler could never drain -- otherwise the
     # workers and the main thread would all block on the condition forever.
-    known = {t.tid for t in graph.tasks}
-    for s, d in graph.edges:
-        if s not in known or d not in known:
-            raise ValueError(f"edge ({s} -> {d}) references an unknown task")
-    indeg = dict(remaining)
-    queue = deque(tid for tid, cnt in indeg.items() if cnt == 0)
-    drainable = 0
-    while queue:
-        tid = queue.popleft()
-        drainable += 1
-        for nxt in succ.get(tid, []):
-            indeg[nxt] -= 1
-            if indeg[nxt] == 0:
-                queue.append(nxt)
-    if drainable != graph.num_tasks:
-        raise ValueError(
-            f"task graph has a cycle ({graph.num_tasks - drainable} task(s) unreachable)"
-        )
+    graph.validate_drainable()
 
     if priorities is None:
         priorities = graph.critical_path_priorities(succ)

@@ -30,8 +30,25 @@ from repro.runtime.trace import SimulationResult, WorkerBreakdown
 __all__ = ["simulate"]
 
 
-def _task_process(task, nodes: int) -> int:
+def _task_process(task, nodes: int, strategy=None) -> int:
+    """Executing process of a task under owner-computes placement.
+
+    Precedence: an explicitly pinned process, then the owner of the primary
+    written handle, then -- for tasks with handles but no assigned owner --
+    the configured :class:`DistributionStrategy`, and only as a last resort
+    (no handles at all) the legacy ``tid % nodes`` round-robin.  This mirrors
+    :func:`repro.runtime.distributed.resolve_owners`, where ``assign`` gives
+    *every* handle an owner (position-less handles land on process 0), so
+    simulated placement stays identical to the real distributed backend's
+    even for graphs whose handles were never ``assign``-ed.
+    """
     proc = task.owner_process()
+    if proc is None and strategy is not None:
+        primary = task.primary_write()
+        if primary is None and task.accesses:
+            primary = task.accesses[0].handle
+        if primary is not None:
+            proc = strategy.owner(primary)
     if proc is None:
         proc = task.tid % nodes
     return proc % nodes
@@ -43,6 +60,7 @@ def simulate(
     *,
     policy: str = "async",
     dtd_mode: str = "dtd",
+    distribution=None,
     record_workers: bool = False,
 ) -> SimulationResult:
     """Simulate the execution of ``graph`` on ``machine``.
@@ -64,6 +82,12 @@ def simulate(
         per-process discovery cost scales with the local task count only --
         the lower-overhead alternative the paper discusses but does not
         implement.  Ignored for the fork-join policy.
+    distribution:
+        Optional :class:`~repro.distribution.strategies.DistributionStrategy`
+        used to place tasks whose handles have no assigned owner, so simulated
+        placement matches the real distributed backend's owner-computes
+        placement.  Tasks without any handles keep the legacy ``tid % nodes``
+        fallback.
     record_workers:
         If True, keep per-worker breakdowns (slower, more memory).
 
@@ -116,7 +140,7 @@ def simulate(
     barrier_accum = 0.0
 
     for task in graph.tasks:
-        proc = _task_process(task, nodes)
+        proc = _task_process(task, nodes, distribution)
         task_proc[task.tid] = proc
 
         # Fork-join barrier: task cannot start before its phase is released.

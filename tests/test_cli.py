@@ -12,15 +12,43 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for cmd in ("table1", "table2", "fig9", "fig10", "fig11", "fig12", "solve", "speedup"):
+        for cmd in (
+            "table1", "table2", "fig9", "fig10", "fig11", "fig12",
+            "solve", "speedup", "weakscale",
+        ):
             args = parser.parse_args([cmd])
             assert args.command == cmd
 
     def test_speedup_defaults_and_flags(self):
         args = build_parser().parse_args(["speedup"])
         assert args.n == 2048 and args.workers == 4 and args.kernel == "yukawa"
+        assert args.backend == "thread"
         args = build_parser().parse_args(["speedup", "--n", "4096", "--workers", "8"])
         assert args.n == 4096 and args.workers == 8
+
+    def test_speedup_backend_flag(self):
+        args = build_parser().parse_args(["speedup", "--backend", "process"])
+        assert args.backend == "process"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["speedup", "--backend", "gpu"])
+
+    def test_solve_distributed_flags(self):
+        args = build_parser().parse_args(
+            ["solve", "--runtime", "distributed", "--nodes", "4", "--distribution", "block"]
+        )
+        assert args.runtime == "distributed"
+        assert args.nodes == 4
+        assert args.distribution == "block"
+
+    def test_weakscale_defaults(self):
+        args = build_parser().parse_args(["weakscale"])
+        assert args.base_n == 512
+        assert args.max_nodes == 4
+        assert args.distributions is None
+        args = build_parser().parse_args(
+            ["weakscale", "--distribution", "row", "--distribution", "block"]
+        )
+        assert args.distributions == ["row", "block"]
 
     def test_solve_defaults(self):
         args = build_parser().parse_args(["solve"])
@@ -47,7 +75,7 @@ class TestParser:
         help_text = capsys.readouterr().out
         assert "--runtime" in help_text
         assert "--workers" in help_text
-        for mode in ("off", "immediate", "parallel"):
+        for mode in ("off", "immediate", "parallel", "distributed"):
             assert mode in help_text
 
     def test_table2_options(self):
@@ -107,3 +135,24 @@ class TestMain:
     def test_solve_immediate_smoke(self):
         out = main(["solve", "--n", "512", "--leaf-size", "64", "--max-rank", "24", "--runtime", "immediate"])
         assert "runtime=immediate" in out
+
+    def test_solve_distributed_smoke(self):
+        """End-to-end solve through the multi-process distributed backend."""
+        import os
+
+        if not hasattr(os, "fork"):
+            pytest.skip("distributed backend requires fork (POSIX)")
+        out = main(
+            [
+                "solve",
+                "--n", "512",
+                "--leaf-size", "64",
+                "--max-rank", "24",
+                "--runtime", "distributed",
+                "--nodes", "2",
+                "--distribution", "row",
+            ]
+        )
+        assert "runtime=distributed nodes=2 distribution=row" in out
+        err = float(out.split("solve error")[1].split()[0])
+        assert err < 1e-10

@@ -58,6 +58,62 @@ def _chain_graph(n, flops=1e9, remote=False, nodes=2):
     return rt.graph
 
 
+class TestStrategyPlacement:
+    """`simulate(distribution=...)`: unowned handles resolve through the strategy."""
+
+    def _unowned_graph(self, n=8):
+        rt = DTDRuntime(execution="symbolic")
+        handles = [
+            rt.new_handle(f"h{i}", nbytes=8 * 1024, level=3, row=i, max_level=3)
+            for i in range(n)
+        ]
+        for i in range(n):
+            rt.insert_task(None, [(handles[i], AccessMode.RW)], name=f"t{i}", flops=1e9)
+        return rt.graph
+
+    def test_strategy_fallback_matches_explicit_assignment(self):
+        from repro.distribution.strategies import RowCyclicDistribution
+        from repro.runtime.simulator import _task_process
+
+        graph = self._unowned_graph()
+        strategy = RowCyclicDistribution(2, max_level=3)
+        fallback = [_task_process(t, 2, strategy) for t in graph.tasks]
+        # assigning owners explicitly must give identical placement
+        strategy.assign({a.handle for t in graph.tasks for a in t.accesses})
+        explicit = [_task_process(t, 2) for t in graph.tasks]
+        assert fallback == explicit
+
+    def test_strategy_changes_simulated_makespan(self):
+        """tid%nodes round-robin and row-cyclic placement disagree on this graph."""
+        from repro.distribution.strategies import RowCyclicDistribution
+
+        rt = DTDRuntime(execution="symbolic")
+        # all rows map to process 0 under row-cyclic on 4 nodes at level 0,
+        # but spread over all nodes under the legacy tid%nodes fallback
+        handles = [
+            rt.new_handle(f"h{i}", nbytes=8 * 1024, level=0, row=0, max_level=0, col=i)
+            for i in range(8)
+        ]
+        for i in range(8):
+            rt.insert_task(None, [(handles[i], AccessMode.RW)], name=f"t{i}", flops=1e9)
+        m = fugaku_like(4, cores_per_node=1)
+        legacy = simulate(rt.graph, m, policy="async")
+        strategic = simulate(
+            rt.graph, m, policy="async", distribution=RowCyclicDistribution(4, max_level=0)
+        )
+        # row-cyclic serializes everything on one rank -> strictly longer makespan
+        assert strategic.makespan > legacy.makespan
+
+    def test_pinned_process_wins_over_strategy(self):
+        from repro.distribution.strategies import RowCyclicDistribution
+        from repro.runtime.simulator import _task_process
+
+        rt = DTDRuntime(execution="symbolic")
+        h = rt.new_handle("h", nbytes=8, level=1, row=1, max_level=1)
+        task = rt.insert_task(None, [(h, AccessMode.RW)], process=3)
+        assert _task_process(task, 4, RowCyclicDistribution(4, max_level=1)) == 3
+
+
 class TestSimulator:
     def test_empty_graph(self):
         from repro.runtime.dag import TaskGraph
