@@ -1,0 +1,65 @@
+"""Benchmark: solve-phase wall time and solves/sec of the SolverService.
+
+The serving story of the reproduction: one cached factorization amortized
+over a stream of right-hand sides, drained as batched task-graph solves.
+This benchmark records the solve-phase wall time and solves/sec per
+(backend, batch size) into ``BENCH_runtime.json`` alongside the
+factorization numbers, so the serving throughput trajectory is tracked
+across PRs like the factorization speedups.
+
+Absolute throughput depends on the machine, so only correctness (residuals
+at direct-solver accuracy) and completion are asserted.
+"""
+
+from bench_utils import full_scale, print_table, record_bench
+
+from repro.experiments.solve_throughput import (
+    format_solve_throughput,
+    run_solve_throughput,
+)
+
+N = 2048 if full_scale() else 1024
+REQUESTS = 32 if full_scale() else 16
+BATCH_SIZES = (1, 4, 16)
+BACKENDS = ("reference", "sequential", "parallel")
+
+
+def _run():
+    return run_solve_throughput(
+        n=N,
+        leaf_size=128,
+        max_rank=30,
+        requests=REQUESTS,
+        batch_sizes=BATCH_SIZES,
+        backends=BACKENDS,
+        n_workers=4,
+    )
+
+
+def test_solve_throughput(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        f"SolverService throughput (N={N}, {REQUESTS} requests)",
+        format_solve_throughput(result),
+    )
+    record_bench(
+        "solve_throughput",
+        {
+            "n": result["n"],
+            "leaf_size": result["leaf_size"],
+            "max_rank": result["max_rank"],
+            "requests": result["requests"],
+            "factor_seconds": result["factor_seconds"],
+            "rows": [row.as_dict() for row in result["rows"]],
+        },
+    )
+
+    rows = result["rows"]
+    assert {r.backend for r in rows} == set(BACKENDS)
+    assert {r.batch_size for r in rows} == set(BATCH_SIZES)
+    for row in rows:
+        assert row.requests == REQUESTS
+        assert row.wall_seconds > 0
+        assert row.solves_per_sec > 0
+        # every served solution must stay at direct-solver accuracy
+        assert row.max_residual < 1e-10

@@ -8,6 +8,8 @@ Subpackages
 ``repro.lowrank``       SVD / QR / ACA / RSVD / ID compression primitives
 ``repro.formats``       BlockDense, BLR, BLR2 and HSS matrix formats
 ``repro.core``          BLR2-ULV and HSS-ULV factorizations (the contribution)
+``repro.solve``         task-graph ULV solves (multi-RHS panels, refinement)
+``repro.service``       SolverService: cached factorizations, batched solves
 ``repro.runtime``       DTD task runtime, DAG, machine model, simulator
 ``repro.distribution``  row-cyclic / block-cyclic process distributions
 ``repro.baselines``     dense Cholesky, LORAPO-like BLR Cholesky, STRUMPACK-like
@@ -17,7 +19,8 @@ Subpackages
 """
 
 from repro.api import HSSSolver
+from repro.service import SolverService
 
 __version__ = "1.0.0"
 
-__all__ = ["HSSSolver", "__version__"]
+__all__ = ["HSSSolver", "SolverService", "__version__"]

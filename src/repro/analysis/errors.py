@@ -24,11 +24,11 @@ MatvecLike = Union[np.ndarray, _SupportsMatvec, Callable[[np.ndarray], np.ndarra
 
 
 def _apply(op: MatvecLike, x: np.ndarray) -> np.ndarray:
-    if isinstance(op, np.ndarray):
-        return op @ x
-    if callable(op) and not hasattr(op, "matvec"):
-        return op(x)
-    return op.matvec(x)
+    # Single operator-dispatch point, shared with the solve subsystem (it
+    # additionally applies vector-only operators columnwise to RHS blocks).
+    from repro.solve.common import apply_operator
+
+    return apply_operator(op, x)
 
 
 def construction_error(

@@ -5,16 +5,18 @@ The quickstart workflow of the README:
 >>> from repro.api import HSSSolver
 >>> solver = HSSSolver.from_kernel("yukawa", n=2048, leaf_size=256, max_rank=60)
 >>> x = solver.solve(b)                    # direct solve through the ULV factors
+>>> X = solver.solve(B)                    # B of shape (n, k): k RHS at once
 >>> solver.construction_error(), solver.solve_error()
 
-Execution modes of the factorization (``HSSSolver.factorize``):
+Execution modes, shared by the factorization (``HSSSolver.factorize``) and
+the solve (``HSSSolver.solve``):
 
 ``use_runtime=False`` (or ``"off"``)
     Sequential reference implementation -- the fastest path for small
     problems and the ground truth the other modes are validated against.
 ``use_runtime=True`` (or ``"immediate"``)
-    The factorization is expressed as DTD runtime tasks whose bodies execute
-    at insertion time; records the full task graph for inspection/simulation.
+    Expressed as DTD runtime tasks whose bodies execute at insertion time;
+    records the full task graph for inspection/simulation.
 ``use_runtime="parallel"``
     The task graph is recorded first and then executed *out-of-order* on a
     thread pool (``n_workers`` threads) by the event-driven graph executor --
@@ -27,7 +29,11 @@ Execution modes of the factorization (``HSSSolver.factorize``):
     data transfers and communication accounting -- the distributed-memory
     analogue of the paper's deployment.  Sidesteps the GIL entirely.
 
-All modes produce bit-identical factors.
+All modes produce bit-identical factors *and* bit-identical solutions.  The
+solve additionally supports blocked multi-RHS panels (``panel_size``) and one
+optional iterative-refinement step (``refine=True``, against the exact kernel
+operator).  For serving many right-hand sides from a cache of factorizations,
+see :class:`repro.service.SolverService`.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ import numpy as np
 from repro.analysis.errors import construction_error, solve_error
 from repro.core.hss_ulv import HSSULVFactor, hss_ulv_factorize
 from repro.core.hss_ulv_dtd import hss_ulv_factorize_dtd
+from repro.core.rhs import check_rhs_shape
 from repro.distribution.strategies import DistributionStrategy, strategy_by_name
 from repro.formats.hss import HSSMatrix, build_hss
 from repro.geometry.points import PointCloud, uniform_grid_2d
@@ -47,6 +54,28 @@ from repro.kernels.assembly import KernelMatrix
 from repro.kernels.greens import kernel_by_name
 
 __all__ = ["HSSSolver"]
+
+
+def _resolve_use_runtime(use_runtime: bool | str) -> str:
+    """Normalize a ``use_runtime`` argument to a mode name, validating it."""
+    mode = {False: "off", True: "immediate"}.get(use_runtime, use_runtime)
+    if mode not in ("off", "immediate", "deferred", "parallel", "distributed"):
+        raise ValueError(
+            f"unknown use_runtime {use_runtime!r}; expected False, True, "
+            "'off', 'immediate', 'deferred', 'parallel' or 'distributed'"
+        )
+    return mode
+
+
+def _resolve_distribution(
+    distribution: Optional[Union[str, DistributionStrategy]],
+    nodes: int,
+    max_level: int,
+) -> Optional[DistributionStrategy]:
+    """Turn a distribution name into a strategy instance (pass through otherwise)."""
+    if isinstance(distribution, str):
+        return strategy_by_name(distribution, nodes, max_level=max_level)
+    return distribution
 
 
 @dataclass
@@ -168,16 +197,8 @@ class HSSSolver:
         force:
             Re-factorize even when a factor is already cached.
         """
-        mode = {False: "off", True: "immediate"}.get(use_runtime, use_runtime)
-        if mode not in ("off", "immediate", "deferred", "parallel", "distributed"):
-            raise ValueError(
-                f"unknown use_runtime {use_runtime!r}; expected False, True, "
-                "'off', 'immediate', 'deferred', 'parallel' or 'distributed'"
-            )
-        if isinstance(distribution, str):
-            distribution = strategy_by_name(
-                distribution, nodes, max_level=self.hss.max_level
-            )
+        mode = _resolve_use_runtime(use_runtime)
+        distribution = _resolve_distribution(distribution, nodes, self.hss.max_level)
         if force:
             self.factor = None
         if self.factor is None:
@@ -193,9 +214,77 @@ class HSSSolver:
                 )
         return self.factor
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` (factorizes on first use)."""
-        return self.factorize().solve(b)
+    def solve(
+        self,
+        b: np.ndarray,
+        *,
+        use_runtime: bool | str = False,
+        refine: bool = False,
+        nodes: int = 1,
+        n_workers: int = 4,
+        distribution: Optional[Union[str, DistributionStrategy]] = None,
+        panel_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Solve ``A x = b`` (factorizes on first use).
+
+        ``b`` may be a vector of length ``n`` or a matrix of shape ``(n, k)``
+        holding ``k`` right-hand sides; the solution has the same shape.
+
+        Parameters
+        ----------
+        use_runtime:
+            Execution path of the *solve* (the factorization path is chosen
+            by :meth:`factorize` and cached).  Same modes and semantics as
+            :meth:`factorize`: ``False``/``"off"`` (sequential reference),
+            ``True``/``"immediate"``, ``"deferred"``, ``"parallel"``
+            (thread pool with ``n_workers`` threads) or ``"distributed"``
+            (``nodes`` forked worker processes).  All paths produce
+            bit-identical solutions.
+        refine:
+            Apply one iterative-refinement step against the *exact* kernel
+            operator (not the compressed one), recovering accuracy lost to
+            loose compression tolerances.
+        nodes / n_workers / distribution:
+            Runtime-backend parameters, as in :meth:`factorize`.
+        panel_size:
+            Columns per RHS panel of the task-graph solve; ``None`` keeps all
+            ``k`` columns in one panel (bit-identical to the reference).
+        """
+        mode = _resolve_use_runtime(use_runtime)
+        if mode == "off" and (panel_size is not None or distribution is not None):
+            raise ValueError(
+                "panel_size and distribution only apply to the task-graph solve "
+                "paths; pass use_runtime='parallel'/'distributed'/... with them"
+            )
+        distribution = _resolve_distribution(distribution, nodes, self.hss.max_level)
+        # Fail fast on a mis-shaped b before the (expensive) factorization;
+        # the inner solvers are the single validate-and-copy point.
+        check_rhs_shape(b, self.n)
+        factor = self.factorize()
+        if mode == "off":
+            x = factor.solve(b)
+            if refine:
+                from repro.solve.common import refine_once
+
+                bm = np.asarray(b, dtype=np.float64).reshape(self.n, -1)
+                x = refine_once(
+                    factor.solve, self.kernel_matrix, bm, x.reshape(self.n, -1)
+                ).reshape(x.shape)
+            return x
+        from repro.solve.hss_solve_dtd import hss_ulv_solve_dtd
+
+        x, _ = hss_ulv_solve_dtd(
+            factor,
+            b,
+            execution=mode,
+            nodes=nodes,
+            n_workers=n_workers,
+            distribution=distribution,
+            panel_size=panel_size,
+            refine=refine,
+            matvec=self.kernel_matrix.matvec,
+        )
+        return x
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Fast matrix-vector product with the HSS approximation."""
@@ -210,10 +299,18 @@ class HSSSolver:
         """Eq. 18: relative error of the HSS approximation against the dense matrix."""
         return construction_error(self.kernel_matrix, self.hss, n=self.n, seed=seed)
 
-    def solve_error(self, *, seed: int = 0) -> float:
-        """Eq. 19: relative error of the factorization applied to the HSS matrix."""
+    def solve_error(self, *, seed: int = 0, nrhs: int = 1) -> float:
+        """Eq. 19: relative error of the factorization applied to the HSS matrix.
+
+        ``nrhs > 1`` probes with a random ``(n, nrhs)`` block instead of a
+        single vector (Frobenius-norm relative error).
+        """
+        if nrhs <= 0:
+            raise ValueError(f"nrhs must be positive, got {nrhs}")
         factor = self.factorize()
-        return solve_error(self.hss, factor.solve, n=self.n, seed=seed)
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal(self.n if nrhs == 1 else (self.n, nrhs))
+        return solve_error(self.hss, factor.solve, b=b)
 
     def __repr__(self) -> str:
         return (

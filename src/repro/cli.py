@@ -9,9 +9,11 @@ Usage::
     python -m repro fig11 --nodes 64
     python -m repro fig12 --n 65536
     python -m repro solve --n 2048 --runtime parallel --workers 4
+    python -m repro solve --n 2048 --nrhs 16 --runtime parallel --refine
     python -m repro solve --n 2048 --runtime distributed --nodes 4 --distribution row
     python -m repro speedup --backend process --workers 4
     python -m repro weakscale --base-n 512 --max-nodes 4
+    python -m repro servebench --n 1024 --requests 32 --batch 1 --batch 8
 
 Each experiment sub-command runs the corresponding driver
 (:mod:`repro.experiments`) and prints the same rows/series the paper reports.
@@ -20,11 +22,17 @@ where feasible.
 
 ``solve`` runs one end-to-end compress/factorize/solve through the
 :class:`~repro.api.HSSSolver` facade; ``--runtime`` selects the execution
-path (``off``: sequential reference, ``immediate``: DTD tasks executed at
-insertion time, ``parallel``: recorded task graph executed out-of-order on a
-``--workers``-thread pool, ``distributed``: recorded task graph executed
-across ``--nodes`` worker processes under the ``--distribution`` placement)
-and the reported errors demonstrate that all modes agree.
+path of both the factorization and the solve (``off``: sequential reference,
+``immediate``: DTD tasks executed at insertion time, ``parallel``: recorded
+task graph executed out-of-order on a ``--workers``-thread pool,
+``distributed``: recorded task graph executed across ``--nodes`` worker
+processes under the ``--distribution`` placement) and the reported errors
+demonstrate that all modes agree.  ``--nrhs`` solves a blocked multi-RHS
+system; ``--refine`` adds one iterative-refinement step.
+
+``servebench`` measures the serving throughput of the caching/batching
+:class:`~repro.service.SolverService`: solves/sec vs batch size vs backend,
+from one cached factorization per backend.
 
 ``weakscale`` runs the distributed weak-scaling experiment: the same recorded
 task graph is executed on the real multi-process backend and replayed through
@@ -47,17 +55,26 @@ from repro.experiments import (
     format_parallel_speedup,
     format_table1,
     format_table2,
+    format_solve_throughput,
     run_distributed_weak_scaling,
     run_fig9,
     run_fig10,
     run_fig11,
     run_fig12,
     run_parallel_speedup,
+    run_solve_throughput,
     run_table1,
     run_table2,
 )
 
 __all__ = ["build_parser", "main"]
+
+
+def _positive_int(value: str) -> int:
+    ivalue = int(value)
+    if ivalue <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return ivalue
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,6 +139,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="data-distribution strategy for the runtime paths",
     )
     p.add_argument("--seed", type=int, default=0, help="RNG seed for the right-hand side")
+    p.add_argument(
+        "--nrhs",
+        type=_positive_int,
+        default=1,
+        help="number of right-hand sides solved as one block",
+    )
+    p.add_argument(
+        "--refine",
+        action="store_true",
+        help="add one iterative-refinement step against the exact kernel operator",
+    )
 
     p = sub.add_parser(
         "speedup", help="sequential vs parallel execution of the recorded ULV task graphs"
@@ -156,6 +184,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="distribution strategy (repeatable; default: row and block)",
     )
 
+    p = sub.add_parser(
+        "servebench",
+        help="SolverService throughput: solves/sec vs batch size vs backend",
+    )
+    p.add_argument("--n", type=int, default=1024, help="problem size")
+    p.add_argument("--kernel", default="yukawa", help="kernel name")
+    p.add_argument("--leaf-size", type=int, default=128, help="leaf cluster size")
+    p.add_argument("--max-rank", type=int, default=30, help="skeleton rank cap")
+    p.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=32,
+        help="right-hand sides streamed per sweep",
+    )
+    p.add_argument(
+        "--batch",
+        action="append",
+        dest="batch_sizes",
+        type=_positive_int,
+        help="batch size (repeatable; default: 1, 4, 16)",
+    )
+    p.add_argument(
+        "--backend",
+        action="append",
+        dest="backends",
+        choices=("reference", "immediate", "sequential", "parallel", "distributed"),
+        help="service backend (repeatable; default: reference, sequential, parallel)",
+    )
+    p.add_argument("--workers", type=int, default=4, help="thread count for the parallel backend")
+    p.add_argument(
+        "--nodes", type=int, default=2, help="worker processes for the distributed backend"
+    )
+    p.add_argument(
+        "--panel-size",
+        type=_positive_int,
+        default=None,
+        help="RHS-panel width of the task-graph backends (default: one panel)",
+    )
+    p.add_argument(
+        "--distribution",
+        choices=("row", "block", "element"),
+        default=None,
+        help="placement strategy for the task-graph backends",
+    )
+    p.add_argument("--seed", type=int, default=0, help="RNG seed for the right-hand sides")
+
     return parser
 
 
@@ -171,38 +245,58 @@ def _run_solve(args: argparse.Namespace) -> str:
     )
     t_build = time.perf_counter() - t0
 
+    distribution = args.distribution if args.runtime == "distributed" else None
     t0 = time.perf_counter()
     solver.factorize(
         use_runtime=args.runtime,
         nodes=args.nodes,
         n_workers=args.workers,
-        distribution=args.distribution if args.runtime == "distributed" else None,
+        distribution=distribution,
     )
     t_factor = time.perf_counter() - t0
 
     rng = np.random.default_rng(args.seed)
-    b = rng.standard_normal(args.n)
+    b = rng.standard_normal(args.n if args.nrhs == 1 else (args.n, args.nrhs))
     t0 = time.perf_counter()
-    x = solver.solve(b)
+    x = solver.solve(
+        b,
+        use_runtime=args.runtime,
+        refine=args.refine,
+        nodes=args.nodes,
+        n_workers=args.workers,
+        distribution=distribution,
+    )
     t_solve = time.perf_counter() - t0
     residual = np.linalg.norm(solver.matvec(x) - b) / np.linalg.norm(b)
+    exact_residual = None
+    if args.refine:
+        # Refinement corrects toward the exact kernel operator, so the
+        # meaningful residual is against it (the compressed-operator residual
+        # grows back to the construction error by design).
+        from repro.analysis.errors import relative_residual
+
+        exact_residual = relative_residual(solver.kernel_matrix, x, b)
 
     runtime_detail = ""
     if args.runtime == "parallel":
         runtime_detail = f" workers={args.workers}"
     elif args.runtime == "distributed":
         runtime_detail = f" nodes={args.nodes} distribution={args.distribution}"
+    if args.refine:
+        runtime_detail += " refine=1"
     lines = [
-        f"HSSSolver solve: kernel={args.kernel} n={args.n} "
+        f"HSSSolver solve: kernel={args.kernel} n={args.n} nrhs={args.nrhs} "
         f"leaf_size={args.leaf_size} max_rank={args.max_rank}",
         f"runtime={args.runtime}" + runtime_detail,
         f"construct {t_build:8.3f} s",
         f"factorize {t_factor:8.3f} s",
-        f"solve     {t_solve:8.3f} s",
+        f"solve     {t_solve:8.3f} s  ({args.nrhs / max(t_solve, 1e-12):.1f} solves/s)",
         f"construction error {solver.construction_error():.3e}",
-        f"solve error        {solver.solve_error():.3e}",
+        f"solve error        {solver.solve_error(nrhs=args.nrhs):.3e}",
         f"residual           {residual:.3e}",
     ]
+    if exact_residual is not None:
+        lines.append(f"exact residual     {exact_residual:.3e}")
     return "\n".join(lines)
 
 
@@ -263,6 +357,25 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
                 leaf_size=args.leaf_size,
                 max_rank=args.max_rank,
                 distributions=tuple(args.distributions) if args.distributions else ("row", "block"),
+            )
+        )
+    elif args.command == "servebench":
+        out = format_solve_throughput(
+            run_solve_throughput(
+                n=args.n,
+                kernel=args.kernel,
+                leaf_size=args.leaf_size,
+                max_rank=args.max_rank,
+                requests=args.requests,
+                batch_sizes=tuple(args.batch_sizes) if args.batch_sizes else (1, 4, 16),
+                backends=tuple(args.backends)
+                if args.backends
+                else ("reference", "sequential", "parallel"),
+                n_workers=args.workers,
+                nodes=args.nodes,
+                distribution=args.distribution,
+                panel_size=args.panel_size,
+                seed=args.seed,
             )
         )
     else:  # pragma: no cover - argparse enforces the choices

@@ -17,6 +17,7 @@ import numpy as np
 import scipy.linalg
 
 from repro.core.partial_cholesky import PartialCholeskyResult, partial_cholesky
+from repro.core.rhs import validate_rhs
 from repro.formats.blr2 import BLR2Matrix
 from repro.lowrank.qr import full_orthogonal_basis
 
@@ -52,10 +53,11 @@ class BLR2ULVFactor:
         return offsets
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` through the ULV factors (Eq. 15)."""
-        b = np.asarray(b, dtype=np.float64)
-        single = b.ndim == 1
-        bm = b.reshape(self.blr2.n, -1)
+        """Solve ``A x = b`` through the ULV factors (Eq. 15).
+
+        ``b`` may be a vector of length ``n`` or a matrix of shape ``(n, k)``.
+        """
+        bm, single = validate_rhs(b, self.blr2.n)
         nb = self.blr2.nblocks
         offsets = self._skeleton_offsets()
 

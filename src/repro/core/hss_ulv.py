@@ -21,6 +21,7 @@ import numpy as np
 import scipy.linalg
 
 from repro.core.partial_cholesky import PartialCholeskyResult, partial_cholesky
+from repro.core.rhs import validate_rhs
 from repro.formats.hss import HSSMatrix
 from repro.lowrank.qr import full_orthogonal_basis
 
@@ -82,9 +83,7 @@ class HSSULVFactor:
 
         ``b`` may be a vector of length ``n`` or a matrix of shape ``(n, k)``.
         """
-        b = np.asarray(b, dtype=np.float64)
-        single = b.ndim == 1
-        bm = b.reshape(self.hss.n, -1).copy()
+        bm, single = validate_rhs(b, self.hss.n)
         max_level = self.hss.max_level
 
         # Forward pass: rotate, eliminate redundant unknowns, merge upward.

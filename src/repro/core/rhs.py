@@ -1,0 +1,68 @@
+"""Right-hand-side validation shared by the ULV solvers.
+
+Every solve entry point (the sequential ``HSSULVFactor.solve`` /
+``BLR2ULVFactor.solve``, the task-graph drivers in :mod:`repro.solve` and the
+:class:`~repro.api.HSSSolver` facade) accepts either a vector of length ``n``
+or a matrix of shape ``(n, k)`` holding ``k`` right-hand sides.  This helper
+normalizes both forms to a float64 ``(n, k)`` working copy and raises a clear
+error for anything else, instead of letting a mis-shaped array surface as a
+cryptic reshape/broadcast failure deep inside the leaf kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["check_rhs_shape", "validate_rhs"]
+
+
+def check_rhs_shape(b: np.ndarray, n: int, *, name: str = "b") -> None:
+    """Shape-validate a right-hand side without converting or copying it.
+
+    Raises :class:`ValueError` for anything that is not a length-``n`` vector
+    or an ``(n, k)`` matrix.  Use this for cheap fail-fast checks before
+    expensive work; the converting/copying normalization lives in
+    :func:`validate_rhs`.
+    """
+    shape = np.shape(b)
+    if len(shape) not in (1, 2):
+        raise ValueError(
+            f"{name} must be a vector of length {n} or a matrix of shape "
+            f"({n}, k); got a {len(shape)}-D array of shape {shape}"
+        )
+    if shape[0] != n:
+        raise ValueError(
+            f"{name} must have {n} rows to match the matrix; got shape {shape}"
+        )
+
+
+def validate_rhs(b: np.ndarray, n: int, *, name: str = "b") -> Tuple[np.ndarray, bool]:
+    """Validate a right-hand side against a matrix of dimension ``n``.
+
+    Parameters
+    ----------
+    b:
+        A vector of length ``n`` or a matrix of shape ``(n, k)``.
+    n:
+        Dimension of the (square) system matrix.
+    name:
+        Argument name used in error messages.
+
+    Returns
+    -------
+    (bm, single):
+        ``bm`` is a float64 working copy of shape ``(n, k)`` (``k == 1`` for a
+        vector input); ``single`` is True when the caller should flatten the
+        solution back to a vector.
+
+    Raises
+    ------
+    ValueError
+        If ``b`` is not 1-D or 2-D, or its leading dimension is not ``n``.
+    """
+    check_rhs_shape(b, n, name=name)
+    arr = np.asarray(b, dtype=np.float64)
+    single = arr.ndim == 1
+    return arr.reshape(n, -1).copy(), single

@@ -30,8 +30,16 @@ from repro.experiments.distributed_weak_scaling import (
     format_distributed_weak_scaling,
     run_distributed_weak_scaling,
 )
+from repro.experiments.solve_throughput import (
+    ThroughputRow,
+    format_solve_throughput,
+    run_solve_throughput,
+)
 
 __all__ = [
+    "ThroughputRow",
+    "run_solve_throughput",
+    "format_solve_throughput",
     "SpeedupRow",
     "run_parallel_speedup",
     "format_parallel_speedup",

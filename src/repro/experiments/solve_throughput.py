@@ -1,0 +1,160 @@
+"""Solve-throughput experiment: solves/sec vs batch size vs backend.
+
+The end-to-end serving story of the reproduction: a :class:`~repro.service.SolverService`
+caches one factorization per problem description and drains queued right-hand
+sides as batched task-graph solves.  This driver measures, for each backend
+and each batch size, the wall time to serve a fixed stream of single-RHS
+requests (submitted in groups of ``batch_size`` and flushed per group) and
+reports the resulting solves/sec -- the unit the north star bills by.
+
+Run via ``python -m repro servebench`` or the benchmark harness
+(``benchmarks/test_solve_throughput.py``, which records the rows into
+``benchmarks/BENCH_runtime.json``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.service import FactorKey, SolverService
+
+__all__ = ["ThroughputRow", "run_solve_throughput", "format_solve_throughput"]
+
+
+@dataclass
+class ThroughputRow:
+    """One measured (backend, batch size) point of the throughput sweep."""
+
+    backend: str
+    batch_size: int
+    requests: int
+    batches: int
+    wall_seconds: float
+    solves_per_sec: float
+    max_residual: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "batch_size": self.batch_size,
+            "requests": self.requests,
+            "batches": self.batches,
+            "wall_seconds": self.wall_seconds,
+            "solves_per_sec": self.solves_per_sec,
+            "max_residual": self.max_residual,
+        }
+
+
+def run_solve_throughput(
+    *,
+    n: int = 1024,
+    kernel: str = "yukawa",
+    leaf_size: int = 128,
+    max_rank: int = 30,
+    requests: int = 32,
+    batch_sizes: Sequence[int] = (1, 4, 16),
+    backends: Sequence[str] = ("reference", "sequential", "parallel"),
+    n_workers: int = 4,
+    nodes: int = 2,
+    distribution: Optional[str] = None,
+    panel_size: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Measure serving throughput for every (backend, batch size) pair.
+
+    One :class:`SolverService` per backend (so its factorization cache is
+    warmed once and shared across batch sizes); the same ``requests`` random
+    right-hand sides are streamed through every configuration.  Returns a
+    plain-dict result with the problem description, the per-backend
+    factorization seconds and one :class:`ThroughputRow` per measurement.
+    """
+    rng = np.random.default_rng(seed)
+    rhs = rng.standard_normal((n, requests))
+    key = FactorKey.make(kernel, n, leaf_size=leaf_size, max_rank=max_rank)
+
+    rows: List[ThroughputRow] = []
+    factor_seconds: Dict[str, float] = {}
+    for backend in backends:
+        # The reference backend rejects task-graph-only knobs; don't forward them.
+        knobs = (
+            {} if backend == "reference"
+            else {"panel_size": panel_size, "distribution": distribution}
+        )
+        service = SolverService(
+            backend=backend, n_workers=n_workers, nodes=nodes, **knobs
+        )
+        # Warm the cache so the measured windows are pure solve phase.
+        solver = service.solver_for(key)
+        factor_seconds[backend] = service.stats.factor_seconds
+        for batch in batch_sizes:
+            tickets = []
+            t0 = time.perf_counter()
+            batches = 0
+            for start in range(0, requests, batch):
+                for j in range(start, min(start + batch, requests)):
+                    tickets.append(
+                        service.submit(
+                            rhs[:, j], kernel=kernel, n=n,
+                            leaf_size=leaf_size, max_rank=max_rank,
+                        )
+                    )
+                service.flush()
+                batches += 1
+            wall = time.perf_counter() - t0
+            x = np.column_stack([t.result for t in tickets])
+            residual = float(
+                np.max(
+                    np.linalg.norm(solver.hss.matvec(x) - rhs, axis=0)
+                    / np.linalg.norm(rhs, axis=0)
+                )
+            )
+            rows.append(
+                ThroughputRow(
+                    backend=backend,
+                    batch_size=batch,
+                    requests=requests,
+                    batches=batches,
+                    wall_seconds=wall,
+                    solves_per_sec=requests / wall if wall > 0 else float("inf"),
+                    max_residual=residual,
+                )
+            )
+    return {
+        "n": n,
+        "kernel": kernel,
+        "leaf_size": leaf_size,
+        "max_rank": max_rank,
+        "requests": requests,
+        "factor_seconds": factor_seconds,
+        "rows": rows,
+    }
+
+
+def format_solve_throughput(result: Dict[str, object]) -> str:
+    """Render the throughput sweep as the table ``python -m repro servebench`` prints."""
+    lines = [
+        f"Solve throughput: kernel={result['kernel']} n={result['n']} "
+        f"leaf_size={result['leaf_size']} max_rank={result['max_rank']} "
+        f"requests={result['requests']}",
+        "(one cached factorization per backend; requests flushed in groups of batch)",
+        "",
+        f"{'backend':>12} {'batch':>6} {'batches':>8} {'wall [s]':>10} "
+        f"{'solves/s':>10} {'max resid':>10}",
+    ]
+    for row in result["rows"]:
+        lines.append(
+            f"{row.backend:>12} {row.batch_size:>6d} {row.batches:>8d} "
+            f"{row.wall_seconds:>10.4f} {row.solves_per_sec:>10.1f} "
+            f"{row.max_residual:>10.2e}"
+        )
+    fs = result["factor_seconds"]
+    lines.append("")
+    lines.append(
+        "factorization (amortized, cached): "
+        + "  ".join(f"{b}={fs[b]:.3f}s" for b in fs)
+    )
+    return "\n".join(lines)

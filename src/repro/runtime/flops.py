@@ -15,6 +15,9 @@ __all__ = [
     "flops_svd",
     "flops_diag_product",
     "flops_partial_factor",
+    "flops_solve_forward",
+    "flops_solve_root",
+    "flops_solve_backward",
 ]
 
 
@@ -58,3 +61,26 @@ def flops_partial_factor(n: int, rank: int) -> float:
     """Partial Cholesky of an ``n x n`` block leaving ``rank`` skeleton rows."""
     nr = max(n - rank, 0)
     return flops_potrf(nr) + flops_trsm(nr, rank) + flops_syrk(rank, nr)
+
+
+def flops_solve_forward(n: int, rank: int, k: int) -> float:
+    """Forward elimination of one ULV block for ``k`` right-hand sides (Eq. 17).
+
+    Rotate (``U^T b``), solve the redundant triangle, update the skeleton part.
+    """
+    nr = max(n - rank, 0)
+    return flops_gemm(n, k, n) + flops_trsm(nr, k) + flops_gemm(rank, k, nr)
+
+
+def flops_solve_root(n: int, k: int) -> float:
+    """Root dense solve: two triangular solves against the final Cholesky factor."""
+    return 2.0 * flops_trsm(n, k)
+
+
+def flops_solve_backward(n: int, rank: int, k: int) -> float:
+    """Back-substitution of one ULV block for ``k`` right-hand sides (Eq. 17).
+
+    Skeleton update, redundant triangular solve, rotate back (``U y``).
+    """
+    nr = max(n - rank, 0)
+    return flops_gemm(nr, k, rank) + flops_trsm(nr, k) + flops_gemm(n, k, n)

@@ -1,0 +1,13 @@
+"""Serving layer: cached factorizations, queued right-hand sides, batched solves.
+
+See :class:`repro.service.solver_service.SolverService`.
+"""
+
+from repro.service.solver_service import (
+    FactorKey,
+    ServiceStats,
+    SolveTicket,
+    SolverService,
+)
+
+__all__ = ["FactorKey", "ServiceStats", "SolveTicket", "SolverService"]

@@ -1,0 +1,296 @@
+"""A caching, batching solve service on top of the task-graph solvers.
+
+The ROADMAP north star bills by solves: one factorization amortized over many
+right-hand sides.  :class:`SolverService` keeps an LRU cache of
+:class:`~repro.api.HSSSolver` factorizations keyed by the full problem
+description (kernel, n, leaf_size, max_rank, kernel params), queues incoming
+right-hand sides as :class:`SolveTicket` objects, and drains the queue in
+:meth:`SolverService.flush` as *batched* task-graph solves: all queued
+requests against the same factorization are stacked into one ``(n, k)`` block
+and solved through a single recorded graph on the configured backend
+(optionally split into ``panel_size`` panels so independent panels overlap
+inside the runtime).
+
+>>> service = SolverService(backend="parallel", n_workers=4)
+>>> t1 = service.submit(b1, kernel="yukawa", n=1024, leaf_size=128, max_rank=30)
+>>> t2 = service.submit(b2, kernel="yukawa", n=1024, leaf_size=128, max_rank=30)
+>>> service.flush()
+>>> x1, x2 = t1.result, t2.result      # one factorization, one batched solve
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.api import HSSSolver
+from repro.core.rhs import validate_rhs
+from repro.distribution.strategies import DistributionStrategy
+
+__all__ = ["FactorKey", "SolveTicket", "ServiceStats", "SolverService"]
+
+#: Maps the service backend name to the ``use_runtime`` mode of
+#: :meth:`repro.api.HSSSolver.solve`.
+_BACKEND_TO_RUNTIME: Dict[str, Union[bool, str]] = {
+    "reference": False,
+    "immediate": True,
+    "sequential": "deferred",
+    "parallel": "parallel",
+    "distributed": "distributed",
+}
+
+
+@dataclass(frozen=True)
+class FactorKey:
+    """Cache key identifying one factorization (problem description)."""
+
+    kernel: str
+    n: int
+    leaf_size: int = 256
+    max_rank: int = 100
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    @classmethod
+    def make(
+        cls, kernel: str, n: int, *, leaf_size: int = 256, max_rank: int = 100,
+        **params: float,
+    ) -> "FactorKey":
+        return cls(
+            kernel=str(kernel), n=int(n), leaf_size=int(leaf_size),
+            max_rank=int(max_rank), params=tuple(sorted(params.items())),
+        )
+
+
+class SolveTicket:
+    """Handle for one queued right-hand side, resolved by :meth:`SolverService.flush`."""
+
+    __slots__ = ("key", "_b", "_single", "_result", "nrhs", "done")
+
+    def __init__(self, key: FactorKey, b: np.ndarray, single: bool) -> None:
+        self.key = key
+        self._b: Optional[np.ndarray] = b  # validated (n, k) block until resolved
+        self._single = single
+        self._result: Optional[np.ndarray] = None
+        self.nrhs = b.shape[1]
+        self.done = False
+
+    @property
+    def result(self) -> np.ndarray:
+        """The solution, shaped like the submitted ``b``."""
+        if not self.done:
+            raise RuntimeError(
+                "ticket not resolved yet; call SolverService.flush() first"
+            )
+        return self._result
+
+    def _resolve(self, x: np.ndarray) -> None:
+        # Copy out of the batch solution so tickets never alias each other,
+        # and drop the input block so a resolved ticket holds one array.
+        self._result = x[:, 0].copy() if self._single else x.copy()
+        self._b = None
+        self.done = True
+
+    def __repr__(self) -> str:
+        return f"SolveTicket({self.key.kernel}, n={self.key.n}, nrhs={self.nrhs}, done={self.done})"
+
+
+@dataclass
+class ServiceStats:
+    """Counters accumulated over the lifetime of one :class:`SolverService`."""
+
+    requests: int = 0          #: tickets submitted
+    solves: int = 0            #: right-hand-side columns solved
+    batches: int = 0           #: batched graph solves executed
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    factor_seconds: float = 0.0  #: wall time spent building + factorizing
+    solve_seconds: float = 0.0   #: wall time spent in batched solves
+
+    @property
+    def solves_per_sec(self) -> float:
+        """Solved RHS columns per second of solve-phase wall time."""
+        return self.solves / self.solve_seconds if self.solve_seconds > 0 else 0.0
+
+
+class SolverService:
+    """Serve many right-hand sides from cached, batched task-graph solves.
+
+    Parameters
+    ----------
+    backend:
+        Solve execution path: ``"reference"`` (sequential factor.solve),
+        ``"immediate"`` / ``"sequential"`` (task graph, sequential bodies),
+        ``"parallel"`` (thread-pool executor, ``n_workers`` threads; the
+        default) or ``"distributed"`` (``nodes`` forked worker processes).
+        All backends produce bit-identical solutions.
+    n_workers / nodes / distribution:
+        Runtime-backend parameters, as in :meth:`repro.api.HSSSolver.solve`.
+    panel_size:
+        RHS-panel width of the batched graph solves (``None``: one panel).
+    refine:
+        Apply one iterative-refinement step per batch (against the exact
+        kernel operator) to every solve.
+    max_cached:
+        Factorizations kept in the LRU cache before eviction.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "parallel",
+        n_workers: int = 4,
+        nodes: int = 1,
+        distribution: Optional[Union[str, DistributionStrategy]] = None,
+        panel_size: Optional[int] = None,
+        refine: bool = False,
+        max_cached: int = 8,
+    ) -> None:
+        if backend not in _BACKEND_TO_RUNTIME:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{sorted(_BACKEND_TO_RUNTIME)}"
+            )
+        if backend == "reference" and (panel_size is not None or distribution is not None):
+            # Mirror HSSSolver.solve: never silently drop task-graph-only knobs.
+            raise ValueError(
+                "panel_size and distribution only apply to the task-graph "
+                "backends; backend='reference' would ignore them"
+            )
+        if max_cached <= 0:
+            raise ValueError("max_cached must be positive")
+        self.backend = backend
+        self.n_workers = n_workers
+        self.nodes = nodes
+        self.distribution = distribution
+        self.panel_size = panel_size
+        self.refine = refine
+        self.max_cached = max_cached
+        self.stats = ServiceStats()
+        self._cache: "OrderedDict[FactorKey, HSSSolver]" = OrderedDict()
+        self._queue: List[SolveTicket] = []
+
+    # -- factorization cache -------------------------------------------------
+    def solver_for(self, key: FactorKey) -> HSSSolver:
+        """The cached, factorized :class:`HSSSolver` for ``key`` (build on miss)."""
+        solver = self._cache.get(key)
+        if solver is not None:
+            self._cache.move_to_end(key)
+            self.stats.cache_hits += 1
+            return solver
+        self.stats.cache_misses += 1
+        t0 = time.perf_counter()
+        solver = HSSSolver.from_kernel(
+            key.kernel, n=key.n, leaf_size=key.leaf_size, max_rank=key.max_rank,
+            **dict(key.params),
+        )
+        solver.factorize()
+        self.stats.factor_seconds += time.perf_counter() - t0
+        self._cache[key] = solver
+        while len(self._cache) > self.max_cached:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return solver
+
+    @property
+    def cached_keys(self) -> List[FactorKey]:
+        return list(self._cache)
+
+    # -- request queue -------------------------------------------------------
+    def submit(
+        self,
+        b: np.ndarray,
+        *,
+        kernel: str,
+        n: int,
+        leaf_size: int = 256,
+        max_rank: int = 100,
+        **params: float,
+    ) -> SolveTicket:
+        """Queue one right-hand side (vector or ``(n, k)`` block) for solving.
+
+        ``n`` is required (never inferred from ``b``): the cache key must name
+        the intended problem, so a mis-sized right-hand side raises instead of
+        silently factorizing -- and caching -- a wrong-size problem.
+        """
+        key = FactorKey.make(kernel, n, leaf_size=leaf_size, max_rank=max_rank, **params)
+        bm, single = validate_rhs(b, key.n)
+        ticket = SolveTicket(key, bm, single)
+        self._queue.append(ticket)
+        self.stats.requests += 1
+        return ticket
+
+    @property
+    def pending(self) -> int:
+        """Queued tickets not yet flushed."""
+        return len(self._queue)
+
+    def flush(self) -> List[SolveTicket]:
+        """Drain the queue: one batched task-graph solve per distinct key.
+
+        Tickets sharing a factorization key are stacked column-wise into one
+        block right-hand side and solved through a single recorded graph; the
+        solution block is split back onto the tickets.  Returns the resolved
+        tickets in submission order.
+        """
+        queue, self._queue = self._queue, []
+        by_key: "OrderedDict[FactorKey, List[SolveTicket]]" = OrderedDict()
+        for ticket in queue:
+            by_key.setdefault(ticket.key, []).append(ticket)
+        use_runtime = _BACKEND_TO_RUNTIME[self.backend]
+        solve_kwargs: Dict[str, object] = {"use_runtime": use_runtime, "refine": self.refine}
+        if use_runtime is not False:
+            # Task-graph-only knobs; the reference path rejects them.
+            solve_kwargs.update(
+                nodes=self.nodes,
+                n_workers=self.n_workers,
+                distribution=self.distribution,
+                panel_size=self.panel_size,
+            )
+        try:
+            for key, tickets in by_key.items():
+                solver = self.solver_for(key)
+                batch = np.concatenate([t._b for t in tickets], axis=1)
+                t0 = time.perf_counter()
+                x = solver.solve(batch, **solve_kwargs)
+                self.stats.solve_seconds += time.perf_counter() - t0
+                self.stats.batches += 1
+                self.stats.solves += batch.shape[1]
+                start = 0
+                for ticket in tickets:
+                    ticket._resolve(x[:, start : start + ticket.nrhs])
+                    start += ticket.nrhs
+        except BaseException:
+            # A failed batch (bad backend config, worker crash, ...) must not
+            # strand the remaining requests: re-queue every unresolved ticket
+            # so a corrected service can flush them again.
+            self._queue = [t for t in queue if not t.done] + self._queue
+            raise
+        return queue
+
+    def solve(
+        self,
+        b: np.ndarray,
+        *,
+        kernel: str,
+        n: int,
+        leaf_size: int = 256,
+        max_rank: int = 100,
+        **params: float,
+    ) -> np.ndarray:
+        """Convenience: submit one request, flush, return its solution."""
+        ticket = self.submit(
+            b, kernel=kernel, n=n, leaf_size=leaf_size, max_rank=max_rank, **params
+        )
+        self.flush()
+        return ticket.result
+
+    def __repr__(self) -> str:
+        return (
+            f"SolverService(backend={self.backend!r}, cached={len(self._cache)}, "
+            f"pending={self.pending}, solves={self.stats.solves})"
+        )

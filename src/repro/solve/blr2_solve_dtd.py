@@ -1,0 +1,265 @@
+"""BLR2-ULV solve expressed as DTD runtime tasks.
+
+The single-level counterpart of :mod:`repro.solve.hss_solve_dtd` (Eq. 15):
+per block row, one forward-elimination task rotates the RHS block and solves
+the redundant triangle; one root task solves the permuted skeleton system
+against the merged Cholesky factor; and per block row, one back-substitution
+task recovers and rotates back the local solution.  Dependencies are derived
+from the declared accesses, so the same recorded graph executes sequentially,
+on the thread-pool executor, or on the distributed multi-process backend --
+all bit-identical to the sequential reference
+:meth:`~repro.core.blr2_ulv.BLR2ULVFactor.solve`.
+
+Multi-RHS blocking, iterative refinement and the backend selection mirror the
+HSS driver; see :func:`repro.solve.hss_solve_dtd.hss_ulv_solve_dtd`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.linalg
+
+from repro.core.blr2_ulv import BLR2ULVFactor
+from repro.core.rhs import check_rhs_shape
+from repro.distribution.strategies import DistributionStrategy, RowCyclicDistribution
+from repro.runtime.dtd import DTDRuntime, resolve_execution
+from repro.runtime.flops import (
+    flops_solve_backward,
+    flops_solve_forward,
+    flops_solve_root,
+)
+from repro.runtime.task import AccessMode
+from repro.solve.common import column_panels, handle_namespace, refine_once
+
+__all__ = ["blr2_ulv_solve_dtd"]
+
+
+def blr2_ulv_solve_dtd(
+    factor: BLR2ULVFactor,
+    b: np.ndarray,
+    *,
+    runtime: Optional[DTDRuntime] = None,
+    execution: Optional[str] = None,
+    nodes: int = 1,
+    distribution: Optional[DistributionStrategy] = None,
+    n_workers: int = 4,
+    panel_size: Optional[int] = None,
+    refine: bool = False,
+    matvec=None,
+) -> Tuple[np.ndarray, DTDRuntime]:
+    """Solve ``A x = b`` with a BLR2-ULV factor through the DTD runtime.
+
+    Parameters mirror :func:`repro.solve.hss_solve_dtd.hss_ulv_solve_dtd`.
+    Returns ``(x, runtime)`` with ``x`` shaped like ``b``.
+    """
+    # Normalize without copying: the driver only reads bm (the per-row seeds
+    # are slice copies), so the validate_rhs working copy would be overhead.
+    check_rhs_shape(b, factor.blr2.n)
+    arr = np.asarray(b, dtype=np.float64)
+    single = arr.ndim == 1
+    bm = arr.reshape(factor.blr2.n, -1)
+    rt, mode = resolve_execution(runtime, execution)
+    x = _record_and_run(
+        factor, bm, rt, mode,
+        nodes=nodes, distribution=distribution,
+        n_workers=n_workers, panel_size=panel_size,
+    )
+    if refine:
+        op = matvec if matvec is not None else factor.blr2
+        x = refine_once(
+            lambda r: _record_and_run(
+                factor, r, DTDRuntime(execution=rt.execution), mode,
+                nodes=nodes, distribution=distribution,
+                n_workers=n_workers, panel_size=panel_size,
+            ),
+            op, bm, x,
+        )
+    return (x[:, 0] if single else x), rt
+
+
+def _record_and_run(
+    factor: BLR2ULVFactor,
+    bm: np.ndarray,
+    rt: DTDRuntime,
+    mode: str,
+    *,
+    nodes: int,
+    distribution: Optional[DistributionStrategy],
+    n_workers: int,
+    panel_size: Optional[int],
+) -> np.ndarray:
+    """Record the forward/root/backward graph for ``bm`` and execute it."""
+    blr2 = factor.blr2
+    nb = blr2.nblocks
+    offsets = factor._skeleton_offsets()
+    panels = column_panels(bm.shape[1], panel_size)
+    # Same virtual tree level as the factorization graph, so the row-cyclic
+    # strategy spreads the flat block rows identically.
+    level = max(1, math.ceil(math.log2(max(nb, 2))))
+    # Unique suffix so repeated solves can record into one shared runtime.
+    ns = handle_namespace(rt)
+
+    # Mutable per-panel stores the task bodies operate on.
+    bin_store: Dict[Tuple[int, int], np.ndarray] = {}
+    zs: Dict[Tuple[int, int], np.ndarray] = {}
+    bs: Dict[Tuple[int, int], np.ndarray] = {}
+    ys: Dict[int, np.ndarray] = {}
+    sol: Dict[Tuple[int, int], np.ndarray] = {}
+
+    # Immutable factor handles (no writers: inherited by forked workers).
+    fac_handle: Dict[int, object] = {}
+    for i in range(nb):
+        part = factor.partials[i]
+        fac_handle[i] = rt.new_handle(
+            f"ULV[{i}]{ns}",
+            nbytes=int(factor.bases[i].nbytes + part.L_rr.nbytes + part.L_sr.nbytes),
+            level=level, row=i, max_level=level,
+        )
+    root_handle = rt.new_handle(
+        f"ULV_ROOT{ns}", nbytes=int(factor.merged_chol.nbytes),
+        level=0, row=0, max_level=level,
+    )
+
+    bin_h: Dict[Tuple[int, int], object] = {}
+    z_h: Dict[Tuple[int, int], object] = {}
+    s_h: Dict[Tuple[int, int], object] = {}
+    y_h: Dict[int, object] = {}
+    sol_h: Dict[Tuple[int, int], object] = {}
+    for p, cols in enumerate(panels):
+        pw = cols.stop - cols.start
+        for i in range(nb):
+            m = blr2.diag[i].shape[0]
+            r = blr2.rank(i)
+            bin_h[(p, i)] = rt.new_handle(
+                f"B[{i};p{p}]{ns}", nbytes=8 * m * pw,
+                level=level, row=i, max_level=level, panel=p,
+            ).bind_item(bin_store, (p, i))
+            z_h[(p, i)] = rt.new_handle(
+                f"Z[{i};p{p}]{ns}", nbytes=8 * (m - r) * pw,
+                level=level, row=i, max_level=level, panel=p,
+            ).bind_item(zs, (p, i))
+            s_h[(p, i)] = rt.new_handle(
+                f"BS[{i};p{p}]{ns}", nbytes=8 * r * pw,
+                level=level, row=i, max_level=level, panel=p,
+            ).bind_item(bs, (p, i))
+            sol_h[(p, i)] = rt.new_handle(
+                f"X[{i};p{p}]{ns}", nbytes=8 * m * pw,
+                level=level, row=i, max_level=level, panel=p,
+            ).bind_item(sol, (p, i))
+        y_h[p] = rt.new_handle(
+            f"Y[p{p}]{ns}", nbytes=8 * offsets[-1] * pw,
+            level=0, row=0, max_level=level, panel=p,
+        ).bind_item(ys, p)
+
+    strategy = (
+        distribution if distribution is not None
+        else RowCyclicDistribution(nodes, max_level=level)
+    )
+    strategy.assign(rt.handles)
+
+    # Seed the per-row RHS blocks (inherited by forked workers).
+    for p, cols in enumerate(panels):
+        for i in range(nb):
+            bin_store[(p, i)] = bm[blr2.block_range(i), cols].copy()
+
+    for p, cols in enumerate(panels):
+        pw = cols.stop - cols.start
+
+        for i in range(nb):
+
+            def forward(p=p, i=i) -> None:
+                bhat = factor.bases[i].T @ bin_store[(p, i)]
+                nr = factor.partials[i].redundant_size
+                br, bsi = bhat[:nr], bhat[nr:]
+                if nr > 0:
+                    z = scipy.linalg.solve_triangular(factor.partials[i].L_rr, br, lower=True)
+                    bsi = bsi - factor.partials[i].L_sr @ z
+                else:
+                    z = br
+                zs[(p, i)] = z
+                bs[(p, i)] = bsi
+
+            m = blr2.diag[i].shape[0]
+            rt.insert_task(
+                forward,
+                [
+                    (fac_handle[i], AccessMode.READ),
+                    (bin_h[(p, i)], AccessMode.READ),
+                    (z_h[(p, i)], AccessMode.WRITE),
+                    (s_h[(p, i)], AccessMode.WRITE),
+                ],
+                name=f"FWD[{i};p{p}]",
+                kind="SOLVE_FWD",
+                flops=flops_solve_forward(m, blr2.rank(i), pw),
+                phase=0,
+            )
+
+        def root_solve(p=p) -> None:
+            # Stacking the skeleton blocks in row order yields exactly the
+            # merged_rhs array of the sequential reference.
+            merged_rhs = np.vstack([bs[(p, i)] for i in range(nb)])
+            y = scipy.linalg.solve_triangular(factor.merged_chol, merged_rhs, lower=True)
+            ys[p] = scipy.linalg.solve_triangular(factor.merged_chol.T, y, lower=False)
+
+        rt.insert_task(
+            root_solve,
+            [(s_h[(p, i)], AccessMode.READ) for i in range(nb)]
+            + [(root_handle, AccessMode.READ), (y_h[p], AccessMode.WRITE)],
+            name=f"ROOT_SOLVE[p{p}]",
+            kind="SOLVE_ROOT",
+            flops=flops_solve_root(offsets[-1], pw),
+            phase=1,
+        )
+
+        for i in range(nb):
+
+            def backward(p=p, i=i) -> None:
+                ysi = ys[p][offsets[i] : offsets[i + 1]]
+                nr = factor.partials[i].redundant_size
+                if nr > 0:
+                    rhs = zs[(p, i)] - factor.partials[i].L_sr.T @ ysi
+                    yr = scipy.linalg.solve_triangular(factor.partials[i].L_rr.T, rhs, lower=False)
+                else:
+                    yr = zs[(p, i)][:0]
+                sol[(p, i)] = factor.bases[i] @ np.vstack([yr, ysi])
+
+            m = blr2.diag[i].shape[0]
+            rt.insert_task(
+                backward,
+                [
+                    (fac_handle[i], AccessMode.READ),
+                    (y_h[p], AccessMode.READ),
+                    (z_h[(p, i)], AccessMode.READ),
+                    (sol_h[(p, i)], AccessMode.WRITE),
+                ],
+                name=f"BWD[{i};p{p}]",
+                kind="SOLVE_BWD",
+                flops=flops_solve_backward(m, blr2.rank(i), pw),
+                phase=2,
+            )
+
+    if mode == "distributed":
+        sol_keys = [(p, i) for p in range(len(panels)) for i in range(nb)]
+
+        def _collect():
+            # Leaf SOL handles have no consumers, so any entry present in the
+            # store was computed by a local BWD task.
+            return {key: sol[key] for key in sol_keys if key in sol}
+
+        if rt.num_tasks:
+            report = rt.run_distributed(nodes=nodes, strategy=strategy, collect=_collect)
+            for frag in report.fragments:
+                sol.update(frag)
+    elif mode == "parallel":
+        rt.run_parallel(n_workers=n_workers)
+    else:
+        rt.run()
+
+    x = np.empty_like(bm)
+    for p, cols in enumerate(panels):
+        for i in range(nb):
+            x[blr2.block_range(i), cols] = sol[(p, i)]
+    return x

@@ -98,6 +98,55 @@ class TestHSSSolver:
     def test_repr(self, solver):
         assert "HSSSolver" in repr(solver)
 
+    def test_solve_multi_rhs(self, solver, rng):
+        B = rng.standard_normal((solver.n, 5))
+        X = solver.solve(B)
+        assert X.shape == B.shape
+        for j in range(5):
+            np.testing.assert_allclose(X[:, j], solver.solve(B[:, j]), rtol=1e-10, atol=1e-12)
+
+    def test_solve_through_runtime_is_bit_identical(self, solver, rng):
+        B = rng.standard_normal((solver.n, 4))
+        x_ref = solver.solve(B)
+        for mode in (True, "deferred", "parallel"):
+            assert np.array_equal(solver.solve(B, use_runtime=mode, n_workers=2), x_ref)
+
+    def test_solve_panelized(self, solver, rng):
+        B = rng.standard_normal((solver.n, 8))
+        x = solver.solve(B, use_runtime="parallel", n_workers=2, panel_size=2)
+        np.testing.assert_allclose(x, solver.solve(B), rtol=1e-11, atol=1e-13)
+
+    def test_solve_refine_improves_residual(self, rng):
+        loose = HSSSolver.from_kernel("yukawa", n=256, leaf_size=32, max_rank=10)
+        b = rng.standard_normal(256)
+        x_plain = loose.solve(b)
+        x_refined = loose.solve(b, refine=True)
+        res = lambda x: np.linalg.norm(  # noqa: E731
+            loose.kernel_matrix.matvec(x) - b
+        ) / np.linalg.norm(b)
+        assert res(x_refined) < res(x_plain)
+
+    def test_solve_rejects_bad_rhs(self, solver):
+        with pytest.raises(ValueError, match="rows"):
+            solver.solve(np.ones(solver.n + 1))
+        with pytest.raises(ValueError, match="vector"):
+            solver.solve(np.ones((solver.n, 2, 2)))
+
+    def test_solve_rejects_unknown_mode(self, solver):
+        with pytest.raises(ValueError, match="use_runtime"):
+            solver.solve(np.ones(solver.n), use_runtime="turbo")
+
+    def test_solve_rejects_taskgraph_knobs_on_sequential_path(self, solver):
+        with pytest.raises(ValueError, match="panel_size"):
+            solver.solve(np.ones(solver.n), panel_size=2)
+        with pytest.raises(ValueError, match="distribution"):
+            solver.solve(np.ones(solver.n), distribution="row")
+
+    def test_solve_error_multi_rhs(self, solver):
+        assert solver.solve_error(nrhs=4) < 1e-10
+        with pytest.raises(ValueError, match="nrhs"):
+            solver.solve_error(nrhs=0)
+
     def test_package_exports(self):
         import repro
 

@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         for cmd in (
             "table1", "table2", "fig9", "fig10", "fig11", "fig12",
-            "solve", "speedup", "weakscale",
+            "solve", "speedup", "weakscale", "servebench",
         ):
             args = parser.parse_args([cmd])
             assert args.command == cmd
@@ -68,6 +68,34 @@ class TestParser:
     def test_solve_runtime_choices_enforced(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "--runtime", "bogus"])
+
+    def test_solve_nrhs_and_refine_flags(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.nrhs == 1 and args.refine is False
+        args = build_parser().parse_args(["solve", "--nrhs", "16", "--refine"])
+        assert args.nrhs == 16 and args.refine is True
+        for bad in ("0", "-4"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["solve", "--nrhs", bad])
+
+    def test_servebench_defaults_and_flags(self):
+        args = build_parser().parse_args(["servebench"])
+        assert args.n == 1024 and args.requests == 32
+        assert args.batch_sizes is None and args.backends is None
+        args = build_parser().parse_args(
+            ["servebench", "--batch", "1", "--batch", "8",
+             "--backend", "reference", "--backend", "parallel"]
+        )
+        assert args.batch_sizes == [1, 8]
+        assert args.backends == ["reference", "parallel"]
+        for bad_args in (
+            ["servebench", "--backend", "gpu"],
+            ["servebench", "--batch", "0"],
+            ["servebench", "--batch", "-4"],
+            ["servebench", "--requests", "0"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(bad_args)
 
     def test_solve_help_documents_runtime_modes(self, capsys):
         with pytest.raises(SystemExit):
@@ -156,3 +184,40 @@ class TestMain:
         assert "runtime=distributed nodes=2 distribution=row" in out
         err = float(out.split("solve error")[1].split()[0])
         assert err < 1e-10
+
+    def test_solve_multi_rhs_refine_smoke(self):
+        """Blocked multi-RHS solve with one refinement step through the runtime."""
+        out = main(
+            [
+                "solve",
+                "--n", "512",
+                "--leaf-size", "64",
+                "--max-rank", "24",
+                "--runtime", "parallel",
+                "--nrhs", "8",
+                "--refine",
+            ]
+        )
+        assert "nrhs=8" in out
+        assert "refine=1" in out
+        assert "solves/s" in out
+        err = float(out.split("solve error")[1].split()[0])
+        assert err < 1e-10
+
+    def test_servebench_smoke(self):
+        out = main(
+            [
+                "servebench",
+                "--n", "256",
+                "--leaf-size", "64",
+                "--max-rank", "20",
+                "--requests", "4",
+                "--batch", "1",
+                "--batch", "4",
+                "--backend", "reference",
+                "--backend", "parallel",
+            ]
+        )
+        assert "Solve throughput" in out
+        assert "reference" in out and "parallel" in out
+        assert "solves/s" in out

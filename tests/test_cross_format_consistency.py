@@ -3,10 +3,13 @@
 One kernel matrix (the shared N=256 Yukawa fixture), four compressed formats,
 several leaf sizes and compressors: matvec must agree with the dense operator
 to compression accuracy, and the two direct solvers (HSS-ULV, BLR2-ULV) must
-agree with the dense solve and with each other.
+agree with the dense solve and with each other -- including multi-RHS blocks
+and the task-graph solve path on every execution backend.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -17,6 +20,7 @@ from repro.formats.blr import build_blr
 from repro.formats.blr2 import build_blr2
 from repro.formats.hodlr import build_hodlr
 from repro.formats.hss import build_hss
+from repro.solve import blr2_ulv_solve_dtd, hss_ulv_solve_dtd
 
 LEAF_SIZES = (32, 64)
 MAX_RANK = 40
@@ -133,3 +137,58 @@ class TestSolveAgainstDense:
             x = rng.standard_normal(kmat_small.n)
             roundtrip = factor.solve(fmt.matvec(x))
             assert np.linalg.norm(roundtrip - x) / np.linalg.norm(x) < 1e-9
+
+
+# Multi-RHS solves through the task-graph backends, all against the dense solve.
+_SOLVE_BACKENDS = [("deferred", 1), ("parallel", 1)]
+if hasattr(os, "fork"):
+    _SOLVE_BACKENDS.append(("distributed", 2))
+
+
+class TestMultiRHSSolveAcrossBackends:
+    """factor.solve(B) and the task-graph solves vs np.linalg.solve, k > 1."""
+
+    @pytest.fixture(scope="class")
+    def factors(self, kmat_small):
+        hss = build_hss(kmat_small, leaf_size=32, max_rank=MAX_RANK)
+        blr2 = build_blr2(kmat_small, leaf_size=32, max_rank=MAX_RANK)
+        return hss_ulv_factorize(hss), blr2_ulv_factorize(blr2)
+
+    @pytest.fixture(scope="class")
+    def block_rhs(self, dense_small):
+        return np.random.default_rng(123).standard_normal((dense_small.shape[0], 8))
+
+    def test_sequential_multi_rhs_matches_dense(self, factors, dense_small, block_rhs):
+        x_ref = np.linalg.solve(dense_small, block_rhs)
+        for factor in factors:
+            x = factor.solve(block_rhs)
+            assert x.shape == block_rhs.shape
+            assert np.linalg.norm(x - x_ref) / np.linalg.norm(x_ref) < SOLVE_TOL
+
+    @pytest.mark.parametrize("execution,nodes", _SOLVE_BACKENDS)
+    @pytest.mark.parametrize("nrhs", [1, 4, 16])
+    def test_hss_taskgraph_multi_rhs(self, factors, dense_small, execution, nodes, nrhs):
+        hss_factor, _ = factors
+        b = np.random.default_rng(nrhs).standard_normal((dense_small.shape[0], nrhs))
+        x, _ = hss_ulv_solve_dtd(hss_factor, b, execution=execution, nodes=nodes)
+        x_ref = np.linalg.solve(dense_small, b)
+        assert np.linalg.norm(x - x_ref) / np.linalg.norm(x_ref) < SOLVE_TOL
+        assert np.array_equal(x, hss_factor.solve(b))
+
+    @pytest.mark.parametrize("execution,nodes", _SOLVE_BACKENDS)
+    @pytest.mark.parametrize("nrhs", [1, 4, 16])
+    def test_blr2_taskgraph_multi_rhs(self, factors, dense_small, execution, nodes, nrhs):
+        _, blr2_factor = factors
+        b = np.random.default_rng(nrhs).standard_normal((dense_small.shape[0], nrhs))
+        x, _ = blr2_ulv_solve_dtd(blr2_factor, b, execution=execution, nodes=nodes)
+        x_ref = np.linalg.solve(dense_small, b)
+        assert np.linalg.norm(x - x_ref) / np.linalg.norm(x_ref) < SOLVE_TOL
+        assert np.array_equal(x, blr2_factor.solve(b))
+
+    @pytest.mark.parametrize("nrhs", [4, 16])
+    def test_hss_and_blr2_agree_multi_rhs(self, factors, dense_small, nrhs):
+        hss_factor, blr2_factor = factors
+        b = np.random.default_rng(7).standard_normal((dense_small.shape[0], nrhs))
+        x_hss = hss_factor.solve(b)
+        x_blr2 = blr2_factor.solve(b)
+        assert np.linalg.norm(x_hss - x_blr2) / np.linalg.norm(x_hss) < 2 * SOLVE_TOL

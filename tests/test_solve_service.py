@@ -1,0 +1,202 @@
+"""Tests for the caching/batching SolverService (repro.service)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import HSSSolver
+from repro.service import FactorKey, SolverService
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="distributed backend requires fork (POSIX)"
+)
+
+KEY = dict(kernel="yukawa", n=256, leaf_size=64, max_rank=20)
+
+
+@pytest.fixture()
+def service():
+    return SolverService(backend="parallel", n_workers=2)
+
+
+def _rhs(k: int, seed: int = 0, n: int = 256) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n if k == 1 else (n, k))
+
+
+def _reference_solver() -> HSSSolver:
+    return HSSSolver.from_kernel(
+        KEY["kernel"], n=KEY["n"], leaf_size=KEY["leaf_size"], max_rank=KEY["max_rank"]
+    )
+
+
+class TestFactorKey:
+    def test_make_normalizes_params(self):
+        a = FactorKey.make("matern", 256, leaf_size=64, max_rank=20, sigma=2.0, nu=0.5)
+        b = FactorKey.make("matern", 256, leaf_size=64, max_rank=20, nu=0.5, sigma=2.0)
+        assert a == b and hash(a) == hash(b)
+
+    def test_distinct_problems_distinct_keys(self):
+        base = FactorKey.make("yukawa", 256, leaf_size=64, max_rank=20)
+        assert base != FactorKey.make("yukawa", 512, leaf_size=64, max_rank=20)
+        assert base != FactorKey.make("yukawa", 256, leaf_size=32, max_rank=20)
+        assert base != FactorKey.make("laplace2d", 256, leaf_size=64, max_rank=20)
+
+
+class TestCaching:
+    def test_factorization_cached_across_flushes(self, service):
+        service.solve(_rhs(1), **KEY)
+        service.solve(_rhs(1, seed=1), **KEY)
+        assert service.stats.cache_misses == 1
+        assert service.stats.cache_hits == 1
+        assert service.cached_keys == [FactorKey.make(**KEY)]
+
+    def test_distinct_keys_get_distinct_factorizations(self, service):
+        service.solve(_rhs(1), **KEY)
+        service.solve(_rhs(1, n=128), kernel="yukawa", n=128, leaf_size=32, max_rank=16)
+        assert service.stats.cache_misses == 2
+        assert len(service.cached_keys) == 2
+
+    def test_lru_eviction(self):
+        service = SolverService(backend="reference", max_cached=1)
+        service.solve(_rhs(1), **KEY)
+        service.solve(_rhs(1, n=128), kernel="yukawa", n=128, leaf_size=32, max_rank=16)
+        assert service.stats.evictions == 1
+        assert len(service.cached_keys) == 1
+        # the first key was evicted: solving it again re-factorizes
+        service.solve(_rhs(1), **KEY)
+        assert service.stats.cache_misses == 3
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="backend"):
+            SolverService(backend="gpu")
+        with pytest.raises(ValueError, match="max_cached"):
+            SolverService(max_cached=0)
+
+    def test_reference_backend_rejects_taskgraph_knobs(self):
+        with pytest.raises(ValueError, match="panel_size"):
+            SolverService(backend="reference", panel_size=4)
+        with pytest.raises(ValueError, match="distribution"):
+            SolverService(backend="reference", distribution="row")
+
+
+class TestBatching:
+    def test_flush_batches_same_key(self, service):
+        tickets = [service.submit(_rhs(1, seed=s), **KEY) for s in range(4)]
+        assert service.pending == 4
+        done = service.flush()
+        assert done == tickets and service.pending == 0
+        # one factorization, one batched graph solve for all four requests
+        assert service.stats.batches == 1
+        assert service.stats.solves == 4
+
+    def test_batched_results_match_unbatched_accuracy(self, service):
+        solver = _reference_solver()
+        tickets = [service.submit(_rhs(1, seed=s), **KEY) for s in range(3)]
+        service.flush()
+        for s, ticket in enumerate(tickets):
+            x_ref = solver.solve(_rhs(1, seed=s))
+            np.testing.assert_allclose(ticket.result, x_ref, rtol=1e-10, atol=1e-12)
+
+    def test_ticket_results_do_not_alias(self, service):
+        """Mutating one ticket's result must not corrupt its batch-mates."""
+        t1 = service.submit(_rhs(1), **KEY)
+        t2 = service.submit(_rhs(1, seed=1), **KEY)
+        service.flush()
+        expected = t2.result.copy()
+        t1.result[:] = 0.0
+        np.testing.assert_array_equal(t2.result, expected)
+
+    def test_mixed_width_requests(self, service):
+        t1 = service.submit(_rhs(1), **KEY)
+        t2 = service.submit(_rhs(3, seed=1), **KEY)
+        service.flush()
+        assert t1.result.shape == (256,)
+        assert t2.result.shape == (256, 3)
+        assert service.stats.solves == 4
+
+    def test_same_batch_is_bit_identical_across_backends(self):
+        B = _rhs(4)
+        results = {}
+        for backend in ("reference", "immediate", "sequential", "parallel"):
+            results[backend] = SolverService(backend=backend, n_workers=2).solve(B, **KEY)
+        ref = results.pop("reference")
+        for backend, x in results.items():
+            assert np.array_equal(x, ref), backend
+
+    def test_ticket_unresolved_until_flush(self, service):
+        ticket = service.submit(_rhs(1), **KEY)
+        assert not ticket.done
+        with pytest.raises(RuntimeError, match="flush"):
+            ticket.result
+        service.flush()
+        assert ticket.done
+
+    def test_submit_validates_shape(self, service):
+        with pytest.raises(ValueError, match="rows"):
+            service.submit(_rhs(1, n=100), **KEY)
+
+    def test_submit_requires_explicit_n(self, service):
+        """n is never inferred from b: a mis-sized RHS must not silently
+        factorize (and cache) a wrong-size problem."""
+        with pytest.raises(TypeError, match="n"):
+            service.submit(_rhs(1), kernel="yukawa", leaf_size=64, max_rank=20)
+
+    def test_failed_flush_requeues_unresolved_tickets(self):
+        """A failing batch must not strand queued requests."""
+        service = SolverService(backend="parallel", n_workers=2, distribution="bogus")
+        ticket = service.submit(_rhs(1), **KEY)
+        with pytest.raises(ValueError, match="unknown distribution"):
+            service.flush()
+        assert not ticket.done
+        assert service.pending == 1
+        # a corrected service configuration drains the re-queued ticket
+        service.distribution = "row"
+        service.flush()
+        assert ticket.done
+        ref = SolverService(backend="reference").solve(_rhs(1), **KEY)
+        np.testing.assert_allclose(ticket.result, ref, rtol=1e-11, atol=1e-13)
+
+    def test_panel_size_forwarded(self):
+        service = SolverService(backend="parallel", n_workers=2, panel_size=2)
+        x = service.solve(_rhs(6), **KEY)
+        ref = SolverService(backend="reference").solve(_rhs(6), **KEY)
+        np.testing.assert_allclose(x, ref, rtol=1e-11, atol=1e-13)
+
+    def test_refine_service(self):
+        service = SolverService(backend="sequential", refine=True)
+        x = service.solve(_rhs(1), **KEY)
+        solver = _reference_solver()
+        b = _rhs(1)
+        residual = np.linalg.norm(solver.kernel_matrix.matvec(x) - b) / np.linalg.norm(b)
+        assert residual < 1e-10
+
+
+@needs_fork
+class TestDistributedService:
+    def test_distributed_backend_matches_reference(self):
+        B = _rhs(4)
+        x_dist = SolverService(backend="distributed", nodes=2).solve(B, **KEY)
+        x_ref = SolverService(backend="reference").solve(B, **KEY)
+        assert np.array_equal(x_dist, x_ref)
+
+
+class TestStats:
+    def test_throughput_counters(self, service):
+        for s in range(3):
+            service.submit(_rhs(1, seed=s), **KEY)
+        service.flush()
+        stats = service.stats
+        assert stats.requests == 3
+        assert stats.solves == 3
+        assert stats.solve_seconds > 0
+        assert stats.factor_seconds > 0
+        assert stats.solves_per_sec > 0
+
+    def test_repr(self, service):
+        assert "SolverService" in repr(service)
+        service.submit(_rhs(1), **KEY)
+        assert "pending=1" in repr(service)
