@@ -51,6 +51,7 @@ def test_distributed_weak_scaling(benchmark):
     record_bench(
         "distributed_weak_scaling",
         {
+            "format": "hss",
             "base_n": BASE_N,
             "node_counts": list(NODE_COUNTS),
             "rows": [

@@ -39,6 +39,7 @@ def test_runtime_parallel_speedup(benchmark):
             "rows": [
                 {
                     "algorithm": r.algorithm,
+                    "format": r.format,
                     "num_tasks": r.num_tasks,
                     "seq_seconds": r.seq_seconds,
                     "par_seconds": r.par_seconds,
@@ -50,7 +51,8 @@ def test_runtime_parallel_speedup(benchmark):
         },
     )
 
-    assert {r.algorithm for r in rows} == {"HSS-ULV", "BLR2-ULV"}
+    assert {r.algorithm for r in rows} == {"HSS-ULV", "BLR2-ULV", "HODLR-ULV"}
+    assert {r.format for r in rows} == {"hss", "blr2", "hodlr"}
     for row in rows:
         assert row.n >= 2048
         assert row.num_tasks > 0

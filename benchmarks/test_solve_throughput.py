@@ -46,6 +46,7 @@ def test_solve_throughput(benchmark):
         "solve_throughput",
         {
             "n": result["n"],
+            "format": result["format"],
             "leaf_size": result["leaf_size"],
             "max_rank": result["max_rank"],
             "requests": result["requests"],

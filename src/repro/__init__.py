@@ -6,8 +6,11 @@ Subpackages
 ``repro.geometry``      point clouds, cluster trees, admissibility
 ``repro.kernels``       Green's-function kernels and kernel-matrix assembly
 ``repro.lowrank``       SVD / QR / ACA / RSVD / ID compression primitives
-``repro.formats``       BlockDense, BLR, BLR2 and HSS matrix formats
-``repro.core``          BLR2-ULV and HSS-ULV factorizations (the contribution)
+``repro.formats``       BlockDense, BLR, BLR2, HSS and HODLR matrix formats
+``repro.pipeline``      format-agnostic pipeline: ExecutionPolicy, graph
+                        builders, format registry
+``repro.core``          BLR2-ULV, HSS-ULV and HODLR-ULV factorizations (the
+                        contribution)
 ``repro.solve``         task-graph ULV solves (multi-RHS panels, refinement)
 ``repro.service``       SolverService: cached factorizations, batched solves
 ``repro.runtime``       DTD task runtime, DAG, machine model, simulator
@@ -15,12 +18,13 @@ Subpackages
 ``repro.baselines``     dense Cholesky, LORAPO-like BLR Cholesky, STRUMPACK-like
 ``repro.analysis``      error metrics, complexity fits, scaling analysis
 ``repro.experiments``   one driver per paper table/figure
-``repro.api``           high-level ``HSSSolver`` facade
+``repro.api``           high-level ``StructuredSolver`` facade (``HSSSolver``
+                        is kept as an alias)
 """
 
-from repro.api import HSSSolver
+from repro.api import HSSSolver, StructuredSolver
 from repro.service import SolverService
 
 __version__ = "1.0.0"
 
-__all__ = ["HSSSolver", "SolverService", "__version__"]
+__all__ = ["HSSSolver", "StructuredSolver", "SolverService", "__version__"]

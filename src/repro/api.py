@@ -2,14 +2,20 @@
 
 The quickstart workflow of the README:
 
->>> from repro.api import HSSSolver
->>> solver = HSSSolver.from_kernel("yukawa", n=2048, leaf_size=256, max_rank=60)
+>>> from repro.api import StructuredSolver
+>>> solver = StructuredSolver.from_kernel("yukawa", n=2048, leaf_size=256, max_rank=60)
 >>> x = solver.solve(b)                    # direct solve through the ULV factors
 >>> X = solver.solve(B)                    # B of shape (n, k): k RHS at once
 >>> solver.construction_error(), solver.solve_error()
 
-Execution modes, shared by the factorization (``HSSSolver.factorize``) and
-the solve (``HSSSolver.solve``):
+``StructuredSolver`` is format-agnostic: ``format="hss"`` (default),
+``"blr2"`` or ``"hodlr"`` selects the compressed representation from the
+pipeline's :mod:`format registry <repro.pipeline.registry>`, and every format
+reaches every execution backend through the same machinery.  ``HSSSolver`` is
+kept as an alias of the old name.
+
+Execution modes, shared by the factorization (:meth:`StructuredSolver.factorize`)
+and the solve (:meth:`StructuredSolver.solve`):
 
 ``use_runtime=False`` (or ``"off"``)
     Sequential reference implementation -- the fastest path for small
@@ -38,58 +44,54 @@ see :class:`repro.service.SolverService`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 import numpy as np
 
 from repro.analysis.errors import construction_error, solve_error
-from repro.core.hss_ulv import HSSULVFactor, hss_ulv_factorize
-from repro.core.hss_ulv_dtd import hss_ulv_factorize_dtd
 from repro.core.rhs import check_rhs_shape
-from repro.distribution.strategies import DistributionStrategy, strategy_by_name
-from repro.formats.hss import HSSMatrix, build_hss
+from repro.distribution.strategies import DistributionStrategy
 from repro.geometry.points import PointCloud, uniform_grid_2d
 from repro.kernels.assembly import KernelMatrix
 from repro.kernels.greens import kernel_by_name
+from repro.pipeline.policy import ExecutionPolicy
+from repro.pipeline.registry import get_format
 
-__all__ = ["HSSSolver"]
-
-
-def _resolve_use_runtime(use_runtime: bool | str) -> str:
-    """Normalize a ``use_runtime`` argument to a mode name, validating it."""
-    mode = {False: "off", True: "immediate"}.get(use_runtime, use_runtime)
-    if mode not in ("off", "immediate", "deferred", "parallel", "distributed"):
-        raise ValueError(
-            f"unknown use_runtime {use_runtime!r}; expected False, True, "
-            "'off', 'immediate', 'deferred', 'parallel' or 'distributed'"
-        )
-    return mode
+__all__ = ["StructuredSolver", "HSSSolver"]
 
 
-def _resolve_distribution(
-    distribution: Optional[Union[str, DistributionStrategy]],
-    nodes: int,
-    max_level: int,
-) -> Optional[DistributionStrategy]:
-    """Turn a distribution name into a strategy instance (pass through otherwise)."""
-    if isinstance(distribution, str):
-        return strategy_by_name(distribution, nodes, max_level=max_level)
-    return distribution
+class StructuredSolver:
+    """A compressed direct solver for a kernel (Green's function) matrix.
 
-
-@dataclass
-class HSSSolver:
-    """An HSS-compressed direct solver for a kernel (Green's function) matrix.
-
-    Combines kernel-matrix assembly, HSS construction and the ULV
+    Combines kernel-matrix assembly, structured compression (HSS, BLR2 or
+    HODLR -- any format in the pipeline registry) and the corresponding ULV
     factorization behind a single object.  Use :meth:`from_kernel` or
     :meth:`from_points` to build one.
+
+    ``hss`` is accepted as a constructor alias of ``matrix`` (and stays
+    readable/assignable as an attribute) for code written against the
+    HSS-only ``HSSSolver``.
     """
 
-    kernel_matrix: KernelMatrix
-    hss: HSSMatrix
-    factor: Optional[HSSULVFactor] = None
+    def __init__(
+        self,
+        kernel_matrix: KernelMatrix,
+        matrix: Any = None,
+        format: str = "hss",
+        factor: Optional[Any] = None,
+        *,
+        hss: Any = None,
+    ) -> None:
+        if hss is not None:
+            if matrix is not None and matrix is not hss:
+                raise ValueError("pass either `matrix` or the legacy `hss`, not both")
+            matrix = hss
+        if matrix is None:
+            raise TypeError("StructuredSolver requires a compressed matrix (matrix=...)")
+        self.kernel_matrix = kernel_matrix
+        self.matrix = matrix
+        self.format = format
+        self.factor = factor
 
     # -- constructors -------------------------------------------------------
     @classmethod
@@ -98,18 +100,26 @@ class HSSSolver:
         kernel_name: str,
         points: PointCloud,
         *,
+        format: str = "hss",
         leaf_size: int = 256,
         max_rank: int = 100,
         tol: Optional[float] = None,
-        method: str = "interpolative",
+        method: Optional[str] = None,
         shift: float | str = "auto",
         seed: int = 0,
         **kernel_params: float,
-    ) -> "HSSSolver":
-        """Build the solver for a named kernel over an explicit point cloud."""
+    ) -> "StructuredSolver":
+        """Build the solver for a named kernel over an explicit point cloud.
+
+        ``format`` names the compressed representation (any registered
+        format); ``method`` selects its compression scheme (None: the
+        format's default, e.g. ``"interpolative"`` for HSS and ``"svd"`` for
+        BLR2/HODLR).
+        """
+        spec = get_format(format)
         kernel = kernel_by_name(kernel_name, **kernel_params)
         kmat = KernelMatrix(kernel, points, shift=shift)
-        hss = build_hss(
+        matrix = spec.build(
             kmat,
             leaf_size=leaf_size,
             max_rank=max_rank,
@@ -117,7 +127,7 @@ class HSSSolver:
             method=method,
             seed=seed,
         )
-        return cls(kernel_matrix=kmat, hss=hss)
+        return cls(kernel_matrix=kmat, matrix=matrix, format=spec.name)
 
     @classmethod
     def from_kernel(
@@ -125,19 +135,21 @@ class HSSSolver:
         kernel_name: str,
         n: int,
         *,
+        format: str = "hss",
         leaf_size: int = 256,
         max_rank: int = 100,
         tol: Optional[float] = None,
-        method: str = "interpolative",
+        method: Optional[str] = None,
         shift: float | str = "auto",
         seed: int = 0,
         **kernel_params: float,
-    ) -> "HSSSolver":
+    ) -> "StructuredSolver":
         """Build the solver on the paper's uniform 2D grid geometry of ``n`` points."""
         points = uniform_grid_2d(n)
         return cls.from_points(
             kernel_name,
             points,
+            format=format,
             leaf_size=leaf_size,
             max_rank=max_rank,
             tol=tol,
@@ -147,12 +159,22 @@ class HSSSolver:
             **kernel_params,
         )
 
-    # -- factorization / solve ----------------------------------------------
+    # -- structure ----------------------------------------------------------
     @property
     def n(self) -> int:
         """Matrix dimension."""
-        return self.hss.n
+        return self.matrix.n
 
+    @property
+    def hss(self) -> Any:
+        """Legacy alias for :attr:`matrix` (from the HSS-only HSSSolver days)."""
+        return self.matrix
+
+    @hss.setter
+    def hss(self, value: Any) -> None:
+        self.matrix = value
+
+    # -- factorization / solve ----------------------------------------------
     def factorize(
         self,
         *,
@@ -161,8 +183,8 @@ class HSSSolver:
         n_workers: int = 4,
         distribution: Optional[Union[str, DistributionStrategy]] = None,
         force: bool = False,
-    ) -> HSSULVFactor:
-        """Compute (and cache) the HSS-ULV factorization.
+    ) -> Any:
+        """Compute (and cache) the ULV factorization of the compressed matrix.
 
         A cached factor is returned as-is regardless of ``use_runtime`` (all
         modes produce identical factors); pass ``force=True`` to discard the
@@ -197,21 +219,17 @@ class HSSSolver:
         force:
             Re-factorize even when a factor is already cached.
         """
-        mode = _resolve_use_runtime(use_runtime)
-        distribution = _resolve_distribution(distribution, nodes, self.hss.max_level)
+        policy = ExecutionPolicy.resolve(
+            use_runtime, nodes=nodes, n_workers=n_workers, distribution=distribution
+        )
         if force:
             self.factor = None
         if self.factor is None:
-            if mode == "off":
-                self.factor = hss_ulv_factorize(self.hss)
+            spec = get_format(self.format)
+            if policy.uses_runtime:
+                self.factor, _ = spec.factorize_dtd(self.matrix, policy=policy)
             else:
-                self.factor, _ = hss_ulv_factorize_dtd(
-                    self.hss,
-                    nodes=nodes,
-                    execution=mode,
-                    n_workers=n_workers,
-                    distribution=distribution,
-                )
+                self.factor = spec.factorize(self.matrix)
         return self.factor
 
     def solve(
@@ -250,45 +268,46 @@ class HSSSolver:
             Columns per RHS panel of the task-graph solve; ``None`` keeps all
             ``k`` columns in one panel (bit-identical to the reference).
         """
-        mode = _resolve_use_runtime(use_runtime)
-        if mode == "off" and (panel_size is not None or distribution is not None):
+        policy = ExecutionPolicy.resolve(
+            use_runtime,
+            nodes=nodes,
+            n_workers=n_workers,
+            distribution=distribution,
+            panel_size=panel_size,
+        )
+        if not policy.uses_runtime and (panel_size is not None or distribution is not None):
             raise ValueError(
                 "panel_size and distribution only apply to the task-graph solve "
                 "paths; pass use_runtime='parallel'/'distributed'/... with them"
             )
-        distribution = _resolve_distribution(distribution, nodes, self.hss.max_level)
         # Fail fast on a mis-shaped b before the (expensive) factorization;
         # the inner solvers are the single validate-and-copy point.
         check_rhs_shape(b, self.n)
         factor = self.factorize()
-        if mode == "off":
+        if not policy.uses_runtime:
             x = factor.solve(b)
             if refine:
-                from repro.solve.common import refine_once
+                from repro.pipeline.panels import refine_once
 
                 bm = np.asarray(b, dtype=np.float64).reshape(self.n, -1)
                 x = refine_once(
                     factor.solve, self.kernel_matrix, bm, x.reshape(self.n, -1)
                 ).reshape(x.shape)
             return x
-        from repro.solve.hss_solve_dtd import hss_ulv_solve_dtd
-
-        x, _ = hss_ulv_solve_dtd(
-            factor,
-            b,
-            execution=mode,
-            nodes=nodes,
-            n_workers=n_workers,
-            distribution=distribution,
-            panel_size=panel_size,
-            refine=refine,
-            matvec=self.kernel_matrix.matvec,
+        spec = get_format(self.format)
+        x, _ = spec.solve_dtd(
+            factor, b, policy=policy, refine=refine, matvec=self.kernel_matrix.matvec
         )
         return x
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Fast matrix-vector product with the HSS approximation."""
-        return self.hss.matvec(x)
+        """Fast matrix-vector product with the compressed approximation.
+
+        Applied columnwise for formats whose ``matvec`` only accepts vectors.
+        """
+        from repro.pipeline.panels import apply_operator
+
+        return apply_operator(self.matrix, x)
 
     def logdet(self) -> float:
         """Log-determinant of the compressed matrix (useful in geostatistics)."""
@@ -296,11 +315,11 @@ class HSSSolver:
 
     # -- accuracy -------------------------------------------------------------
     def construction_error(self, *, seed: int = 0) -> float:
-        """Eq. 18: relative error of the HSS approximation against the dense matrix."""
-        return construction_error(self.kernel_matrix, self.hss, n=self.n, seed=seed)
+        """Eq. 18: relative error of the compressed approximation against the dense matrix."""
+        return construction_error(self.kernel_matrix, self.matrix, n=self.n, seed=seed)
 
     def solve_error(self, *, seed: int = 0, nrhs: int = 1) -> float:
-        """Eq. 19: relative error of the factorization applied to the HSS matrix.
+        """Eq. 19: relative error of the factorization applied to the compressed matrix.
 
         ``nrhs > 1`` probes with a random ``(n, nrhs)`` block instead of a
         single vector (Frobenius-norm relative error).
@@ -310,10 +329,17 @@ class HSSSolver:
         factor = self.factorize()
         rng = np.random.default_rng(seed)
         b = rng.standard_normal(self.n if nrhs == 1 else (self.n, nrhs))
-        return solve_error(self.hss, factor.solve, b=b)
+        return solve_error(self.matrix, factor.solve, b=b)
 
     def __repr__(self) -> str:
+        max_rank = getattr(self.matrix, "max_rank", None)
+        rank_part = f", max_rank={max_rank()}" if callable(max_rank) else ""
         return (
-            f"HSSSolver(n={self.n}, leaf_size={self.hss.leaf_size}, "
-            f"max_rank={self.hss.max_rank()}, factorized={self.factor is not None})"
+            f"StructuredSolver(format={self.format!r}, n={self.n}{rank_part}, "
+            f"factorized={self.factor is not None})"
         )
+
+
+#: Backward-compatible alias from the HSS-only era; ``format="hss"`` is the
+#: default, so existing code keeps working unchanged.
+HSSSolver = StructuredSolver

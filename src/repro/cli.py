@@ -11,6 +11,7 @@ Usage::
     python -m repro solve --n 2048 --runtime parallel --workers 4
     python -m repro solve --n 2048 --nrhs 16 --runtime parallel --refine
     python -m repro solve --n 2048 --runtime distributed --nodes 4 --distribution row
+    python -m repro solve --format hodlr --runtime parallel --workers 4
     python -m repro speedup --backend process --workers 4
     python -m repro weakscale --base-n 512 --max-nodes 4
     python -m repro servebench --n 1024 --requests 32 --batch 1 --batch 8
@@ -21,14 +22,21 @@ The defaults are reduced sizes; ``--full`` switches to paper-scale settings
 where feasible.
 
 ``solve`` runs one end-to-end compress/factorize/solve through the
-:class:`~repro.api.HSSSolver` facade; ``--runtime`` selects the execution
-path of both the factorization and the solve (``off``: sequential reference,
-``immediate``: DTD tasks executed at insertion time, ``parallel``: recorded
-task graph executed out-of-order on a ``--workers``-thread pool,
-``distributed``: recorded task graph executed across ``--nodes`` worker
-processes under the ``--distribution`` placement) and the reported errors
-demonstrate that all modes agree.  ``--nrhs`` solves a blocked multi-RHS
-system; ``--refine`` adds one iterative-refinement step.
+:class:`~repro.api.StructuredSolver` facade; ``--format`` selects the
+compressed representation from the pipeline's format registry (HSS, BLR2,
+HODLR, ...), and ``--runtime`` selects the execution path of both the
+factorization and the solve (``off``: sequential reference, ``immediate``:
+DTD tasks executed at insertion time, ``deferred``: recorded graph run
+sequentially, ``parallel``: recorded task graph executed out-of-order on a
+``--workers``-thread pool, ``distributed``: recorded task graph executed
+across ``--nodes`` worker processes under the ``--distribution`` placement)
+and the reported errors demonstrate that all modes agree.  ``--nrhs`` solves
+a blocked multi-RHS system; ``--refine`` adds one iterative-refinement step.
+
+The argparse choices for ``--format``, ``--runtime`` and ``--distribution``
+are derived from the format registry, :data:`repro.pipeline.policy.BACKENDS`
+and the distribution-strategy registry -- registering a new format or
+strategy updates every sub-command at once.
 
 ``servebench`` measures the serving throughput of the caching/batching
 :class:`~repro.service.SolverService`: solves/sec vs batch size vs backend,
@@ -46,6 +54,9 @@ import argparse
 import time
 from typing import List, Optional, Sequence
 
+from repro.distribution.strategies import available_distributions
+from repro.pipeline.policy import BACKENDS
+from repro.pipeline.registry import available_formats
 from repro.experiments import (
     format_distributed_weak_scaling,
     format_fig9,
@@ -69,6 +80,9 @@ from repro.experiments import (
 
 __all__ = ["build_parser", "main"]
 
+#: The backend argparse choices (fixed by the ExecutionPolicy contract).
+RUNTIME_CHOICES = BACKENDS
+
 
 def _positive_int(value: str) -> int:
     ivalue = int(value)
@@ -78,7 +92,15 @@ def _positive_int(value: str) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the argument parser for the ``repro`` experiment CLI."""
+    """Build the argument parser for the ``repro`` experiment CLI.
+
+    The ``--format`` and ``--distribution`` choices are read from the format
+    and distribution registries *at parser-build time*, so formats or
+    strategies registered before :func:`main` runs appear in every
+    sub-command automatically.
+    """
+    format_choices = available_formats()
+    distribution_choices = available_distributions()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of the HATRIX-DTD paper (ICPP 2023).",
@@ -109,19 +131,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=65536)
     p.add_argument("--nodes", type=int, default=128)
 
-    p = sub.add_parser("solve", help="end-to-end kernel solve through the HSSSolver facade")
+    p = sub.add_parser(
+        "solve", help="end-to-end kernel solve through the StructuredSolver facade"
+    )
     p.add_argument("--n", type=int, default=2048, help="problem size")
     p.add_argument("--kernel", default="yukawa", help="kernel name")
+    p.add_argument(
+        "--format",
+        choices=format_choices,
+        default="hss",
+        help="structured matrix format (from the pipeline format registry)",
+    )
     p.add_argument("--leaf-size", type=int, default=256, help="leaf cluster size")
     p.add_argument("--max-rank", type=int, default=60, help="skeleton rank cap")
     p.add_argument(
         "--runtime",
-        choices=("off", "immediate", "parallel", "distributed"),
+        choices=RUNTIME_CHOICES,
         default="off",
         help="execution path: off = sequential reference, immediate = DTD tasks "
-        "run at insertion time, parallel = task graph executed out-of-order "
-        "on a thread pool, distributed = task graph executed across --nodes "
-        "worker processes with owner-computes placement",
+        "run at insertion time, deferred = recorded graph run sequentially, "
+        "parallel = task graph executed out-of-order on a thread pool, "
+        "distributed = task graph executed across --nodes worker processes "
+        "with owner-computes placement",
     )
     p.add_argument(
         "--workers", type=int, default=4, help="thread count for --runtime parallel"
@@ -134,7 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--distribution",
-        choices=("row", "block", "element"),
+        choices=distribution_choices,
         default="row",
         help="data-distribution strategy for the runtime paths",
     )
@@ -180,7 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--distribution",
         action="append",
         dest="distributions",
-        choices=("row", "block", "element"),
+        choices=distribution_choices,
         help="distribution strategy (repeatable; default: row and block)",
     )
 
@@ -190,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--n", type=int, default=1024, help="problem size")
     p.add_argument("--kernel", default="yukawa", help="kernel name")
+    p.add_argument(
+        "--format",
+        choices=format_choices,
+        default="hss",
+        help="structured matrix format served by the service",
+    )
     p.add_argument("--leaf-size", type=int, default=128, help="leaf cluster size")
     p.add_argument("--max-rank", type=int, default=30, help="skeleton rank cap")
     p.add_argument(
@@ -224,7 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--distribution",
-        choices=("row", "block", "element"),
+        choices=distribution_choices,
         default=None,
         help="placement strategy for the task-graph backends",
     )
@@ -237,11 +274,12 @@ def _run_solve(args: argparse.Namespace) -> str:
     """Run one compress/factorize/solve cycle and format a small report."""
     import numpy as np
 
-    from repro.api import HSSSolver
+    from repro.api import StructuredSolver
 
     t0 = time.perf_counter()
-    solver = HSSSolver.from_kernel(
-        args.kernel, n=args.n, leaf_size=args.leaf_size, max_rank=args.max_rank
+    solver = StructuredSolver.from_kernel(
+        args.kernel, n=args.n, format=args.format,
+        leaf_size=args.leaf_size, max_rank=args.max_rank,
     )
     t_build = time.perf_counter() - t0
 
@@ -285,7 +323,8 @@ def _run_solve(args: argparse.Namespace) -> str:
     if args.refine:
         runtime_detail += " refine=1"
     lines = [
-        f"HSSSolver solve: kernel={args.kernel} n={args.n} nrhs={args.nrhs} "
+        f"StructuredSolver solve: format={args.format} kernel={args.kernel} "
+        f"n={args.n} nrhs={args.nrhs} "
         f"leaf_size={args.leaf_size} max_rank={args.max_rank}",
         f"runtime={args.runtime}" + runtime_detail,
         f"construct {t_build:8.3f} s",
@@ -375,6 +414,7 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
                 nodes=args.nodes,
                 distribution=args.distribution,
                 panel_size=args.panel_size,
+                format_name=args.format,
                 seed=args.seed,
             )
         )

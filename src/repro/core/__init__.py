@@ -1,32 +1,46 @@
-"""The paper's primary contribution: ULV factorization of BLR2 and HSS matrices.
+"""The paper's primary contribution: ULV factorization of structured matrices.
 
 * :mod:`repro.core.partial_cholesky` -- the partial (RR-block) Cholesky step
-  shared by both algorithms (Eq. 10-12).
-* :mod:`repro.core.blr2_ulv` -- single-level BLR2-ULV (Alg. 1).
+  shared by all algorithms (Eq. 10-12).
+* :mod:`repro.core.leaf_ulv` -- the format-agnostic single-level ULV core
+  (Alg. 1) over any *leaf system* (shared bases + couplings per block row).
+* :mod:`repro.core.blr2_ulv` -- BLR2-ULV: the leaf-ULV core bound to
+  :class:`~repro.formats.blr2.BLR2Matrix`.
+* :mod:`repro.core.hodlr_ulv` -- HODLR-ULV: the leaf-ULV core over the exact
+  leaf view of a symmetric HODLR matrix.
 * :mod:`repro.core.hss_ulv` -- multi-level HSS-ULV (Alg. 2), the sequential
   reference implementation.
-* :mod:`repro.core.hss_ulv_dtd` -- HSS-ULV expressed as tasks of the DTD
-  runtime (HATRIX-DTD, Sec. 4.2).
-* :mod:`repro.core.blr2_ulv_dtd` -- BLR2-ULV expressed as tasks of the DTD
-  runtime (single-level counterpart of HATRIX-DTD).
+* :mod:`repro.core.hss_ulv_dtd` / :mod:`repro.core.blr2_ulv_dtd` /
+  :mod:`repro.core.hodlr_ulv_dtd` -- the same factorizations expressed as
+  tasks of the DTD runtime (HATRIX-DTD, Sec. 4.2), recorded on the shared
+  pipeline scaffold (:mod:`repro.pipeline`).
 
-Both DTD entry points accept ``execution="immediate" | "deferred" | "parallel"``;
-the parallel mode executes the recorded task graph out-of-order on a thread
-pool (:func:`repro.runtime.executor.execute_graph`) and produces bit-identical
-factors to the sequential references.
+Every DTD entry point accepts ``execution="immediate" | "deferred" |
+"parallel" | "distributed"``; backend dispatch is the single implementation
+in :meth:`repro.pipeline.policy.ExecutionPolicy.execute`, and every backend
+produces bit-identical factors to the sequential references.
 """
 
 from repro.core.partial_cholesky import partial_cholesky
+from repro.core.leaf_ulv import LeafULVSolveMixin, leaf_ulv_factorize_into
 from repro.core.blr2_ulv import BLR2ULVFactor, blr2_ulv_factorize
 from repro.core.blr2_ulv_dtd import blr2_ulv_factorize_dtd
+from repro.core.hodlr_ulv import HODLRLeafSystem, HODLRULVFactor, hodlr_ulv_factorize
+from repro.core.hodlr_ulv_dtd import hodlr_ulv_factorize_dtd
 from repro.core.hss_ulv import HSSULVFactor, hss_ulv_factorize
 from repro.core.hss_ulv_dtd import hss_ulv_factorize_dtd, build_hss_ulv_taskgraph
 
 __all__ = [
     "partial_cholesky",
+    "LeafULVSolveMixin",
+    "leaf_ulv_factorize_into",
     "BLR2ULVFactor",
     "blr2_ulv_factorize",
     "blr2_ulv_factorize_dtd",
+    "HODLRLeafSystem",
+    "HODLRULVFactor",
+    "hodlr_ulv_factorize",
+    "hodlr_ulv_factorize_dtd",
     "HSSULVFactor",
     "hss_ulv_factorize",
     "hss_ulv_factorize_dtd",

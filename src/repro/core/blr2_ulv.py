@@ -6,6 +6,11 @@ factorization of every block row, the surviving skeleton-skeleton blocks of
 corner (Fig. 4) and factorized with one dense Cholesky.  Because that final
 dense block has size ``nblocks x rank``, the overall complexity approaches
 O(N^2) for fixed leaf size -- the motivation for the multi-level HSS-ULV.
+
+The algorithm itself is format-agnostic (it only reads the leaf-system
+interface of :mod:`repro.core.leaf_ulv`); this module binds it to
+:class:`~repro.formats.blr2.BLR2Matrix`, which presents that interface
+natively.
 """
 
 from __future__ import annotations
@@ -14,18 +19,16 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 import numpy as np
-import scipy.linalg
 
-from repro.core.partial_cholesky import PartialCholeskyResult, partial_cholesky
-from repro.core.rhs import validate_rhs
+from repro.core.leaf_ulv import LeafULVSolveMixin, leaf_ulv_factorize_into
+from repro.core.partial_cholesky import PartialCholeskyResult
 from repro.formats.blr2 import BLR2Matrix
-from repro.lowrank.qr import full_orthogonal_basis
 
 __all__ = ["BLR2ULVFactor", "blr2_ulv_factorize"]
 
 
 @dataclass
-class BLR2ULVFactor:
+class BLR2ULVFactor(LeafULVSolveMixin):
     """Factors of the BLR2-ULV factorization (Alg. 1).
 
     Attributes
@@ -46,83 +49,12 @@ class BLR2ULVFactor:
     partials: Dict[int, PartialCholeskyResult] = field(default_factory=dict)
     merged_chol: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
 
-    def _skeleton_offsets(self) -> list[int]:
-        offsets = [0]
-        for i in range(self.blr2.nblocks):
-            offsets.append(offsets[-1] + self.blr2.rank(i))
-        return offsets
-
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` through the ULV factors (Eq. 15).
-
-        ``b`` may be a vector of length ``n`` or a matrix of shape ``(n, k)``.
-        """
-        bm, single = validate_rhs(b, self.blr2.n)
-        nb = self.blr2.nblocks
-        offsets = self._skeleton_offsets()
-
-        z_store: Dict[int, np.ndarray] = {}
-        merged_rhs = np.zeros((offsets[-1], bm.shape[1]))
-        for i in range(nb):
-            rng = self.blr2.block_range(i)
-            bhat = self.bases[i].T @ bm[rng]
-            nr = self.partials[i].redundant_size
-            br, bs = bhat[:nr], bhat[nr:]
-            if nr > 0:
-                z = scipy.linalg.solve_triangular(self.partials[i].L_rr, br, lower=True)
-                bs = bs - self.partials[i].L_sr @ z
-            else:
-                z = br
-            z_store[i] = z
-            merged_rhs[offsets[i] : offsets[i + 1]] = bs
-
-        y = scipy.linalg.solve_triangular(self.merged_chol, merged_rhs, lower=True)
-        y = scipy.linalg.solve_triangular(self.merged_chol.T, y, lower=False)
-
-        x = np.empty_like(bm)
-        for i in range(nb):
-            rng = self.blr2.block_range(i)
-            ys = y[offsets[i] : offsets[i + 1]]
-            nr = self.partials[i].redundant_size
-            if nr > 0:
-                rhs = z_store[i] - self.partials[i].L_sr.T @ ys
-                yr = scipy.linalg.solve_triangular(self.partials[i].L_rr.T, rhs, lower=False)
-            else:
-                yr = z_store[i][:0]
-            x[rng] = self.bases[i] @ np.vstack([yr, ys])
-        return x[:, 0] if single else x
-
-    def logdet(self) -> float:
-        """``log(det(A))`` of the factorized BLR2 approximation."""
-        total = 2.0 * float(np.sum(np.log(np.diag(self.merged_chol))))
-        for part in self.partials.values():
-            if part.redundant_size > 0:
-                total += 2.0 * float(np.sum(np.log(np.diag(part.L_rr))))
-        return total
+    @property
+    def system(self) -> BLR2Matrix:
+        """The leaf system this factor was computed from (the BLR2 matrix itself)."""
+        return self.blr2
 
 
 def blr2_ulv_factorize(blr2: BLR2Matrix) -> BLR2ULVFactor:
     """Factorize an SPD BLR2 matrix with the single-level ULV algorithm (Alg. 1)."""
-    factor = BLR2ULVFactor(blr2=blr2)
-    nb = blr2.nblocks
-
-    schur: Dict[int, np.ndarray] = {}
-    for i in range(nb):
-        u_full, _, _ = full_orthogonal_basis(blr2.bases[i])
-        a_hat = u_full.T @ blr2.diag[i] @ u_full
-        part = partial_cholesky(a_hat, blr2.rank(i))
-        factor.bases[i] = u_full
-        factor.partials[i] = part
-        schur[i] = part.schur_ss
-
-    offsets = factor._skeleton_offsets()
-    merged = np.zeros((offsets[-1], offsets[-1]))
-    for i in range(nb):
-        merged[offsets[i] : offsets[i + 1], offsets[i] : offsets[i + 1]] = schur[i]
-        for j in range(nb):
-            if i == j:
-                continue
-            merged[offsets[i] : offsets[i + 1], offsets[j] : offsets[j + 1]] = blr2.coupling(i, j)
-
-    factor.merged_chol = np.linalg.cholesky(merged)
-    return factor
+    return leaf_ulv_factorize_into(BLR2ULVFactor(blr2=blr2), blr2)

@@ -4,32 +4,25 @@ The single-level counterpart of :func:`repro.core.hss_ulv_dtd.hss_ulv_factorize_
 the diagonal-product and partial-factorization of every block row are
 independent tasks (the embarrassingly parallel part of Alg. 1), each block row
 of the permuted skeleton system is assembled by its own MERGE task, and one
-final POTRF factorizes the merged skeleton block.  Dependencies are inferred
-by the runtime from the declared data accesses, so the graph can be executed
-immediately, deferred-sequentially or out-of-order on a thread pool -- all
-producing bit-identical factors to the sequential reference
+final POTRF factorizes the merged skeleton block.  The graph is recorded by
+the format-agnostic leaf-ULV builder
+(:class:`~repro.pipeline.factorize.LeafULVFactorizeBuilder` -- a BLR2 matrix
+*is* a leaf system), and backend dispatch lives in
+:meth:`repro.pipeline.policy.ExecutionPolicy.execute`; every backend produces
+bit-identical factors to the sequential reference
 (:func:`repro.core.blr2_ulv.blr2_ulv_factorize`).
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Optional, Tuple
-
-import numpy as np
+from typing import Optional, Tuple
 
 from repro.core.blr2_ulv import BLR2ULVFactor
-from repro.core.partial_cholesky import partial_cholesky
-from repro.distribution.strategies import DistributionStrategy, RowCyclicDistribution
+from repro.distribution.strategies import DistributionStrategy
 from repro.formats.blr2 import BLR2Matrix
-from repro.lowrank.qr import full_orthogonal_basis
-from repro.runtime.dtd import DTDRuntime, resolve_execution
-from repro.runtime.flops import (
-    flops_diag_product,
-    flops_partial_factor,
-    flops_potrf,
-)
-from repro.runtime.task import AccessMode
+from repro.pipeline.factorize import LeafULVFactorizeBuilder
+from repro.pipeline.policy import resolve_policy
+from repro.runtime.dtd import DTDRuntime
 
 __all__ = ["blr2_ulv_factorize_dtd"]
 
@@ -61,167 +54,14 @@ def blr2_ulv_factorize_dtd(
         ``execution="distributed"``, ``runtime.last_distributed_report`` holds
         the measured communication ledger.
     """
-    rt, mode = resolve_execution(runtime, execution)
-
-    nb = blr2.nblocks
-    factor = BLR2ULVFactor(blr2=blr2)
-
-    # Skeleton ranks (and hence the merged-system layout) are known up front.
-    offsets = factor._skeleton_offsets()
-    merged = np.zeros((offsets[-1], offsets[-1]))
-
-    # Mutable stores the task bodies operate on.
-    diag: Dict[int, np.ndarray] = {i: blr2.diag[i].copy() for i in range(nb)}
-    schur: Dict[int, np.ndarray] = {}
-
-    # Data handles.  The flat block rows are mapped onto a virtual tree level
-    # deep enough to hold them so the row-cyclic strategy spreads all rows.
-    level = max(1, math.ceil(math.log2(max(nb, 2))))
-    d_handle: Dict[int, object] = {}
-    u_handle: Dict[int, object] = {}
-    schur_handle: Dict[int, object] = {}
-    row_handle: Dict[int, object] = {}
-    for i in range(nb):
-        m = blr2.diag[i].shape[0]
-        r = blr2.rank(i)
-        # Mutable handles are bound to their stores so the distributed
-        # backend can move their values between worker processes.
-        d_handle[i] = rt.new_handle(
-            f"D[{i}]", nbytes=8 * m * m, level=level, row=i, max_level=level
-        ).bind_item(diag, i)
-        u_handle[i] = rt.new_handle(
-            f"U[{i}]", nbytes=8 * m * r, level=level, row=i, max_level=level
-        )
-        schur_handle[i] = rt.new_handle(
-            f"SCHUR[{i}]", nbytes=8 * r * r, level=level, row=i, max_level=level
-        ).bind_item(schur, i)
-        row_handle[i] = rt.new_handle(
-            f"MERGED_ROW[{i}]",
-            nbytes=8 * r * offsets[-1],
-            level=level,
-            row=i,
-            max_level=level,
-        ).bind(
-            # The merged-row strip lives inside the shared `merged` array, so
-            # the accessors copy the block-row slice in and out.
-            lambda i=i: merged[offsets[i] : offsets[i + 1], :].copy(),
-            lambda value, i=i: merged.__setitem__(
-                (slice(offsets[i], offsets[i + 1]), slice(None)), value
-            ),
-        )
-    s_handle: Dict[Tuple[int, int], object] = {}
-    for i in range(nb):
-        for j in range(i):
-            s_handle[(i, j)] = rt.new_handle(
-                f"S[{i},{j}]",
-                nbytes=8 * blr2.rank(i) * blr2.rank(j),
-                level=level,
-                row=i,
-                col=j,
-                max_level=level,
-            )
-    chol_handle = rt.new_handle(
-        "CHOL", nbytes=8 * offsets[-1] * offsets[-1], level=0, row=0, max_level=level
+    policy, runtime = resolve_policy(
+        runtime, execution, nodes=nodes, distribution=distribution, n_workers=n_workers
     )
-
-    strategy = distribution if distribution is not None else RowCyclicDistribution(nodes, max_level=level)
-    strategy.assign(rt.handles)
-
-    for i in range(nb):
-
-        def diag_product(i=i) -> None:
-            u_full, _, _ = full_orthogonal_basis(blr2.bases[i])
-            factor.bases[i] = u_full
-            diag[i] = u_full.T @ diag[i] @ u_full
-
-        m = blr2.diag[i].shape[0]
-        rt.insert_task(
-            diag_product,
-            [
-                (u_handle[i], AccessMode.READ),
-                (d_handle[i], AccessMode.RW),
-            ],
-            name=f"DIAG_PRODUCT[{i}]",
-            kind="DIAG_PRODUCT",
-            flops=flops_diag_product(m),
-            phase=0,
-        )
-
-        def partial_factor(i=i) -> None:
-            part = partial_cholesky(diag[i], blr2.rank(i))
-            factor.partials[i] = part
-            schur[i] = part.schur_ss
-
-        rt.insert_task(
-            partial_factor,
-            [
-                (d_handle[i], AccessMode.RW),
-                (schur_handle[i], AccessMode.WRITE),
-            ],
-            name=f"PARTIAL_FACTOR[{i}]",
-            kind="PARTIAL_FACTOR",
-            flops=flops_partial_factor(m, blr2.rank(i)),
-            phase=0,
-        )
-
-    # Assemble the permuted skeleton system (Fig. 4) one block row at a time;
-    # the rows write disjoint slices of `merged`, so they run concurrently.
-    for i in range(nb):
-
-        def merge_row(i=i) -> None:
-            merged[offsets[i] : offsets[i + 1], offsets[i] : offsets[i + 1]] = schur[i]
-            for j in range(nb):
-                if i == j:
-                    continue
-                merged[offsets[i] : offsets[i + 1], offsets[j] : offsets[j + 1]] = blr2.coupling(i, j)
-
-        accesses = [(schur_handle[i], AccessMode.READ)]
-        accesses += [
-            (s_handle[(max(i, j), min(i, j))], AccessMode.READ) for j in range(nb) if j != i
-        ]
-        accesses += [(row_handle[i], AccessMode.WRITE)]
-        rt.insert_task(
-            merge_row,
-            accesses,
-            name=f"MERGE[{i}]",
-            kind="MERGE",
-            flops=0.0,
-            phase=1,
-        )
-
-    def root_factor() -> None:
-        factor.merged_chol = np.linalg.cholesky(merged)
-
-    rt.insert_task(
-        root_factor,
-        [(row_handle[i], AccessMode.READ) for i in range(nb)]
-        + [(chol_handle, AccessMode.WRITE)],
-        name="ROOT_POTRF",
-        kind="POTRF",
-        flops=flops_potrf(offsets[-1]),
-        phase=2,
+    builder = LeafULVFactorizeBuilder(
+        blr2, BLR2ULVFactor(blr2=blr2), policy=policy, runtime=runtime
     )
-
     if execute:
-        if mode == "distributed":
-
-            def _collect():
-                # Runs inside each worker: ship back the per-row factor pieces
-                # produced locally plus the root Cholesky if this worker ran it.
-                return {
-                    "bases": dict(factor.bases),
-                    "partials": dict(factor.partials),
-                    "merged_chol": factor.merged_chol if factor.merged_chol.size else None,
-                }
-
-            report = rt.run_distributed(nodes=nodes, strategy=strategy, collect=_collect)
-            for frag in report.fragments:
-                factor.bases.update(frag["bases"])
-                factor.partials.update(frag["partials"])
-                if frag["merged_chol"] is not None:
-                    factor.merged_chol = frag["merged_chol"]
-        elif mode == "parallel":
-            rt.run_parallel(n_workers=n_workers)
-        else:
-            rt.run()
-    return factor, rt
+        builder.execute()
+    else:
+        builder.record()
+    return builder.result(), builder.runtime

@@ -1,0 +1,62 @@
+"""HODLR-ULV factorization expressed as DTD runtime tasks.
+
+The scenario-diversity payoff of the pipeline layer: a HODLR matrix reaches
+every execution backend through exactly the same leaf-ULV task graph the BLR2
+format records (:class:`~repro.pipeline.factorize.LeafULVFactorizeBuilder`),
+driven over the exact leaf view of
+:class:`~repro.core.hodlr_ulv.HODLRLeafSystem`.  No HODLR-specific task kinds
+exist; backend dispatch lives in
+:meth:`repro.pipeline.policy.ExecutionPolicy.execute`; every backend produces
+factors bit-identical to the sequential reference
+(:func:`repro.core.hodlr_ulv.hodlr_ulv_factorize`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.hodlr_ulv import HODLRLeafSystem, HODLRULVFactor
+from repro.distribution.strategies import DistributionStrategy
+from repro.formats.hodlr import HODLRMatrix
+from repro.pipeline.factorize import LeafULVFactorizeBuilder
+from repro.pipeline.policy import resolve_policy
+from repro.runtime.dtd import DTDRuntime
+
+__all__ = ["hodlr_ulv_factorize_dtd"]
+
+
+def hodlr_ulv_factorize_dtd(
+    hodlr: HODLRMatrix,
+    *,
+    runtime: Optional[DTDRuntime] = None,
+    nodes: int = 1,
+    distribution: Optional[DistributionStrategy] = None,
+    execute: bool = True,
+    execution: Optional[str] = None,
+    n_workers: int = 4,
+    system: Optional[HODLRLeafSystem] = None,
+) -> Tuple[HODLRULVFactor, DTDRuntime]:
+    """Factorize a symmetric SPD HODLR matrix through the DTD runtime.
+
+    Parameters mirror :func:`repro.core.hss_ulv_dtd.hss_ulv_factorize_dtd`;
+    ``system`` optionally reuses an already-built
+    :class:`~repro.core.hodlr_ulv.HODLRLeafSystem` (its construction is
+    deterministic, so sharing one between the sequential reference and the
+    task-graph runs is a convenience, not a correctness requirement).
+
+    Returns ``(factor, runtime)``; the factor is only populated once the
+    graph has been executed.
+    """
+    policy, runtime = resolve_policy(
+        runtime, execution, nodes=nodes, distribution=distribution, n_workers=n_workers
+    )
+    if system is None:
+        system = HODLRLeafSystem(hodlr)
+    builder = LeafULVFactorizeBuilder(
+        system, HODLRULVFactor(hodlr=hodlr, system=system), policy=policy, runtime=runtime
+    )
+    if execute:
+        builder.execute()
+    else:
+        builder.record()
+    return builder.result(), builder.runtime

@@ -4,11 +4,14 @@ Two entry points are provided:
 
 :func:`hss_ulv_factorize_dtd`
     Numerically factorizes an :class:`~repro.formats.hss.HSSMatrix` by
-    inserting the diagonal-product / partial-factorization / merge tasks of
-    Fig. 8 into a :class:`~repro.runtime.dtd.DTDRuntime`.  The result is
-    bit-for-bit the same factorization as the sequential reference
-    (:func:`repro.core.hss_ulv.hss_ulv_factorize`), plus the recorded task
-    graph for inspection or simulation.
+    recording the diagonal-product / partial-factorization / merge task graph
+    of Fig. 8 through the pipeline scaffold
+    (:class:`~repro.pipeline.factorize.HSSULVFactorizeBuilder`) and executing
+    it on the backend named by ``execution`` -- backend dispatch lives in
+    :meth:`repro.pipeline.policy.ExecutionPolicy.execute`, shared with every
+    other format.  The result is bit-for-bit the same factorization as the
+    sequential reference (:func:`repro.core.hss_ulv.hss_ulv_factorize`), plus
+    the recorded task graph for inspection or simulation.
 
 :func:`build_hss_ulv_taskgraph`
     Builds the same task graph *symbolically* from an
@@ -21,14 +24,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-import numpy as np
-
-from repro.core.hss_ulv import HSSNodeFactor, HSSULVFactor
-from repro.core.partial_cholesky import partial_cholesky
+from repro.core.hss_ulv import HSSULVFactor
 from repro.distribution.strategies import DistributionStrategy, RowCyclicDistribution
 from repro.formats.hss import HSSMatrix, HSSStructure
-from repro.lowrank.qr import full_orthogonal_basis
-from repro.runtime.dtd import DTDRuntime, resolve_execution
+from repro.pipeline.factorize import HSSULVFactorizeBuilder
+from repro.pipeline.policy import resolve_policy
+from repro.runtime.dtd import DTDRuntime
 from repro.runtime.flops import (
     flops_diag_product,
     flops_partial_factor,
@@ -95,161 +96,15 @@ def hss_ulv_factorize_dtd(
         After ``execution="distributed"``, ``runtime.last_distributed_report``
         holds the measured communication ledger.
     """
-    rt, mode = resolve_execution(runtime, execution)
-    max_level = hss.max_level
-    factor = HSSULVFactor(hss=hss)
-
-    # Mutable stores the task bodies operate on.
-    diag: Dict[Tuple[int, int], np.ndarray] = {}
-    schur: Dict[Tuple[int, int], np.ndarray] = {}
-
-    # Data handles.
-    d_handle: Dict[Tuple[int, int], object] = {}
-    s_handle: Dict[Tuple[int, int], object] = {}
-    schur_handle: Dict[Tuple[int, int], object] = {}
-    u_handle: Dict[Tuple[int, int], object] = {}
-
-    for level in range(max_level, -1, -1):
-        for i in range(2**level):
-            m = hss.block_size(level, i)
-            # The D/SCHUR handles are bound to the mutable stores so the
-            # distributed backend can move their values between processes.
-            d_handle[(level, i)] = rt.new_handle(
-                f"D[{level};{i}]", nbytes=8 * m * m, level=level, row=i, max_level=max_level
-            ).bind_item(diag, (level, i))
-            if level > 0:
-                node = hss.node(level, i)
-                u_handle[(level, i)] = rt.new_handle(
-                    f"U[{level};{i}]", nbytes=8 * m * node.rank, level=level, row=i, max_level=max_level
-                )
-                schur_handle[(level, i)] = rt.new_handle(
-                    f"SCHUR[{level};{i}]",
-                    nbytes=8 * node.rank * node.rank,
-                    level=level,
-                    row=i,
-                    max_level=max_level,
-                ).bind_item(schur, (level, i))
-    for level in range(1, max_level + 1):
-        for k in range(2 ** (level - 1)):
-            ri = hss.node(level, 2 * k + 1).rank
-            rj = hss.node(level, 2 * k).rank
-            s_handle[(level, k)] = rt.new_handle(
-                f"S[{level};{2 * k + 1},{2 * k}]",
-                nbytes=8 * ri * rj,
-                level=level,
-                row=2 * k + 1,
-                col=2 * k,
-                max_level=max_level,
-            )
-
-    strategy = distribution if distribution is not None else RowCyclicDistribution(nodes, max_level=max_level)
-    strategy.assign(rt.handles)
-
-    # Seed the leaf diagonal blocks.
-    for i in range(2**max_level):
-        diag[(max_level, i)] = hss.node(max_level, i).D.copy()
-
-    for level in range(max_level, 0, -1):
-        phase = _phase_of_level(level, max_level)
-        for i in range(2**level):
-            node = hss.node(level, i)
-            m = hss.block_size(level, i)
-
-            def diag_product(level=level, i=i, node=node) -> None:
-                u_full, _, _ = full_orthogonal_basis(node.U)
-                factor.node_factors[(level, i)] = HSSNodeFactor(
-                    U=u_full, rank=node.rank, partial=None  # type: ignore[arg-type]
-                )
-                diag[(level, i)] = u_full.T @ diag[(level, i)] @ u_full
-
-            rt.insert_task(
-                diag_product,
-                [
-                    (u_handle[(level, i)], AccessMode.READ),
-                    (d_handle[(level, i)], AccessMode.RW),
-                ],
-                name=f"DIAG_PRODUCT[{level};{i}]",
-                kind="DIAG_PRODUCT",
-                flops=flops_diag_product(m),
-                phase=phase,
-            )
-
-            def partial_factor(level=level, i=i, node=node) -> None:
-                part = partial_cholesky(diag[(level, i)], node.rank)
-                factor.node_factors[(level, i)].partial = part
-                schur[(level, i)] = part.schur_ss
-
-            rt.insert_task(
-                partial_factor,
-                [
-                    (d_handle[(level, i)], AccessMode.RW),
-                    (schur_handle[(level, i)], AccessMode.WRITE),
-                ],
-                name=f"PARTIAL_FACTOR[{level};{i}]",
-                kind="PARTIAL_FACTOR",
-                flops=flops_partial_factor(m, node.rank),
-                phase=phase,
-            )
-
-        for k in range(2 ** (level - 1)):
-
-            def merge(level=level, k=k) -> None:
-                s = hss.coupling(level, 2 * k + 1, 2 * k)
-                top = np.hstack([schur[(level, 2 * k)], s.T])
-                bot = np.hstack([s, schur[(level, 2 * k + 1)]])
-                diag[(level - 1, k)] = np.vstack([top, bot])
-
-            rt.insert_task(
-                merge,
-                [
-                    (schur_handle[(level, 2 * k)], AccessMode.READ),
-                    (schur_handle[(level, 2 * k + 1)], AccessMode.READ),
-                    (s_handle[(level, k)], AccessMode.READ),
-                    (d_handle[(level - 1, k)], AccessMode.WRITE),
-                ],
-                name=f"MERGE[{level - 1};{k}]",
-                kind="MERGE",
-                flops=0.0,
-                phase=phase,
-            )
-
-    def root_factor() -> None:
-        factor.root_chol = np.linalg.cholesky(diag[(0, 0)])
-
-    m0 = hss.block_size(0, 0)
-    rt.insert_task(
-        root_factor,
-        [(d_handle[(0, 0)], AccessMode.RW)],
-        name="ROOT_POTRF",
-        kind="POTRF",
-        flops=flops_potrf(m0),
-        phase=_phase_of_level(0, max_level),
+    policy, runtime = resolve_policy(
+        runtime, execution, nodes=nodes, distribution=distribution, n_workers=n_workers
     )
-
+    builder = HSSULVFactorizeBuilder(hss, policy=policy, runtime=runtime)
     if execute:
-        if mode == "distributed":
-
-            def _collect():
-                # Runs inside each worker: ship back the factor pieces its
-                # local tasks produced (an entry is complete once its
-                # PARTIAL_FACTOR has run, which happens on the D-block owner).
-                return {
-                    "node_factors": {
-                        k: v for k, v in factor.node_factors.items() if v.partial is not None
-                    },
-                    "root_chol": factor.root_chol if factor.root_chol.size else None,
-                }
-
-            report = rt.run_distributed(nodes=nodes, strategy=strategy, collect=_collect)
-            for frag in report.fragments:
-                factor.node_factors.update(frag["node_factors"])
-                if frag["root_chol"] is not None:
-                    factor.root_chol = frag["root_chol"]
-        elif mode == "parallel":
-            rt.run_parallel(n_workers=n_workers)
-        else:
-            rt.run()
-    return factor, rt
+        builder.execute()
+    else:
+        builder.record()
+    return builder.result(), builder.runtime
 
 
 def build_hss_ulv_taskgraph(

@@ -1,0 +1,130 @@
+"""Shared sequential core of the leaf-level (single-level) ULV factorization.
+
+Paper Alg. 1 never looks inside the matrix format: it only needs, per block
+row ``i``, a dense diagonal block, a shared skeleton basis, and the coupling
+blocks ``S_{i,j}`` against every other row.  Any format that can present
+itself through that *leaf system* interface factorizes and solves through the
+single implementation below -- :class:`~repro.formats.blr2.BLR2Matrix` does
+so directly, and a HODLR matrix does so through the exact leaf view of
+:class:`repro.core.hodlr_ulv.HODLRLeafSystem`.
+
+A leaf system provides::
+
+    n                  # matrix dimension
+    nblocks            # number of leaf block rows
+    block_range(i)     # slice of rows/cols covered by block i
+    rank(i)            # skeleton rank of block row i
+    diag               # {i: dense diagonal block}
+    bases              # {i: skeleton basis U_i^S with orthonormal columns}
+    coupling(i, j)     # skeleton coupling S_{i,j} (rank(i) x rank(j))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+import scipy.linalg
+
+from repro.core.partial_cholesky import partial_cholesky
+from repro.core.rhs import validate_rhs
+from repro.lowrank.qr import full_orthogonal_basis
+
+__all__ = ["LeafULVSolveMixin", "leaf_ulv_factorize_into"]
+
+
+class LeafULVSolveMixin:
+    """Solve/logdet shared by every leaf-level ULV factor object.
+
+    Concrete factor classes provide a ``system`` attribute (the leaf system
+    that was factorized) plus the factor stores ``bases`` (square orthogonal
+    ``[U^R U^S]`` per block row), ``partials`` (partial Cholesky factors per
+    block row) and ``merged_chol`` (Cholesky factor of the permuted skeleton
+    system).
+    """
+
+    def _skeleton_offsets(self) -> List[int]:
+        offsets = [0]
+        for i in range(self.system.nblocks):
+            offsets.append(offsets[-1] + self.system.rank(i))
+        return offsets
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` through the ULV factors (Eq. 15).
+
+        ``b`` may be a vector of length ``n`` or a matrix of shape ``(n, k)``.
+        """
+        bm, single = validate_rhs(b, self.system.n)
+        nb = self.system.nblocks
+        offsets = self._skeleton_offsets()
+
+        z_store: Dict[int, np.ndarray] = {}
+        merged_rhs = np.zeros((offsets[-1], bm.shape[1]))
+        for i in range(nb):
+            rng = self.system.block_range(i)
+            bhat = self.bases[i].T @ bm[rng]
+            nr = self.partials[i].redundant_size
+            br, bs = bhat[:nr], bhat[nr:]
+            if nr > 0:
+                z = scipy.linalg.solve_triangular(self.partials[i].L_rr, br, lower=True)
+                bs = bs - self.partials[i].L_sr @ z
+            else:
+                z = br
+            z_store[i] = z
+            merged_rhs[offsets[i] : offsets[i + 1]] = bs
+
+        y = scipy.linalg.solve_triangular(self.merged_chol, merged_rhs, lower=True)
+        y = scipy.linalg.solve_triangular(self.merged_chol.T, y, lower=False)
+
+        x = np.empty_like(bm)
+        for i in range(nb):
+            rng = self.system.block_range(i)
+            ys = y[offsets[i] : offsets[i + 1]]
+            nr = self.partials[i].redundant_size
+            if nr > 0:
+                rhs = z_store[i] - self.partials[i].L_sr.T @ ys
+                yr = scipy.linalg.solve_triangular(self.partials[i].L_rr.T, rhs, lower=False)
+            else:
+                yr = z_store[i][:0]
+            x[rng] = self.bases[i] @ np.vstack([yr, ys])
+        return x[:, 0] if single else x
+
+    def logdet(self) -> float:
+        """``log(det(A))`` of the factorized approximation."""
+        total = 2.0 * float(np.sum(np.log(np.diag(self.merged_chol))))
+        for part in self.partials.values():
+            if part.redundant_size > 0:
+                total += 2.0 * float(np.sum(np.log(np.diag(part.L_rr))))
+        return total
+
+
+def leaf_ulv_factorize_into(factor, system):
+    """Run the sequential leaf-level ULV (Alg. 1) and populate ``factor``.
+
+    ``factor`` is a fresh :class:`LeafULVSolveMixin` object whose ``bases`` /
+    ``partials`` dicts and ``merged_chol`` are filled in-place; it is also
+    returned.  This is the reference implementation every task-graph backend
+    is validated against, bit for bit.
+    """
+    nb = system.nblocks
+
+    schur: Dict[int, np.ndarray] = {}
+    for i in range(nb):
+        u_full, _, _ = full_orthogonal_basis(system.bases[i])
+        a_hat = u_full.T @ system.diag[i] @ u_full
+        part = partial_cholesky(a_hat, system.rank(i))
+        factor.bases[i] = u_full
+        factor.partials[i] = part
+        schur[i] = part.schur_ss
+
+    offsets = factor._skeleton_offsets()
+    merged = np.zeros((offsets[-1], offsets[-1]))
+    for i in range(nb):
+        merged[offsets[i] : offsets[i + 1], offsets[i] : offsets[i + 1]] = schur[i]
+        for j in range(nb):
+            if i == j:
+                continue
+            merged[offsets[i] : offsets[i + 1], offsets[j] : offsets[j + 1]] = system.coupling(i, j)
+
+    factor.merged_chol = np.linalg.cholesky(merged)
+    return factor

@@ -24,6 +24,7 @@ __all__ = [
     "RowCyclicDistribution",
     "BlockCyclicDistribution",
     "ElementCyclicDistribution",
+    "available_distributions",
     "distribute_handles",
     "strategy_by_name",
 ]
@@ -138,6 +139,11 @@ _STRATEGIES = {
     "element": ElementCyclicDistribution,
     "element-cyclic": ElementCyclicDistribution,
 }
+
+
+def available_distributions() -> tuple:
+    """The canonical (short) strategy names, sorted -- the single source of CLI choices."""
+    return tuple(sorted(name for name in _STRATEGIES if "-" not in name))
 
 
 def strategy_by_name(

@@ -32,8 +32,10 @@ from typing import List
 import numpy as np
 
 from repro.core.blr2_ulv_dtd import blr2_ulv_factorize_dtd
+from repro.core.hodlr_ulv_dtd import hodlr_ulv_factorize_dtd
 from repro.core.hss_ulv_dtd import hss_ulv_factorize_dtd
 from repro.formats.blr2 import build_blr2
+from repro.formats.hodlr import build_hodlr
 from repro.formats.hss import build_hss
 from repro.geometry.points import uniform_grid_2d
 from repro.kernels.assembly import KernelMatrix
@@ -47,6 +49,7 @@ class SpeedupRow:
     """One algorithm's sequential-vs-parallel measurement."""
 
     algorithm: str
+    format: str
     n: int
     num_tasks: int
     n_workers: int
@@ -90,11 +93,12 @@ def run_parallel_speedup(
     b = np.random.default_rng(seed).standard_normal(n)
 
     algorithms = (
-        ("HSS-ULV", build_hss, hss_ulv_factorize_dtd),
-        ("BLR2-ULV", build_blr2, blr2_ulv_factorize_dtd),
+        ("HSS-ULV", "hss", build_hss, hss_ulv_factorize_dtd),
+        ("BLR2-ULV", "blr2", build_blr2, blr2_ulv_factorize_dtd),
+        ("HODLR-ULV", "hodlr", build_hodlr, hodlr_ulv_factorize_dtd),
     )
     rows: List[SpeedupRow] = []
-    for name, build, factorize_dtd in algorithms:
+    for name, fmt, build, factorize_dtd in algorithms:
         matrix = build(kmat, leaf_size=leaf_size, max_rank=max_rank)
         comm_bytes = 0
         if backend == "thread":
@@ -126,6 +130,7 @@ def run_parallel_speedup(
         rows.append(
             SpeedupRow(
                 algorithm=name,
+                format=fmt,
                 n=n,
                 num_tasks=par_rt.num_tasks,
                 n_workers=n_workers,

@@ -36,9 +36,11 @@ class ThroughputRow:
     wall_seconds: float
     solves_per_sec: float
     max_residual: float
+    format: str = "hss"
 
     def as_dict(self) -> Dict[str, object]:
         return {
+            "format": self.format,
             "backend": self.backend,
             "batch_size": self.batch_size,
             "requests": self.requests,
@@ -62,6 +64,7 @@ def run_solve_throughput(
     nodes: int = 2,
     distribution: Optional[str] = None,
     panel_size: Optional[int] = None,
+    format_name: str = "hss",
     seed: int = 0,
 ) -> Dict[str, object]:
     """Measure serving throughput for every (backend, batch size) pair.
@@ -74,7 +77,9 @@ def run_solve_throughput(
     """
     rng = np.random.default_rng(seed)
     rhs = rng.standard_normal((n, requests))
-    key = FactorKey.make(kernel, n, leaf_size=leaf_size, max_rank=max_rank)
+    key = FactorKey.make(
+        kernel, n, leaf_size=leaf_size, max_rank=max_rank, format=format_name
+    )
 
     rows: List[ThroughputRow] = []
     factor_seconds: Dict[str, float] = {}
@@ -100,6 +105,7 @@ def run_solve_throughput(
                         service.submit(
                             rhs[:, j], kernel=kernel, n=n,
                             leaf_size=leaf_size, max_rank=max_rank,
+                            format=format_name,
                         )
                     )
                 service.flush()
@@ -108,12 +114,13 @@ def run_solve_throughput(
             x = np.column_stack([t.result for t in tickets])
             residual = float(
                 np.max(
-                    np.linalg.norm(solver.hss.matvec(x) - rhs, axis=0)
+                    np.linalg.norm(solver.matvec(x) - rhs, axis=0)
                     / np.linalg.norm(rhs, axis=0)
                 )
             )
             rows.append(
                 ThroughputRow(
+                    format=format_name,
                     backend=backend,
                     batch_size=batch,
                     requests=requests,
@@ -125,6 +132,7 @@ def run_solve_throughput(
             )
     return {
         "n": n,
+        "format": format_name,
         "kernel": kernel,
         "leaf_size": leaf_size,
         "max_rank": max_rank,
@@ -137,7 +145,8 @@ def run_solve_throughput(
 def format_solve_throughput(result: Dict[str, object]) -> str:
     """Render the throughput sweep as the table ``python -m repro servebench`` prints."""
     lines = [
-        f"Solve throughput: kernel={result['kernel']} n={result['n']} "
+        f"Solve throughput: format={result.get('format', 'hss')} "
+        f"kernel={result['kernel']} n={result['n']} "
         f"leaf_size={result['leaf_size']} max_rank={result['max_rank']} "
         f"requests={result['requests']}",
         "(one cached factorization per backend; requests flushed in groups of batch)",

@@ -1,0 +1,65 @@
+"""The format-agnostic ULV pipeline layer.
+
+The paper's DTD task-insertion model is format-agnostic by design: the same
+insert-task/execute machinery serves any structured format.  This package is
+where that promise is kept:
+
+* :mod:`~repro.pipeline.policy` -- :class:`ExecutionPolicy`, the single
+  description of *how* a graph executes (backend, workers, nodes,
+  distribution, RHS panels) and the single backend-dispatch implementation
+  (:meth:`ExecutionPolicy.execute`).
+* :mod:`~repro.pipeline.builder` -- the :class:`GraphBuilder` /
+  :class:`SolveGraphBuilder` scaffolds (phase recording, distribution
+  assignment, distributed fragment collect/merge, comm-plan verification,
+  RHS panel chaining) every format's graphs are built on.
+* :mod:`~repro.pipeline.factorize` / :mod:`~repro.pipeline.solve` -- the
+  concrete ULV factorize/solve builders: one multi-level (HSS) and one
+  leaf-level (BLR2, HODLR) of each.
+* :mod:`~repro.pipeline.registry` -- :class:`FormatSpec` entries mapping a
+  format name to (compressor, factorizer, solver); registering a spec gives
+  the format every backend, the CLI ``--format`` flag and service caching
+  for free.
+
+``repro.pipeline.factorize`` / ``repro.pipeline.solve`` are imported lazily
+by their consumers (the ``repro.core`` / ``repro.solve`` driver wrappers) to
+keep the import graph acyclic.
+"""
+
+from repro.pipeline.panels import (
+    apply_operator,
+    column_panels,
+    handle_namespace,
+    refine_once,
+)
+from repro.pipeline.policy import (
+    BACKENDS,
+    RUNTIME_BACKENDS,
+    ExecutionPolicy,
+    resolve_policy,
+)
+from repro.pipeline.builder import GraphBuilder, SolveGraphBuilder
+from repro.pipeline.registry import (
+    FormatSpec,
+    available_formats,
+    format_titles,
+    get_format,
+    register_format,
+)
+
+__all__ = [
+    "BACKENDS",
+    "RUNTIME_BACKENDS",
+    "ExecutionPolicy",
+    "resolve_policy",
+    "GraphBuilder",
+    "SolveGraphBuilder",
+    "FormatSpec",
+    "register_format",
+    "get_format",
+    "available_formats",
+    "format_titles",
+    "apply_operator",
+    "column_panels",
+    "handle_namespace",
+    "refine_once",
+]

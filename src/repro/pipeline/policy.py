@@ -1,0 +1,212 @@
+"""The single execution-backend description and dispatch point.
+
+Before this layer existed, every entry point (the :class:`~repro.api.StructuredSolver`
+facade, the CLI, the :class:`~repro.service.SolverService`) re-implemented the
+``use_runtime`` normalization, and every ``*_dtd`` graph builder carried its own
+``if distributed / elif parallel / else`` execution branch.  One
+:class:`ExecutionPolicy` now captures the full backend selection -- backend
+name, worker threads, worker processes, distribution strategy and RHS panel
+width -- and :meth:`ExecutionPolicy.execute` is the only place in the codebase
+that dispatches a recorded task graph onto a backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional, Union
+
+from repro.distribution.strategies import (
+    DistributionStrategy,
+    RowCyclicDistribution,
+    strategy_by_name,
+)
+from repro.runtime.dtd import DTDRuntime
+
+__all__ = ["BACKENDS", "RUNTIME_BACKENDS", "ExecutionPolicy", "resolve_policy"]
+
+#: Every execution backend, in the order the docs present them.  ``"off"`` is
+#: the sequential reference implementation (no task graph); the rest record a
+#: DTD task graph and differ only in how the recorded graph is executed.
+BACKENDS = ("off", "immediate", "deferred", "parallel", "distributed")
+
+#: The backends that go through the DTD runtime (everything but ``"off"``).
+RUNTIME_BACKENDS = BACKENDS[1:]
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How (and where) a recorded ULV task graph executes.
+
+    Attributes
+    ----------
+    backend:
+        ``"off"`` (sequential reference, no task graph), ``"immediate"``
+        (task bodies run at insertion time), ``"deferred"`` (record first,
+        then run sequentially), ``"parallel"`` (record first, then execute
+        out-of-order on a thread pool) or ``"distributed"`` (record first,
+        then execute across forked worker processes with owner-computes
+        placement).  All backends produce bit-identical results.
+    n_workers:
+        Thread count for the ``parallel`` backend.
+    nodes:
+        Process count for the data distribution (real worker processes for
+        ``distributed``, simulated ranks otherwise).
+    distribution:
+        Placement strategy for the runtime backends: a
+        :class:`~repro.distribution.strategies.DistributionStrategy` instance,
+        a name (``"row"`` / ``"block"`` / ``"element"``), or None for the
+        paper's row-cyclic default.
+    panel_size:
+        Columns per RHS panel of the task-graph solves; None keeps all
+        columns in one panel (bit-identical to the sequential reference).
+    """
+
+    backend: str = "off"
+    n_workers: int = 4
+    nodes: int = 1
+    distribution: Optional[Union[str, DistributionStrategy]] = None
+    panel_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def resolve(
+        cls,
+        use_runtime: Union[bool, str] = False,
+        *,
+        n_workers: int = 4,
+        nodes: int = 1,
+        distribution: Optional[Union[str, DistributionStrategy]] = None,
+        panel_size: Optional[int] = None,
+    ) -> "ExecutionPolicy":
+        """Normalize a facade-style ``use_runtime`` argument into a policy.
+
+        ``False`` maps to ``"off"``, ``True`` to ``"immediate"``; strings are
+        validated against :data:`BACKENDS`.
+        """
+        backend = {False: "off", True: "immediate"}.get(use_runtime, use_runtime)
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown use_runtime {use_runtime!r}; expected False, True, "
+                "'off', 'immediate', 'deferred', 'parallel' or 'distributed'"
+            )
+        return cls(
+            backend=backend,
+            n_workers=n_workers,
+            nodes=nodes,
+            distribution=distribution,
+            panel_size=panel_size,
+        )
+
+    @property
+    def uses_runtime(self) -> bool:
+        """True when this policy records (and executes) a DTD task graph."""
+        return self.backend != "off"
+
+    def with_backend(self, backend: str) -> "ExecutionPolicy":
+        """A copy of this policy on a different backend."""
+        return replace(self, backend=backend)
+
+    # -- runtime / strategy construction -------------------------------------
+    def make_runtime(self) -> DTDRuntime:
+        """A fresh :class:`DTDRuntime` in the recording mode this backend needs.
+
+        ``parallel`` and ``distributed`` require a fully deferred graph; the
+        sequential backends record in their own mode.
+        """
+        if self.backend in ("parallel", "distributed"):
+            return DTDRuntime(execution="deferred")
+        if self.backend in ("immediate", "deferred"):
+            return DTDRuntime(execution=self.backend)
+        raise ValueError("backend 'off' does not record a task graph")
+
+    def resolve_distribution(self, max_level: int) -> DistributionStrategy:
+        """The concrete placement strategy (name or None resolved; instances pass through)."""
+        if isinstance(self.distribution, str):
+            return strategy_by_name(self.distribution, self.nodes, max_level=max_level)
+        if self.distribution is None:
+            return RowCyclicDistribution(self.nodes, max_level=max_level)
+        return self.distribution
+
+    # -- execution ------------------------------------------------------------
+    def execute(
+        self,
+        runtime: DTDRuntime,
+        *,
+        strategy: Optional[DistributionStrategy] = None,
+        collect: Optional[Callable[[], Any]] = None,
+        merge: Optional[Callable[[Any], None]] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Execute ``runtime``'s recorded graph on this policy's backend.
+
+        This is the single backend-dispatch implementation shared by every
+        graph builder, the facade, the CLI and the service:
+
+        * ``distributed`` runs the graph across :attr:`nodes` forked worker
+          processes (``collect`` gathers per-worker result fragments, and
+          ``merge`` is invoked on each returned fragment), returning the
+          :class:`~repro.runtime.distributed.DistributedReport`;
+        * ``parallel`` runs the graph out-of-order on a :attr:`n_workers`
+          thread pool, returning the
+          :class:`~repro.runtime.executor.ExecutionReport`;
+        * every other backend finishes the graph sequentially in insertion
+          order (a no-op for ``immediate`` bodies that already ran), returning
+          None.
+        """
+        if self.backend == "distributed":
+            if runtime.num_tasks == 0:
+                return None
+            report = runtime.run_distributed(
+                nodes=self.nodes, strategy=strategy, collect=collect, timeout=timeout
+            )
+            if merge is not None:
+                for fragment in report.fragments:
+                    merge(fragment)
+            return report
+        if self.backend == "parallel":
+            return runtime.run_parallel(n_workers=self.n_workers, timeout=timeout)
+        runtime.run()
+        return None
+
+
+def resolve_policy(
+    runtime: Optional[DTDRuntime],
+    execution: Optional[str],
+    *,
+    nodes: int = 1,
+    distribution: Optional[Union[str, DistributionStrategy]] = None,
+    n_workers: int = 4,
+    panel_size: Optional[int] = None,
+) -> tuple:
+    """Resolve the legacy ``runtime`` / ``execution`` driver arguments.
+
+    Mirrors the contract of the pre-pipeline ``*_dtd`` drivers: ``execution``
+    names the backend (mutually exclusive with ``runtime``); an explicit
+    ``runtime`` records into the caller's runtime and executes sequentially.
+    Returns ``(policy, runtime)`` for a :class:`~repro.pipeline.builder.GraphBuilder`.
+    """
+    if execution is not None:
+        if runtime is not None:
+            raise ValueError("pass either `runtime` or `execution`, not both")
+        if execution not in RUNTIME_BACKENDS:
+            raise ValueError(
+                f"unknown execution mode {execution!r}; "
+                "expected 'immediate', 'deferred', 'parallel' or 'distributed'"
+            )
+        backend = execution
+    else:
+        backend = "immediate"
+    policy = ExecutionPolicy(
+        backend=backend,
+        nodes=nodes,
+        n_workers=n_workers,
+        distribution=distribution,
+        panel_size=panel_size,
+    )
+    return policy, runtime

@@ -2,8 +2,8 @@
 
 The ROADMAP north star bills by solves: one factorization amortized over many
 right-hand sides.  :class:`SolverService` keeps an LRU cache of
-:class:`~repro.api.HSSSolver` factorizations keyed by the full problem
-description (kernel, n, leaf_size, max_rank, kernel params), queues incoming
+:class:`~repro.api.StructuredSolver` factorizations keyed by the full problem
+description (format, kernel, n, leaf_size, max_rank, kernel params), queues incoming
 right-hand sides as :class:`SolveTicket` objects, and drains the queue in
 :meth:`SolverService.flush` as *batched* task-graph solves: all queued
 requests against the same factorization are stacked into one ``(n, k)`` block
@@ -27,14 +27,15 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.api import HSSSolver
+from repro.api import StructuredSolver
 from repro.core.rhs import validate_rhs
 from repro.distribution.strategies import DistributionStrategy
+from repro.pipeline.registry import get_format
 
 __all__ = ["FactorKey", "SolveTicket", "ServiceStats", "SolverService"]
 
 #: Maps the service backend name to the ``use_runtime`` mode of
-#: :meth:`repro.api.HSSSolver.solve`.
+#: :meth:`repro.api.StructuredSolver.solve`.
 _BACKEND_TO_RUNTIME: Dict[str, Union[bool, str]] = {
     "reference": False,
     "immediate": True,
@@ -46,22 +47,31 @@ _BACKEND_TO_RUNTIME: Dict[str, Union[bool, str]] = {
 
 @dataclass(frozen=True)
 class FactorKey:
-    """Cache key identifying one factorization (problem description)."""
+    """Cache key identifying one factorization (problem description).
+
+    ``format`` names the structured representation (any format registered in
+    :mod:`repro.pipeline.registry`); the same kernel problem compressed as
+    HSS and as HODLR are distinct factorizations and cache separately.
+    """
 
     kernel: str
     n: int
     leaf_size: int = 256
     max_rank: int = 100
     params: Tuple[Tuple[str, float], ...] = ()
+    format: str = "hss"
 
     @classmethod
     def make(
         cls, kernel: str, n: int, *, leaf_size: int = 256, max_rank: int = 100,
-        **params: float,
+        format: str = "hss", **params: float,
     ) -> "FactorKey":
+        # Resolve through the registry so unknown formats fail at submit
+        # time (with the registered choices) instead of at factorization.
         return cls(
             kernel=str(kernel), n=int(n), leaf_size=int(leaf_size),
             max_rank=int(max_rank), params=tuple(sorted(params.items())),
+            format=get_format(format).name,
         )
 
 
@@ -129,7 +139,7 @@ class SolverService:
         default) or ``"distributed"`` (``nodes`` forked worker processes).
         All backends produce bit-identical solutions.
     n_workers / nodes / distribution:
-        Runtime-backend parameters, as in :meth:`repro.api.HSSSolver.solve`.
+        Runtime-backend parameters, as in :meth:`repro.api.StructuredSolver.solve`.
     panel_size:
         RHS-panel width of the batched graph solves (``None``: one panel).
     refine:
@@ -171,12 +181,12 @@ class SolverService:
         self.refine = refine
         self.max_cached = max_cached
         self.stats = ServiceStats()
-        self._cache: "OrderedDict[FactorKey, HSSSolver]" = OrderedDict()
+        self._cache: "OrderedDict[FactorKey, StructuredSolver]" = OrderedDict()
         self._queue: List[SolveTicket] = []
 
     # -- factorization cache -------------------------------------------------
-    def solver_for(self, key: FactorKey) -> HSSSolver:
-        """The cached, factorized :class:`HSSSolver` for ``key`` (build on miss)."""
+    def solver_for(self, key: FactorKey) -> StructuredSolver:
+        """The cached, factorized :class:`StructuredSolver` for ``key`` (build on miss)."""
         solver = self._cache.get(key)
         if solver is not None:
             self._cache.move_to_end(key)
@@ -184,8 +194,9 @@ class SolverService:
             return solver
         self.stats.cache_misses += 1
         t0 = time.perf_counter()
-        solver = HSSSolver.from_kernel(
-            key.kernel, n=key.n, leaf_size=key.leaf_size, max_rank=key.max_rank,
+        solver = StructuredSolver.from_kernel(
+            key.kernel, n=key.n, format=key.format,
+            leaf_size=key.leaf_size, max_rank=key.max_rank,
             **dict(key.params),
         )
         solver.factorize()
@@ -209,6 +220,7 @@ class SolverService:
         n: int,
         leaf_size: int = 256,
         max_rank: int = 100,
+        format: str = "hss",
         **params: float,
     ) -> SolveTicket:
         """Queue one right-hand side (vector or ``(n, k)`` block) for solving.
@@ -216,8 +228,11 @@ class SolverService:
         ``n`` is required (never inferred from ``b``): the cache key must name
         the intended problem, so a mis-sized right-hand side raises instead of
         silently factorizing -- and caching -- a wrong-size problem.
+        ``format`` selects the structured representation (registry-driven).
         """
-        key = FactorKey.make(kernel, n, leaf_size=leaf_size, max_rank=max_rank, **params)
+        key = FactorKey.make(
+            kernel, n, leaf_size=leaf_size, max_rank=max_rank, format=format, **params
+        )
         bm, single = validate_rhs(b, key.n)
         ticket = SolveTicket(key, bm, single)
         self._queue.append(ticket)
@@ -280,11 +295,13 @@ class SolverService:
         n: int,
         leaf_size: int = 256,
         max_rank: int = 100,
+        format: str = "hss",
         **params: float,
     ) -> np.ndarray:
         """Convenience: submit one request, flush, return its solution."""
         ticket = self.submit(
-            b, kernel=kernel, n=n, leaf_size=leaf_size, max_rank=max_rank, **params
+            b, kernel=kernel, n=n, leaf_size=leaf_size, max_rank=max_rank,
+            format=format, **params
         )
         self.flush()
         return ticket.result

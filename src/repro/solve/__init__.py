@@ -1,12 +1,13 @@
 """Task-graph ULV solve subsystem (factorize once, solve many).
 
 Mirrors the factorization architecture of :mod:`repro.core`: the ULV
-forward/root/backward solve phases for both HSS and BLR2 are recorded as DTD
-``insert_task`` graphs, so one recorded graph executes on all three backends
-(sequential, thread-parallel, distributed multi-process) bit-identically to
-the sequential reference solves.  Multi-RHS blocks are split into independent
-column panels, and one optional step of iterative refinement recovers
-accuracy under loose compression tolerances.
+forward/root/backward solve phases for HSS, BLR2 and HODLR are recorded as
+DTD ``insert_task`` graphs on the shared pipeline scaffold
+(:mod:`repro.pipeline.solve`), so one recorded graph executes on all three
+backends (sequential, thread-parallel, distributed multi-process)
+bit-identically to the sequential reference solves.  Multi-RHS blocks are
+split into independent column panels, and one optional step of iterative
+refinement recovers accuracy under loose compression tolerances.
 
 The batching/caching :class:`~repro.service.SolverService` layer sits on top
 of these drivers.
@@ -14,11 +15,13 @@ of these drivers.
 
 from repro.solve.common import apply_operator, column_panels
 from repro.solve.blr2_solve_dtd import blr2_ulv_solve_dtd
+from repro.solve.hodlr_solve_dtd import hodlr_ulv_solve_dtd
 from repro.solve.hss_solve_dtd import hss_ulv_solve_dtd
 
 __all__ = [
     "apply_operator",
     "column_panels",
     "blr2_ulv_solve_dtd",
+    "hodlr_ulv_solve_dtd",
     "hss_ulv_solve_dtd",
 ]

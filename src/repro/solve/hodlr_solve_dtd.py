@@ -1,15 +1,15 @@
-"""BLR2-ULV solve expressed as DTD runtime tasks.
+"""HODLR-ULV solve expressed as DTD runtime tasks.
 
-The single-level counterpart of :mod:`repro.solve.hss_solve_dtd` (Eq. 15),
-recorded by the format-agnostic leaf-ULV solve builder
-(:class:`~repro.pipeline.solve.LeafULVSolveBuilder`): per block row one
-forward-elimination task, per panel one root task against the merged Cholesky
-factor, and per block row one back-substitution task.  The same recorded
-graph executes on every backend, bit-identical to the sequential reference
-:meth:`~repro.core.blr2_ulv.BLR2ULVFactor.solve`.
+The HODLR counterpart of :mod:`repro.solve.blr2_solve_dtd`: a
+:class:`~repro.core.hodlr_ulv.HODLRULVFactor` solves through exactly the same
+leaf-ULV solve graph (:class:`~repro.pipeline.solve.LeafULVSolveBuilder`) as
+a BLR2 factor -- the leaf view is just another leaf system.  Every backend is
+bit-identical to the sequential reference
+:meth:`~repro.core.hodlr_ulv.HODLRULVFactor.solve`.
 
 Multi-RHS blocking, iterative refinement and the backend selection mirror the
-HSS driver; see :func:`repro.solve.hss_solve_dtd.hss_ulv_solve_dtd`.
+HSS driver; see :func:`repro.solve.hss_solve_dtd.hss_ulv_solve_dtd`.  The
+default refinement operator is the HODLR matrix itself.
 """
 
 from __future__ import annotations
@@ -18,16 +18,16 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.blr2_ulv import BLR2ULVFactor
+from repro.core.hodlr_ulv import HODLRULVFactor
 from repro.distribution.strategies import DistributionStrategy
 from repro.pipeline.solve import LeafULVSolveBuilder, solve_through_builder
 from repro.runtime.dtd import DTDRuntime
 
-__all__ = ["blr2_ulv_solve_dtd"]
+__all__ = ["hodlr_ulv_solve_dtd"]
 
 
-def blr2_ulv_solve_dtd(
-    factor: BLR2ULVFactor,
+def hodlr_ulv_solve_dtd(
+    factor: HODLRULVFactor,
     b: np.ndarray,
     *,
     runtime: Optional[DTDRuntime] = None,
@@ -39,7 +39,7 @@ def blr2_ulv_solve_dtd(
     refine: bool = False,
     matvec=None,
 ) -> Tuple[np.ndarray, DTDRuntime]:
-    """Solve ``A x = b`` with a BLR2-ULV factor through the DTD runtime.
+    """Solve ``A x = b`` with a HODLR-ULV factor through the DTD runtime.
 
     Parameters mirror :func:`repro.solve.hss_solve_dtd.hss_ulv_solve_dtd`.
     Returns ``(x, runtime)`` with ``x`` shaped like ``b``.
@@ -56,5 +56,5 @@ def blr2_ulv_solve_dtd(
         panel_size=panel_size,
         refine=refine,
         matvec=matvec,
-        default_op=factor.blr2,
+        default_op=factor.hodlr,
     )

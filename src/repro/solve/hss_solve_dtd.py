@@ -2,52 +2,30 @@
 
 The solve counterpart of :mod:`repro.core.hss_ulv_dtd`: the three phases of
 Eq. 17 -- forward elimination down the redundant unknowns, the small dense
-root solve, and back-substitution -- are inserted as ``insert_task`` calls
-that *read* the immutable factor pieces and read/write per-panel right-hand
-side blocks.  The runtime derives the dependency DAG from those accesses, so
-the same recorded graph executes on all three backends:
+root solve, and back-substitution -- are recorded by
+:class:`~repro.pipeline.solve.HSSULVSolveBuilder` on the shared pipeline
+scaffold.  The runtime derives the dependency DAG from the declared accesses,
+so the same recorded graph executes on all three backends (sequential,
+thread-parallel, distributed multi-process), every one bit-identical to the
+sequential reference :meth:`~repro.core.hss_ulv.HSSULVFactor.solve`.
 
-* sequentially (``immediate`` / ``deferred``),
-* out-of-order on a thread pool (``parallel``),
-* across forked worker processes with owner-computes placement and accounted
-  data transfers (``distributed``),
-
-and every backend produces solutions bit-identical to the sequential
-reference :meth:`~repro.core.hss_ulv.HSSULVFactor.solve`.
-
-Multi-RHS solves are blocked: a ``b`` of shape ``(n, k)`` is split into
-column panels (``panel_size``), each panel carrying its own independent
-forward/root/backward task chain, so one panel's back-substitution overlaps
-with another panel's forward elimination.  With the default single panel the
-task bodies perform exactly the BLAS calls of the reference, which is what
-makes bit-identity hold for any ``k``.
-
-``refine=True`` adds one step of iterative refinement: after the primary
-solve, the residual ``r = b - A x`` (against ``matvec``, by default the
-factorized HSS operator) is solved through a second recorded graph on the
-same backend and the correction is added.  Refining against the *exact*
-operator (e.g. ``KernelMatrix.matvec``, as the :class:`~repro.api.HSSSolver`
-facade does) recovers accuracy lost to loose compression tolerances.
+Multi-RHS solves are blocked into column panels (``panel_size``), each panel
+carrying its own independent forward/root/backward task chain; ``refine=True``
+adds one step of iterative refinement through a second recorded graph on the
+same backend.  Backend dispatch lives in
+:meth:`repro.pipeline.policy.ExecutionPolicy.execute`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
-import scipy.linalg
 
 from repro.core.hss_ulv import HSSULVFactor
-from repro.core.rhs import check_rhs_shape
-from repro.distribution.strategies import DistributionStrategy, RowCyclicDistribution
-from repro.runtime.dtd import DTDRuntime, resolve_execution
-from repro.runtime.flops import (
-    flops_solve_backward,
-    flops_solve_forward,
-    flops_solve_root,
-)
-from repro.runtime.task import AccessMode
-from repro.solve.common import column_panels, handle_namespace, refine_once
+from repro.distribution.strategies import DistributionStrategy
+from repro.pipeline.solve import HSSULVSolveBuilder, solve_through_builder
+from repro.runtime.dtd import DTDRuntime
 
 __all__ = ["hss_ulv_solve_dtd"]
 
@@ -104,243 +82,17 @@ def hss_ulv_solve_dtd(
         ``execution="distributed"``, ``runtime.last_distributed_report``
         holds the measured communication ledger.
     """
-    # Normalize without copying: the driver only reads bm (the leaf seeds are
-    # slice copies), so the validate_rhs working copy would be pure overhead.
-    check_rhs_shape(b, factor.hss.n)
-    arr = np.asarray(b, dtype=np.float64)
-    single = arr.ndim == 1
-    bm = arr.reshape(factor.hss.n, -1)
-    rt, mode = resolve_execution(runtime, execution)
-    x = _record_and_run(
-        factor, bm, rt, mode,
-        nodes=nodes, distribution=distribution,
-        n_workers=n_workers, panel_size=panel_size,
+    return solve_through_builder(
+        HSSULVSolveBuilder,
+        factor,
+        b,
+        runtime=runtime,
+        execution=execution,
+        nodes=nodes,
+        distribution=distribution,
+        n_workers=n_workers,
+        panel_size=panel_size,
+        refine=refine,
+        matvec=matvec,
+        default_op=factor.hss,
     )
-    if refine:
-        op = matvec if matvec is not None else factor.hss
-        x = refine_once(
-            lambda r: _record_and_run(
-                factor, r, DTDRuntime(execution=rt.execution), mode,
-                nodes=nodes, distribution=distribution,
-                n_workers=n_workers, panel_size=panel_size,
-            ),
-            op, bm, x,
-        )
-    return (x[:, 0] if single else x), rt
-
-
-def _record_and_run(
-    factor: HSSULVFactor,
-    bm: np.ndarray,
-    rt: DTDRuntime,
-    mode: str,
-    *,
-    nodes: int,
-    distribution: Optional[DistributionStrategy],
-    n_workers: int,
-    panel_size: Optional[int],
-) -> np.ndarray:
-    """Record the forward/root/backward graph for ``bm`` and execute it."""
-    hss = factor.hss
-    max_level = hss.max_level
-    panels = column_panels(bm.shape[1], panel_size)
-    # Unique suffix so repeated solves can record into one shared runtime.
-    ns = handle_namespace(rt)
-
-    # Mutable per-panel stores the task bodies operate on.
-    work: Dict[Tuple[int, int, int], np.ndarray] = {}
-    zs: Dict[Tuple[int, int, int], np.ndarray] = {}
-    bs: Dict[Tuple[int, int, int], np.ndarray] = {}
-    sol: Dict[Tuple[int, int, int], np.ndarray] = {}
-
-    # Immutable factor handles: read-only inputs of every solve task.  They
-    # have no writer, so they never cross a process boundary (forked workers
-    # inherit the factors), but declaring them keeps the recorded graph an
-    # honest description of the data each task touches.
-    fac_handle: Dict[Tuple[int, int], object] = {}
-    for (level, i), nf in sorted(factor.node_factors.items()):
-        fac_handle[(level, i)] = rt.new_handle(
-            f"ULV[{level};{i}]{ns}",
-            nbytes=int(nf.U.nbytes + nf.partial.L_rr.nbytes + nf.partial.L_sr.nbytes),
-            level=level, row=i, max_level=max_level,
-        )
-    root_handle = rt.new_handle(
-        f"ULV_ROOT{ns}", nbytes=int(factor.root_chol.nbytes),
-        level=0, row=0, max_level=max_level,
-    )
-
-    # Per-panel RHS/solution handles, bound to the stores so the distributed
-    # backend can move their values between processes.
-    work_h: Dict[Tuple[int, int, int], object] = {}
-    z_h: Dict[Tuple[int, int, int], object] = {}
-    s_h: Dict[Tuple[int, int, int], object] = {}
-    sol_h: Dict[Tuple[int, int, int], object] = {}
-    for p, cols in enumerate(panels):
-        pw = cols.stop - cols.start
-        for level in range(max_level, -1, -1):
-            for i in range(2**level):
-                if level > 0:
-                    nf = factor.node_factors[(level, i)]
-                    m, r = nf.block_size, nf.rank
-                else:
-                    m = r = factor.root_chol.shape[0]
-                work_h[(p, level, i)] = rt.new_handle(
-                    f"B[{level};{i};p{p}]{ns}", nbytes=8 * m * pw,
-                    level=level, row=i, max_level=max_level, panel=p,
-                ).bind_item(work, (p, level, i))
-                sol_h[(p, level, i)] = rt.new_handle(
-                    f"X[{level};{i};p{p}]{ns}", nbytes=8 * m * pw,
-                    level=level, row=i, max_level=max_level, panel=p,
-                ).bind_item(sol, (p, level, i))
-                if level > 0:
-                    z_h[(p, level, i)] = rt.new_handle(
-                        f"Z[{level};{i};p{p}]{ns}", nbytes=8 * (m - r) * pw,
-                        level=level, row=i, max_level=max_level, panel=p,
-                    ).bind_item(zs, (p, level, i))
-                    s_h[(p, level, i)] = rt.new_handle(
-                        f"BS[{level};{i};p{p}]{ns}", nbytes=8 * r * pw,
-                        level=level, row=i, max_level=max_level, panel=p,
-                    ).bind_item(bs, (p, level, i))
-
-    strategy = (
-        distribution if distribution is not None
-        else RowCyclicDistribution(nodes, max_level=max_level)
-    )
-    strategy.assign(rt.handles)
-
-    # Seed the leaf RHS blocks (inherited by forked workers).
-    for p, cols in enumerate(panels):
-        for i in range(2**max_level):
-            node = hss.node(max_level, i)
-            work[(p, max_level, i)] = bm[node.start : node.stop, cols].copy()
-
-    for p, cols in enumerate(panels):
-        pw = cols.stop - cols.start
-
-        # Forward pass: rotate, eliminate redundant unknowns, merge upward.
-        for level in range(max_level, 0, -1):
-            phase = max_level - level
-            for i in range(2**level):
-                nf = factor.node_factors[(level, i)]
-
-                def forward(p=p, level=level, i=i, nf=nf) -> None:
-                    bhat = nf.U.T @ work[(p, level, i)]
-                    nr = nf.redundant_size
-                    br, bsi = bhat[:nr], bhat[nr:]
-                    if nr > 0:
-                        z = scipy.linalg.solve_triangular(nf.partial.L_rr, br, lower=True)
-                        bsi = bsi - nf.partial.L_sr @ z
-                    else:
-                        z = br
-                    zs[(p, level, i)] = z
-                    bs[(p, level, i)] = bsi
-
-                rt.insert_task(
-                    forward,
-                    [
-                        (fac_handle[(level, i)], AccessMode.READ),
-                        (work_h[(p, level, i)], AccessMode.READ),
-                        (z_h[(p, level, i)], AccessMode.WRITE),
-                        (s_h[(p, level, i)], AccessMode.WRITE),
-                    ],
-                    name=f"FWD[{level};{i};p{p}]",
-                    kind="SOLVE_FWD",
-                    flops=flops_solve_forward(nf.block_size, nf.rank, pw),
-                    phase=phase,
-                )
-            for k in range(2 ** (level - 1)):
-
-                def merge_rhs(p=p, level=level, k=k) -> None:
-                    work[(p, level - 1, k)] = np.vstack(
-                        [bs[(p, level, 2 * k)], bs[(p, level, 2 * k + 1)]]
-                    )
-
-                rt.insert_task(
-                    merge_rhs,
-                    [
-                        (s_h[(p, level, 2 * k)], AccessMode.READ),
-                        (s_h[(p, level, 2 * k + 1)], AccessMode.READ),
-                        (work_h[(p, level - 1, k)], AccessMode.WRITE),
-                    ],
-                    name=f"MERGE_RHS[{level - 1};{k};p{p}]",
-                    kind="MERGE_RHS",
-                    flops=0.0,
-                    phase=phase,
-                )
-
-        # Root dense solve.
-        def root_solve(p=p) -> None:
-            y0 = scipy.linalg.solve_triangular(factor.root_chol, work[(p, 0, 0)], lower=True)
-            sol[(p, 0, 0)] = scipy.linalg.solve_triangular(factor.root_chol.T, y0, lower=False)
-
-        rt.insert_task(
-            root_solve,
-            [
-                (root_handle, AccessMode.READ),
-                (work_h[(p, 0, 0)], AccessMode.READ),
-                (sol_h[(p, 0, 0)], AccessMode.WRITE),
-            ],
-            name=f"ROOT_SOLVE[p{p}]",
-            kind="SOLVE_ROOT",
-            flops=flops_solve_root(factor.root_chol.shape[0], pw),
-            phase=max_level,
-        )
-
-        # Backward pass: un-merge, back-substitute, rotate back.
-        for level in range(1, max_level + 1):
-            phase = max_level + level
-            for i in range(2**level):
-                nf = factor.node_factors[(level, i)]
-                r_left = factor.node_factors[(level, 2 * (i // 2))].rank
-
-                def backward(p=p, level=level, i=i, nf=nf, r_left=r_left) -> None:
-                    parent = sol[(p, level - 1, i // 2)]
-                    ys = parent[:r_left] if i % 2 == 0 else parent[r_left:]
-                    nr = nf.redundant_size
-                    if nr > 0:
-                        rhs = zs[(p, level, i)] - nf.partial.L_sr.T @ ys
-                        yr = scipy.linalg.solve_triangular(nf.partial.L_rr.T, rhs, lower=False)
-                    else:
-                        yr = zs[(p, level, i)][:0]
-                    sol[(p, level, i)] = nf.U @ np.vstack([yr, ys])
-
-                rt.insert_task(
-                    backward,
-                    [
-                        (fac_handle[(level, i)], AccessMode.READ),
-                        (sol_h[(p, level - 1, i // 2)], AccessMode.READ),
-                        (z_h[(p, level, i)], AccessMode.READ),
-                        (sol_h[(p, level, i)], AccessMode.WRITE),
-                    ],
-                    name=f"BWD[{level};{i};p{p}]",
-                    kind="SOLVE_BWD",
-                    flops=flops_solve_backward(nf.block_size, nf.rank, pw),
-                    phase=phase,
-                )
-
-    if mode == "distributed":
-        leaf_keys = [
-            (p, max_level, i) for p in range(len(panels)) for i in range(2**max_level)
-        ]
-
-        def _collect():
-            # Runs inside each worker: ship back the leaf solution blocks its
-            # local BWD tasks produced (leaf SOL handles have no consumers, so
-            # an entry present in the store was computed locally).
-            return {key: sol[key] for key in leaf_keys if key in sol}
-
-        if rt.num_tasks:
-            report = rt.run_distributed(nodes=nodes, strategy=strategy, collect=_collect)
-            for frag in report.fragments:
-                sol.update(frag)
-    elif mode == "parallel":
-        rt.run_parallel(n_workers=n_workers)
-    else:
-        rt.run()
-
-    x = np.empty_like(bm)
-    for p, cols in enumerate(panels):
-        for i in range(2**max_level):
-            node = hss.node(max_level, i)
-            x[node.start : node.stop, cols] = sol[(p, max_level, i)]
-    return x

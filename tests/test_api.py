@@ -96,7 +96,8 @@ class TestHSSSolver:
         np.testing.assert_allclose(fresh.solve(b), cached.solve(b), atol=1e-12)
 
     def test_repr(self, solver):
-        assert "HSSSolver" in repr(solver)
+        assert "StructuredSolver" in repr(solver)
+        assert "format='hss'" in repr(solver)
 
     def test_solve_multi_rhs(self, solver, rng):
         B = rng.standard_normal((solver.n, 5))

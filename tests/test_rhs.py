@@ -1,0 +1,85 @@
+"""Regression tests for the right-hand-side validation helpers.
+
+The solvers must accept Fortran-ordered and non-contiguous RHS views (the
+normalization copies only when needed) and reject 0-column blocks with a
+clear error instead of producing an empty 'solution'."""
+
+import numpy as np
+import pytest
+
+from repro.api import StructuredSolver
+from repro.core.rhs import check_rhs_shape, validate_rhs
+
+
+class TestValidateRhsLayouts:
+    def test_fortran_ordered_matrix(self):
+        b = np.asfortranarray(np.arange(12.0).reshape(4, 3))
+        bm, single = validate_rhs(b, 4)
+        assert not single
+        assert bm.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(bm, b)
+        assert not np.shares_memory(bm, b)
+
+    def test_non_contiguous_column_view(self):
+        base = np.arange(32.0).reshape(4, 8)
+        b = base[:, ::2]  # strided view
+        assert not b.flags["C_CONTIGUOUS"]
+        bm, _ = validate_rhs(b, 4)
+        assert bm.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(bm, b)
+        assert not np.shares_memory(bm, base)
+
+    def test_transposed_view(self):
+        base = np.arange(12.0).reshape(3, 4)
+        bm, _ = validate_rhs(base.T, 4)
+        np.testing.assert_array_equal(bm, base.T)
+        assert not np.shares_memory(bm, base)
+
+    def test_contiguous_input_still_copied(self):
+        b = np.ones((4, 2))
+        bm, _ = validate_rhs(b, 4)
+        assert not np.shares_memory(bm, b)
+        bm[0, 0] = 42.0  # the working copy must never alias the caller's array
+        assert b[0, 0] == 1.0
+
+    def test_vector_and_dtype_conversion(self):
+        bm, single = validate_rhs([1, 2, 3, 4], 4)
+        assert single
+        assert bm.shape == (4, 1) and bm.dtype == np.float64
+
+    def test_zero_columns_rejected(self):
+        with pytest.raises(ValueError, match="0 columns"):
+            validate_rhs(np.empty((4, 0)), 4)
+        with pytest.raises(ValueError, match="0 columns"):
+            check_rhs_shape(np.empty((4, 0)), 4)
+
+    def test_wrong_shapes_still_rejected(self):
+        with pytest.raises(ValueError, match="4 rows"):
+            validate_rhs(np.ones(5), 4)
+        with pytest.raises(ValueError, match="3-D"):
+            validate_rhs(np.ones((4, 1, 1)), 4)
+
+
+class TestSolversAcceptAnyLayout:
+    @pytest.fixture(scope="class")
+    def solver(self):
+        return StructuredSolver.from_kernel("yukawa", n=256, leaf_size=64, max_rank=24)
+
+    def test_fortran_rhs_matches_c_rhs(self, solver):
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal((256, 4))
+        x_c = solver.solve(b)
+        x_f = solver.solve(np.asfortranarray(b))
+        np.testing.assert_array_equal(x_c, x_f)
+        x_g = solver.solve(b, use_runtime="deferred")
+        np.testing.assert_array_equal(x_c, x_g)
+
+    def test_strided_rhs_matches_dense_rhs(self, solver):
+        rng = np.random.default_rng(1)
+        wide = rng.standard_normal((256, 8))
+        view = wide[:, ::2]
+        np.testing.assert_array_equal(solver.solve(view), solver.solve(view.copy()))
+
+    def test_zero_column_rhs_clear_error(self, solver):
+        with pytest.raises(ValueError, match="0 columns"):
+            solver.solve(np.empty((256, 0)))

@@ -270,9 +270,9 @@ class TestValidation:
                 execution="parallel",
             )
 
-    def test_empty_rhs_block(self, hss_factor):
-        x, _ = hss_ulv_solve_dtd(hss_factor, np.empty((hss_factor.hss.n, 0)))
-        assert x.shape == (hss_factor.hss.n, 0)
+    def test_empty_rhs_block_rejected(self, hss_factor):
+        with pytest.raises(ValueError, match="0 columns"):
+            hss_ulv_solve_dtd(hss_factor, np.empty((hss_factor.hss.n, 0)))
 
 
 class TestSharedRuntime:
