@@ -1,0 +1,70 @@
+"""Benchmark: compression-phase speedup and comm volume of the task graphs.
+
+The construction phase was the last serial phase of the pipeline; this
+benchmark measures it running through the DTD runtime for every registered
+format (sequential reference vs deferred/parallel/distributed task graphs)
+and records the wall times, speedups, task counts and distributed
+communication volume into ``BENCH_runtime.json``, so the compression-phase
+trajectory is tracked across PRs like the factorize/solve numbers.
+
+Absolute speedups depend on the machine (python-level task bodies at bench
+sizes mostly measure runtime overhead), so only the correctness contracts
+are asserted: bit-identity with the sequential ``formats.build_*`` output on
+every backend, and a distributed comm ledger that matches the static
+transfer plan exactly.
+"""
+
+from bench_utils import full_scale, print_table, record_bench
+
+from repro.experiments.compress_scaling import (
+    format_compress_scaling,
+    run_compress_scaling,
+)
+
+N = 4096 if full_scale() else 1024
+BACKENDS = ("deferred", "parallel", "distributed")
+
+
+def _run():
+    return run_compress_scaling(
+        n=N,
+        leaf_size=128,
+        max_rank=30,
+        backends=BACKENDS,
+        n_workers=4,
+        nodes=2,
+    )
+
+
+def test_compress_scaling(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        f"Task-graph compression scaling (N={N})",
+        format_compress_scaling(result),
+    )
+    record_bench(
+        "compress_scaling",
+        {
+            "n": result["n"],
+            "kernel": result["kernel"],
+            "leaf_size": result["leaf_size"],
+            "max_rank": result["max_rank"],
+            "n_workers": result["n_workers"],
+            "nodes": result["nodes"],
+            "rows": [row.as_dict() for row in result["rows"]],
+        },
+    )
+
+    rows = result["rows"]
+    assert {r.backend for r in rows} == set(BACKENDS)
+    formats = {r.format for r in rows}
+    assert {"hss", "blr2", "hodlr"} <= formats
+    for row in rows:
+        assert row.wall_seconds > 0 and row.sequential_seconds > 0
+        assert row.tasks > 0
+        # the correctness contract: graph-built compression is bit-identical
+        assert row.bit_identical, (row.format, row.backend)
+        # distributed comm must match the static transfer plan exactly
+        assert row.comm_matches_plan, (row.format, row.backend)
+        if row.backend != "distributed":
+            assert row.comm_messages == 0

@@ -40,6 +40,13 @@ solve additionally supports blocked multi-RHS panels (``panel_size``) and one
 optional iterative-refinement step (``refine=True``, against the exact kernel
 operator).  For serving many right-hand sides from a cache of factorizations,
 see :class:`repro.service.SolverService`.
+
+The *construction* phase runs through the runtime too:
+``from_kernel(..., compress_runtime="parallel")`` (or ``"distributed"`` with
+``compress_nodes=``) records the compression as a DTD task graph
+(:mod:`repro.compress`) and executes it on the chosen backend, bit-identical
+to the sequential build -- completing the compress -> factorize -> solve
+pipeline on the runtime end to end.
 """
 
 from __future__ import annotations
@@ -92,6 +99,11 @@ class StructuredSolver:
         self.matrix = matrix
         self.format = format
         self.factor = factor
+        #: DTD runtime that built :attr:`matrix` when compression ran as a
+        #: task graph (``compress_runtime=...``); None for a sequential build.
+        self.compress_runtime: Any = None
+        #: DTD runtime of the most recent task-graph factorization (or None).
+        self.factorize_runtime: Any = None
 
     # -- constructors -------------------------------------------------------
     @classmethod
@@ -107,6 +119,10 @@ class StructuredSolver:
         method: Optional[str] = None,
         shift: float | str = "auto",
         seed: int = 0,
+        compress_runtime: bool | str = False,
+        compress_nodes: int = 1,
+        compress_workers: int = 4,
+        compress_distribution: Optional[Union[str, DistributionStrategy]] = None,
         **kernel_params: float,
     ) -> "StructuredSolver":
         """Build the solver for a named kernel over an explicit point cloud.
@@ -115,19 +131,56 @@ class StructuredSolver:
         format); ``method`` selects its compression scheme (None: the
         format's default, e.g. ``"interpolative"`` for HSS and ``"svd"`` for
         BLR2/HODLR).
+
+        ``compress_runtime`` selects the execution path of the *construction*
+        phase, with the same modes and semantics as ``use_runtime`` on
+        :meth:`factorize` / :meth:`solve`: ``False``/``"off"`` (default) is
+        the sequential ``formats.build_*`` reference, any runtime backend
+        records the compression as a DTD task graph
+        (:mod:`repro.compress`) and executes it there -- bit-identical to
+        the sequential build.  ``compress_nodes`` / ``compress_workers`` /
+        ``compress_distribution`` parameterize the runtime backends (named
+        separately from the kernel parameters caught by ``**kernel_params``).
+        The recording runtime is kept on :attr:`compress_runtime` for task
+        and communication accounting.
         """
         spec = get_format(format)
         kernel = kernel_by_name(kernel_name, **kernel_params)
         kmat = KernelMatrix(kernel, points, shift=shift)
-        matrix = spec.build(
-            kmat,
-            leaf_size=leaf_size,
-            max_rank=max_rank,
-            tol=tol,
-            method=method,
-            seed=seed,
+        policy = ExecutionPolicy.resolve(
+            compress_runtime,
+            nodes=compress_nodes,
+            n_workers=compress_workers,
+            distribution=compress_distribution,
         )
-        return cls(kernel_matrix=kmat, matrix=matrix, format=spec.name)
+        compress_rt = None
+        if policy.uses_runtime:
+            if spec.compress_graph is None:
+                raise ValueError(
+                    f"format {spec.name!r} has no task-graph compression; "
+                    "use compress_runtime=False"
+                )
+            matrix, compress_rt = spec.compress_graph(
+                kmat,
+                leaf_size=leaf_size,
+                max_rank=max_rank,
+                tol=tol,
+                method=method,
+                seed=seed,
+                policy=policy,
+            )
+        else:
+            matrix = spec.build(
+                kmat,
+                leaf_size=leaf_size,
+                max_rank=max_rank,
+                tol=tol,
+                method=method,
+                seed=seed,
+            )
+        solver = cls(kernel_matrix=kmat, matrix=matrix, format=spec.name)
+        solver.compress_runtime = compress_rt
+        return solver
 
     @classmethod
     def from_kernel(
@@ -142,6 +195,10 @@ class StructuredSolver:
         method: Optional[str] = None,
         shift: float | str = "auto",
         seed: int = 0,
+        compress_runtime: bool | str = False,
+        compress_nodes: int = 1,
+        compress_workers: int = 4,
+        compress_distribution: Optional[Union[str, DistributionStrategy]] = None,
         **kernel_params: float,
     ) -> "StructuredSolver":
         """Build the solver on the paper's uniform 2D grid geometry of ``n`` points."""
@@ -156,6 +213,10 @@ class StructuredSolver:
             method=method,
             shift=shift,
             seed=seed,
+            compress_runtime=compress_runtime,
+            compress_nodes=compress_nodes,
+            compress_workers=compress_workers,
+            compress_distribution=compress_distribution,
             **kernel_params,
         )
 
@@ -227,9 +288,12 @@ class StructuredSolver:
         if self.factor is None:
             spec = get_format(self.format)
             if policy.uses_runtime:
-                self.factor, _ = spec.factorize_dtd(self.matrix, policy=policy)
+                self.factor, self.factorize_runtime = spec.factorize_dtd(
+                    self.matrix, policy=policy
+                )
             else:
                 self.factor = spec.factorize(self.matrix)
+                self.factorize_runtime = None
         return self.factor
 
     def solve(

@@ -12,9 +12,11 @@ Usage::
     python -m repro solve --n 2048 --nrhs 16 --runtime parallel --refine
     python -m repro solve --n 2048 --runtime distributed --nodes 4 --distribution row
     python -m repro solve --format hodlr --runtime parallel --workers 4
+    python -m repro solve --n 2048 --runtime parallel --compress-runtime parallel
     python -m repro speedup --backend process --workers 4
     python -m repro weakscale --base-n 512 --max-nodes 4
     python -m repro servebench --n 1024 --requests 32 --batch 1 --batch 8
+    python -m repro compresscale --n 2048 --workers 4 --nodes 2
 
 Each experiment sub-command runs the corresponding driver
 (:mod:`repro.experiments`) and prints the same rows/series the paper reports.
@@ -32,6 +34,14 @@ sequentially, ``parallel``: recorded task graph executed out-of-order on a
 across ``--nodes`` worker processes under the ``--distribution`` placement)
 and the reported errors demonstrate that all modes agree.  ``--nrhs`` solves
 a blocked multi-RHS system; ``--refine`` adds one iterative-refinement step.
+``--compress-runtime`` additionally runs the *construction* phase through the
+task-graph compression subsystem (:mod:`repro.compress`) on the chosen
+backend -- bit-identical to the sequential build, completing the
+compress/factorize/solve pipeline on the runtime.
+
+``compresscale`` measures the compression phase directly: task-graph
+construction vs the sequential build for every registered format, with
+speedups, task counts and (distributed) communication volume.
 
 The argparse choices for ``--format``, ``--runtime`` and ``--distribution``
 are derived from the format registry, :data:`repro.pipeline.policy.BACKENDS`
@@ -58,6 +68,7 @@ from repro.distribution.strategies import available_distributions
 from repro.pipeline.policy import BACKENDS
 from repro.pipeline.registry import available_formats
 from repro.experiments import (
+    format_compress_scaling,
     format_distributed_weak_scaling,
     format_fig9,
     format_fig10,
@@ -67,6 +78,7 @@ from repro.experiments import (
     format_table1,
     format_table2,
     format_solve_throughput,
+    run_compress_scaling,
     run_distributed_weak_scaling,
     run_fig9,
     run_fig10,
@@ -153,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
         "parallel = task graph executed out-of-order on a thread pool, "
         "distributed = task graph executed across --nodes worker processes "
         "with owner-computes placement",
+    )
+    p.add_argument(
+        "--compress-runtime",
+        choices=RUNTIME_CHOICES,
+        default="off",
+        help="execution path of the construction phase: off = sequential "
+        "formats.build_* reference, any runtime backend compresses through "
+        "the task-graph construction subsystem (bit-identical output)",
     )
     p.add_argument(
         "--workers", type=int, default=4, help="thread count for --runtime parallel"
@@ -265,7 +285,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="placement strategy for the task-graph backends",
     )
+    p.add_argument(
+        "--compress-runtime",
+        choices=RUNTIME_CHOICES,
+        default="off",
+        help="execution path of the construction phase on factorization-cache "
+        "misses (off = sequential build)",
+    )
     p.add_argument("--seed", type=int, default=0, help="RNG seed for the right-hand sides")
+
+    p = sub.add_parser(
+        "compresscale",
+        help="compression-phase scaling: task-graph construction vs the sequential build per format",
+    )
+    p.add_argument("--n", type=int, default=2048, help="problem size")
+    p.add_argument("--kernel", default="yukawa", help="kernel name")
+    p.add_argument("--leaf-size", type=int, default=128, help="leaf cluster size")
+    p.add_argument("--max-rank", type=int, default=30, help="skeleton rank cap")
+    p.add_argument(
+        "--format",
+        action="append",
+        dest="formats",
+        choices=format_choices,
+        help="structured format (repeatable; default: every registered format)",
+    )
+    p.add_argument(
+        "--backend",
+        action="append",
+        dest="backends",
+        choices=tuple(b for b in RUNTIME_CHOICES if b != "off"),
+        help="runtime backend (repeatable; default: deferred, parallel, distributed)",
+    )
+    p.add_argument("--workers", type=int, default=4, help="thread count for the parallel backend")
+    p.add_argument(
+        "--nodes", type=int, default=2, help="worker processes for the distributed backend"
+    )
+    p.add_argument("--seed", type=int, default=0, help="RNG seed for the construction")
 
     return parser
 
@@ -276,14 +331,20 @@ def _run_solve(args: argparse.Namespace) -> str:
 
     from repro.api import StructuredSolver
 
+    distribution = args.distribution if args.runtime == "distributed" else None
+    compress_distribution = (
+        args.distribution if args.compress_runtime == "distributed" else None
+    )
     t0 = time.perf_counter()
     solver = StructuredSolver.from_kernel(
         args.kernel, n=args.n, format=args.format,
         leaf_size=args.leaf_size, max_rank=args.max_rank,
+        compress_runtime=args.compress_runtime,
+        compress_nodes=args.nodes,
+        compress_workers=args.workers,
+        compress_distribution=compress_distribution,
     )
     t_build = time.perf_counter() - t0
-
-    distribution = args.distribution if args.runtime == "distributed" else None
     t0 = time.perf_counter()
     solver.factorize(
         use_runtime=args.runtime,
@@ -322,12 +383,18 @@ def _run_solve(args: argparse.Namespace) -> str:
         runtime_detail = f" nodes={args.nodes} distribution={args.distribution}"
     if args.refine:
         runtime_detail += " refine=1"
+    compress_detail = ""
+    if args.compress_runtime != "off":
+        compress_detail = (
+            f"  (compress-runtime={args.compress_runtime}, "
+            f"{solver.compress_runtime.num_tasks} tasks)"
+        )
     lines = [
         f"StructuredSolver solve: format={args.format} kernel={args.kernel} "
         f"n={args.n} nrhs={args.nrhs} "
         f"leaf_size={args.leaf_size} max_rank={args.max_rank}",
         f"runtime={args.runtime}" + runtime_detail,
-        f"construct {t_build:8.3f} s",
+        f"construct {t_build:8.3f} s" + compress_detail,
         f"factorize {t_factor:8.3f} s",
         f"solve     {t_solve:8.3f} s  ({args.nrhs / max(t_solve, 1e-12):.1f} solves/s)",
         f"construction error {solver.construction_error():.3e}",
@@ -415,6 +482,23 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
                 distribution=args.distribution,
                 panel_size=args.panel_size,
                 format_name=args.format,
+                compress_runtime=args.compress_runtime,
+                seed=args.seed,
+            )
+        )
+    elif args.command == "compresscale":
+        out = format_compress_scaling(
+            run_compress_scaling(
+                n=args.n,
+                kernel=args.kernel,
+                leaf_size=args.leaf_size,
+                max_rank=args.max_rank,
+                formats=tuple(args.formats) if args.formats else None,
+                backends=tuple(args.backends)
+                if args.backends
+                else ("deferred", "parallel", "distributed"),
+                n_workers=args.workers,
+                nodes=args.nodes,
                 seed=args.seed,
             )
         )

@@ -1,0 +1,186 @@
+"""HODLR construction as a task graph (independent off-diagonal blocks).
+
+HODLR shares no bases between blocks or levels, so its construction graph is
+the degenerate -- and maximally parallel -- case: one ``ASSEMBLE_DIAG`` task
+per leaf and one ``COMPRESS_LOWRANK`` task per internal node of the
+recursive 2x2 partition, with no dependency edges at all.  Each compression
+task evaluates its kernel block and factors it with the method of the
+sequential :func:`repro.formats.hodlr.build_hodlr` (truncated SVD,
+randomized SVD or ACA); randomized methods are seeded per call exactly as
+the sequential builder seeds them, so the output is bit-identical on every
+backend regardless of execution order.
+
+The symmetric lower blocks are derived from the upper factors during result
+assembly (``A_21 = A_12^T``), mirroring the sequential construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.compress.builder import CompressGraphBuilder, compress_through_builder
+from repro.formats.hodlr import HODLRMatrix, HODLRNode
+from repro.lowrank.aca import compress_aca
+from repro.lowrank.block import LowRankBlock
+from repro.lowrank.rsvd import compress_rsvd
+from repro.lowrank.svd import compress_svd
+from repro.runtime.task import AccessMode
+
+__all__ = ["HODLRCompressBuilder", "build_hodlr_dtd"]
+
+
+class HODLRCompressBuilder(CompressGraphBuilder):
+    """Record (and execute) the HODLR construction task graph."""
+
+    default_method = "svd"
+
+    def __init__(self, kernel_matrix, **kwargs) -> None:
+        super().__init__(kernel_matrix, **kwargs)
+        if self.method not in ("svd", "rsvd", "aca"):
+            raise ValueError(f"unknown compression method {self.method!r}")
+        self.max_level = self.tree.max_level
+        #: Result stores keyed by cluster-tree position, filled by the tasks.
+        self._dense: Dict[Tuple[int, int], np.ndarray] = {}
+        self._upper: Dict[Tuple[int, int], LowRankBlock] = {}
+        # Data handles (placement only: no task reads another's output).
+        self._h: Dict[Tuple[int, int], object] = {}
+
+    def declare_handles(self) -> None:
+        def visit(cnode) -> None:
+            key = (cnode.level, cnode.index)
+            m = cnode.stop - cnode.start
+            if cnode.is_leaf:
+                self._h[key] = self.handle(
+                    f"D[{cnode.level};{cnode.index}]",
+                    8 * m * m,
+                    level=cnode.level,
+                    row=cnode.index,
+                )
+            else:
+                half = m // 2
+                self._h[key] = self.handle(
+                    f"LR[{cnode.level};{cnode.index}]",
+                    2 * self.basis_nbytes(half),
+                    level=cnode.level,
+                    row=cnode.index,
+                )
+                visit(cnode.children[0])
+                visit(cnode.children[1])
+
+        visit(self.tree.root)
+
+    def _compress(self, block: np.ndarray) -> LowRankBlock:
+        """Factor one off-diagonal block exactly as the sequential builder."""
+        if self.method == "svd":
+            return compress_svd(block, rank=self.max_rank, tol=self.tol)
+        if self.method == "aca":
+            aca_tol = self.tol if self.tol is not None else 1e-10
+            return compress_aca(
+                block, tol=aca_tol, max_rank=self.max_rank, seed=self.rng_seed
+            )
+        return compress_rsvd(
+            block, self.max_rank or min(block.shape), tol=self.tol, seed=self.rng_seed
+        )
+
+    def record_tasks(self) -> None:
+        kmat = self.kernel_matrix
+        dense, upper = self._dense, self._upper
+
+        def visit(cnode) -> None:
+            key = (cnode.level, cnode.index)
+            self.set_phase(cnode.level)
+            if cnode.is_leaf:
+
+                def assemble_diag(cnode=cnode, key=key) -> None:
+                    rows = slice(cnode.start, cnode.stop)
+                    dense[key] = kmat.block(rows, rows)
+
+                m = cnode.stop - cnode.start
+                self.insert(
+                    assemble_diag,
+                    [(self._h[key], AccessMode.WRITE)],
+                    name=f"ASSEMBLE_DIAG[{cnode.level};{cnode.index}]",
+                    kind="ASSEMBLE_DIAG",
+                    flops=float(m * m),
+                )
+                return
+
+            left, right = cnode.children
+
+            def compress_block(left=left, right=right, key=key) -> None:
+                block = kmat.block(
+                    slice(left.start, left.stop), slice(right.start, right.stop)
+                )
+                upper[key] = self._compress(block)
+
+            mi = left.stop - left.start
+            mj = right.stop - right.start
+            self.insert(
+                compress_block,
+                [(self._h[key], AccessMode.WRITE)],
+                name=f"COMPRESS_LOWRANK[{cnode.level};{cnode.index}]",
+                kind="COMPRESS_LOWRANK",
+                flops=float(2 * mi * mj * self.rank_cap(min(mi, mj))),
+            )
+            visit(left)
+            visit(right)
+
+        visit(self.tree.root)
+
+    # -- distributed fragments ------------------------------------------------
+    def collect_local(self):
+        return {"dense": dict(self._dense), "upper": dict(self._upper)}
+
+    def merge_fragment(self, fragment) -> None:
+        self._dense.update(fragment["dense"])
+        self._upper.update(fragment["upper"])
+
+    def _assemble(self, cnode) -> HODLRNode:
+        key = (cnode.level, cnode.index)
+        if cnode.is_leaf:
+            return HODLRNode(
+                start=cnode.start, stop=cnode.stop, dense=self._dense[key]
+            )
+        up = self._upper[key]
+        return HODLRNode(
+            start=cnode.start,
+            stop=cnode.stop,
+            upper=up,
+            lower=LowRankBlock(up.V.copy(), up.U.copy()),  # symmetry: A_21 = A_12^T
+            left=self._assemble(cnode.children[0]),
+            right=self._assemble(cnode.children[1]),
+        )
+
+    def result(self) -> HODLRMatrix:
+        return HODLRMatrix(self._assemble(self.tree.root), self.tree)
+
+
+def build_hodlr_dtd(
+    kernel_matrix,
+    *,
+    leaf_size: int = 256,
+    max_rank: Optional[int] = 100,
+    tol: Optional[float] = None,
+    method: Optional[str] = None,
+    seed: int = 0,
+    tree=None,
+    policy=None,
+):
+    """Task-graph HODLR construction; returns ``(HODLRMatrix, DTDRuntime)``.
+
+    Bit-identical to :func:`repro.formats.hodlr.build_hodlr` with the same
+    arguments, on every execution backend of the ``policy``.
+    """
+    return compress_through_builder(
+        HODLRCompressBuilder,
+        kernel_matrix,
+        policy=policy,
+        leaf_size=leaf_size,
+        max_rank=max_rank,
+        tol=tol,
+        method=method,
+        seed=seed,
+        tree=tree,
+    )

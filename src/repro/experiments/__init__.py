@@ -35,8 +35,16 @@ from repro.experiments.solve_throughput import (
     format_solve_throughput,
     run_solve_throughput,
 )
+from repro.experiments.compress_scaling import (
+    CompressScalingRow,
+    format_compress_scaling,
+    run_compress_scaling,
+)
 
 __all__ = [
+    "CompressScalingRow",
+    "run_compress_scaling",
+    "format_compress_scaling",
     "ThroughputRow",
     "run_solve_throughput",
     "format_solve_throughput",

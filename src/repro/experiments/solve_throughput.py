@@ -65,6 +65,7 @@ def run_solve_throughput(
     distribution: Optional[str] = None,
     panel_size: Optional[int] = None,
     format_name: str = "hss",
+    compress_runtime: bool | str = False,
     seed: int = 0,
 ) -> Dict[str, object]:
     """Measure serving throughput for every (backend, batch size) pair.
@@ -90,7 +91,9 @@ def run_solve_throughput(
             else {"panel_size": panel_size, "distribution": distribution}
         )
         service = SolverService(
-            backend=backend, n_workers=n_workers, nodes=nodes, **knobs
+            backend=backend, n_workers=n_workers, nodes=nodes,
+            compress_runtime=False if backend == "reference" else compress_runtime,
+            **knobs,
         )
         # Warm the cache so the measured windows are pure solve phase.
         solver = service.solver_for(key)

@@ -150,18 +150,18 @@ class GraphBuilder:
         mismatch -- a mismatch means the backend moved data the graph does not
         explain, or skipped a transfer the graph requires.
         """
-        from repro.runtime.distributed import expected_comm, resolve_owners
+        from repro.runtime.distributed import measured_vs_planned_comm
 
         report = report if report is not None else self.runtime.last_distributed_report
         if report is None:
             raise RuntimeError("no distributed report to verify; run on 'distributed' first")
-        proc_of = resolve_owners(self.runtime.graph, self.policy.nodes)
-        exp_messages, exp_bytes = expected_comm(self.runtime.graph, proc_of)
-        measured = (report.ledger.num_messages, report.ledger.total_bytes)
-        if measured != (exp_messages, exp_bytes):
+        measured, planned = measured_vs_planned_comm(
+            self.runtime.graph, report, self.policy.nodes
+        )
+        if measured != planned:
             raise RuntimeError(
                 f"communication ledger {measured} does not match the static "
-                f"transfer plan {(exp_messages, exp_bytes)}"
+                f"transfer plan {planned}"
             )
 
 

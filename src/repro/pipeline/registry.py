@@ -51,6 +51,12 @@ class FormatSpec:
     solve_dtd:
         ``solve_dtd(factor, b, *, policy, refine=False, matvec=None)
         -> (x, runtime)`` -- the task-graph solve under a policy.
+    compress_graph:
+        ``compress_graph(kernel_matrix, *, leaf_size, max_rank, tol=None,
+        method=None, seed=0, policy) -> (matrix, runtime)`` -- the task-graph
+        construction under a policy, bit-identical to ``build`` with the same
+        arguments.  ``None`` when the format has no graph-built compression
+        (the sequential ``build`` is then the only construction path).
     """
 
     name: str
@@ -60,6 +66,7 @@ class FormatSpec:
     factorize_dtd: Callable[..., Tuple[Any, Any]]
     solve_dtd: Callable[..., Tuple[Any, Any]]
     default_method: Optional[str] = None
+    compress_graph: Optional[Callable[..., Tuple[Any, Any]]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FormatSpec({self.name!r}, title={self.title!r})"
@@ -114,6 +121,20 @@ def _hss_build(kmat, *, leaf_size, max_rank, tol=None, method=None, seed=0):
     )
 
 
+def _hss_compress_graph(kmat, *, leaf_size, max_rank, tol=None, method=None, seed=0, policy):
+    from repro.compress.hss import build_hss_dtd
+
+    return build_hss_dtd(
+        kmat,
+        leaf_size=leaf_size,
+        max_rank=max_rank,
+        tol=tol,
+        method=method,  # None -> the builder's default_method (single source of truth)
+        seed=seed,
+        policy=policy,
+    )
+
+
 def _hss_factorize(matrix):
     from repro.core.hss_ulv import hss_ulv_factorize
 
@@ -146,6 +167,20 @@ def _blr2_build(kmat, *, leaf_size, max_rank, tol=None, method=None, seed=0):
         max_rank=max_rank,
         tol=tol,
         basis_method=method if method is not None else "svd",
+    )
+
+
+def _blr2_compress_graph(kmat, *, leaf_size, max_rank, tol=None, method=None, seed=0, policy):
+    from repro.compress.blr2 import build_blr2_dtd
+
+    return build_blr2_dtd(
+        kmat,
+        leaf_size=leaf_size,
+        max_rank=max_rank,
+        tol=tol,
+        method=method,  # None -> the builder's default_method (single source of truth)
+        seed=seed,
+        policy=policy,
     )
 
 
@@ -195,6 +230,20 @@ def _hodlr_build(kmat, *, leaf_size, max_rank, tol=None, method=None, seed=0):
     )
 
 
+def _hodlr_compress_graph(kmat, *, leaf_size, max_rank, tol=None, method=None, seed=0, policy):
+    from repro.compress.hodlr import build_hodlr_dtd
+
+    return build_hodlr_dtd(
+        kmat,
+        leaf_size=leaf_size,
+        max_rank=max_rank,
+        tol=tol,
+        method=method,  # None -> the builder's default_method (single source of truth)
+        seed=seed,
+        policy=policy,
+    )
+
+
 def _hodlr_factorize(matrix):
     from repro.core.hodlr_ulv import hodlr_ulv_factorize
 
@@ -217,6 +266,7 @@ register_format(
         factorize_dtd=_hss_factorize_dtd,
         solve_dtd=_hss_solve_dtd,
         default_method="interpolative",
+        compress_graph=_hss_compress_graph,
     )
 )
 
@@ -229,6 +279,7 @@ register_format(
         factorize_dtd=_leaf_factorize_dtd(_blr2_system_and_factor),
         solve_dtd=_leaf_solve_dtd,
         default_method="svd",
+        compress_graph=_blr2_compress_graph,
     )
 )
 
@@ -241,5 +292,6 @@ register_format(
         factorize_dtd=_leaf_factorize_dtd(_hodlr_system_and_factor),
         solve_dtd=_leaf_solve_dtd,
         default_method="svd",
+        compress_graph=_hodlr_compress_graph,
     )
 )

@@ -30,6 +30,7 @@ Entry points: :meth:`repro.runtime.dtd.DTDRuntime.run_distributed`,
 from repro.runtime.distributed.backend import (
     DistributedReport,
     execute_graph_distributed,
+    measured_vs_planned_comm,
     resolve_owners,
 )
 from repro.runtime.distributed.comm import (
@@ -44,6 +45,7 @@ from repro.runtime.distributed.protocol import DataMessage, RemoteTaskError, Wor
 __all__ = [
     "DistributedReport",
     "execute_graph_distributed",
+    "measured_vs_planned_comm",
     "resolve_owners",
     "CommEvent",
     "CommLedger",

@@ -42,7 +42,12 @@ from repro.runtime.dag import TaskGraph
 from repro.runtime.distributed.comm import CommEvent, CommLedger
 from repro.runtime.distributed.protocol import DataMessage, RemoteTaskError, WorkerResult
 
-__all__ = ["DistributedReport", "execute_graph_distributed", "resolve_owners"]
+__all__ = [
+    "DistributedReport",
+    "execute_graph_distributed",
+    "measured_vs_planned_comm",
+    "resolve_owners",
+]
 
 _WORKER_POLL_SECONDS = 0.05
 _PARENT_POLL_SECONDS = 0.2
@@ -119,6 +124,23 @@ def resolve_owners(graph: TaskGraph, nodes: int, strategy=None) -> Dict[int, int
         proc = task.owner_process()
         proc_of[task.tid] = (proc if proc is not None else task.tid) % nodes
     return proc_of
+
+
+def measured_vs_planned_comm(graph: TaskGraph, report: "DistributedReport", nodes: int):
+    """``(measured, planned)`` communication totals of one distributed run.
+
+    Both are ``(message_count, model_bytes)`` pairs: the measured side from
+    the run's ledger, the planned side from the static transfer plan implied
+    by the owners recorded on the graph's handles.  The single definition of
+    "the ledger matches the plan" shared by the graph builders, the test
+    harness and the scaling experiments -- a correct execution measures
+    exactly what the plan predicts.
+    """
+    from repro.runtime.distributed.comm import expected_comm
+
+    proc_of = resolve_owners(graph, nodes)
+    measured = (report.ledger.num_messages, report.ledger.total_bytes)
+    return measured, expected_comm(graph, proc_of)
 
 
 def _worker_main(

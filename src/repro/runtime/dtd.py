@@ -63,6 +63,8 @@ class DTDRuntime:
         self._failed: Optional[BaseException] = None
         #: Report of the most recent :meth:`run_distributed` call (or None).
         self.last_distributed_report = None
+        #: Report of the most recent :meth:`run_parallel` call (or None).
+        self.last_parallel_report = None
 
     # -- data management ------------------------------------------------------
     def register_handle(self, handle: DataHandle) -> DataHandle:
@@ -205,10 +207,13 @@ class DTDRuntime:
             # completion before the workers were joined, so finishing the
             # remaining tasks later (e.g. via run()) is safe.
             timed_out_cleanly = partial is not None and partial.timed_out and not partial.errors
+            if partial is not None:
+                self.last_parallel_report = partial
             if not timed_out_cleanly:
                 self._failed = exc
             raise
         self._executed.update(report.executed)
+        self.last_parallel_report = report
         return report
 
     def run_distributed(

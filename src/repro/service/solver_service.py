@@ -120,6 +120,8 @@ class ServiceStats:
     evictions: int = 0
     factor_seconds: float = 0.0  #: wall time spent building + factorizing
     solve_seconds: float = 0.0   #: wall time spent in batched solves
+    compress_tasks: int = 0    #: compression graph tasks executed (cache misses only)
+    factor_tasks: int = 0      #: factorization graph tasks executed (cache misses only)
 
     @property
     def solves_per_sec(self) -> float:
@@ -147,6 +149,15 @@ class SolverService:
         kernel operator) to every solve.
     max_cached:
         Factorizations kept in the LRU cache before eviction.
+    compress_runtime:
+        Execution path of the *construction* phase on cache misses, as
+        ``StructuredSolver.from_kernel(compress_runtime=...)`` accepts it
+        (``False``: sequential build; a runtime backend name compresses
+        through the task-graph construction subsystem with this service's
+        ``n_workers`` / ``nodes`` / ``distribution``).  A
+        :class:`FactorKey` cache hit skips compression *and* factorization
+        entirely -- zero graph tasks run (see ``ServiceStats.compress_tasks``
+        / ``factor_tasks``).
     """
 
     def __init__(
@@ -159,6 +170,7 @@ class SolverService:
         panel_size: Optional[int] = None,
         refine: bool = False,
         max_cached: int = 8,
+        compress_runtime: Union[bool, str] = False,
     ) -> None:
         if backend not in _BACKEND_TO_RUNTIME:
             raise ValueError(
@@ -180,6 +192,7 @@ class SolverService:
         self.panel_size = panel_size
         self.refine = refine
         self.max_cached = max_cached
+        self.compress_runtime = compress_runtime
         self.stats = ServiceStats()
         self._cache: "OrderedDict[FactorKey, StructuredSolver]" = OrderedDict()
         self._queue: List[SolveTicket] = []
@@ -197,10 +210,30 @@ class SolverService:
         solver = StructuredSolver.from_kernel(
             key.kernel, n=key.n, format=key.format,
             leaf_size=key.leaf_size, max_rank=key.max_rank,
+            compress_runtime=self.compress_runtime,
+            compress_nodes=self.nodes,
+            compress_workers=self.n_workers,
+            compress_distribution=self.distribution,
             **dict(key.params),
         )
-        solver.factorize()
+        # Factorize through the service's backend so the whole miss path is
+        # one task-graph pipeline (compress -> factorize); the reference
+        # backend keeps the sequential path.
+        use_runtime = _BACKEND_TO_RUNTIME[self.backend]
+        if use_runtime is False:
+            solver.factorize()
+        else:
+            solver.factorize(
+                use_runtime=use_runtime,
+                nodes=self.nodes,
+                n_workers=self.n_workers,
+                distribution=self.distribution,
+            )
         self.stats.factor_seconds += time.perf_counter() - t0
+        if solver.compress_runtime is not None:
+            self.stats.compress_tasks += solver.compress_runtime.num_tasks
+        if solver.factorize_runtime is not None:
+            self.stats.factor_tasks += solver.factorize_runtime.num_tasks
         self._cache[key] = solver
         while len(self._cache) > self.max_cached:
             self._cache.popitem(last=False)
@@ -244,13 +277,34 @@ class SolverService:
         """Queued tickets not yet flushed."""
         return len(self._queue)
 
+    def _revalidate(self, key: FactorKey, solver: StructuredSolver) -> StructuredSolver:
+        """Re-validate one cached factorization against its key.
+
+        Runs once per distinct key per :meth:`flush` -- *not* once per ticket
+        -- so a large same-key batch pays the check a single time, and a
+        cache hit never re-runs compression or factorization (zero graph
+        tasks execute; see ``ServiceStats.compress_tasks`` /
+        ``factor_tasks``).  A cached entry whose problem description no
+        longer matches its key (a corrupted cache) fails loudly instead of
+        serving wrong-size solutions.
+        """
+        if solver.n != key.n or solver.format != key.format:
+            raise RuntimeError(
+                f"cached solver for {key} describes a different problem "
+                f"(n={solver.n}, format={solver.format!r}); the cache is corrupt"
+            )
+        if solver.factor is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"cached solver for {key} lost its factorization")
+        return solver
+
     def flush(self) -> List[SolveTicket]:
         """Drain the queue: one batched task-graph solve per distinct key.
 
         Tickets sharing a factorization key are stacked column-wise into one
         block right-hand side and solved through a single recorded graph; the
-        solution block is split back onto the tickets.  Returns the resolved
-        tickets in submission order.
+        cached factorization is re-validated once per key (not per ticket)
+        and the solution block is split back onto the tickets.  Returns the
+        resolved tickets in submission order.
         """
         queue, self._queue = self._queue, []
         by_key: "OrderedDict[FactorKey, List[SolveTicket]]" = OrderedDict()
@@ -268,7 +322,7 @@ class SolverService:
             )
         try:
             for key, tickets in by_key.items():
-                solver = self.solver_for(key)
+                solver = self._revalidate(key, self.solver_for(key))
                 batch = np.concatenate([t._b for t in tickets], axis=1)
                 t0 = time.perf_counter()
                 x = solver.solve(batch, **solve_kwargs)

@@ -1,0 +1,190 @@
+"""Randomized cross-backend tests for the task-graph compression subsystem.
+
+Driven by the shared seeded harness (:mod:`tests.harness`): one randomized
+(kernel, seed) case per registered format, swept over every execution
+backend and over 1/2/4 distributed worker processes.  Acceptance criteria of
+the subsystem:
+
+* graph-built compression is **bit-identical** to the sequential
+  ``build_hss`` / ``build_blr2`` / ``build_hodlr`` references on the
+  immediate, deferred, parallel and distributed backends;
+* the distributed communication ledger matches the ``plan_transfers``
+  analytic counts exactly;
+* the end-to-end compress -> factorize -> solve pipeline on any backend
+  reproduces the fully sequential pipeline bit for bit and stays at
+  direct-solver accuracy against the dense reference operator.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from harness import (
+    HARNESS_SEED,
+    KERNELS,
+    CompressCase,
+    assert_case_bit_identical,
+    assert_comm_matches_plan,
+    graph_build,
+    run_pipeline,
+    sample_cases,
+    sequential_pipeline,
+)
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="distributed backend requires fork (POSIX)"
+)
+
+#: The seeded sweep: one randomized (kernel, seed) case per format.
+CASES = sample_cases()
+CASE_IDS = [case.id for case in CASES]
+
+SHARED_BACKENDS = ("immediate", "deferred", "parallel")
+NODE_COUNTS = (1, 2, 4)
+
+
+class TestHarnessSeeding:
+    def test_sweep_is_deterministic(self):
+        """Same seed, same sweep -- the harness is randomized but reproducible."""
+        assert sample_cases() == CASES
+        assert sample_cases(rng_seed=HARNESS_SEED + 1) != CASES
+
+    def test_sweep_covers_every_graph_format(self):
+        assert {c.format for c in CASES} == {"hss", "blr2", "hodlr"}
+        assert all(c.kernel in KERNELS for c in CASES)
+
+
+class TestBitIdentitySharedMemory:
+    """immediate / deferred / parallel backends against the sequential build."""
+
+    @pytest.mark.parametrize("backend", SHARED_BACKENDS)
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_graph_build_matches_sequential(self, case, backend):
+        matrix, rt = graph_build(case, backend)
+        assert rt.num_tasks > 0
+        rt.validate()
+        assert_case_bit_identical(case, matrix)
+
+
+@needs_fork
+class TestBitIdentityDistributed:
+    @pytest.mark.parametrize("nodes", NODE_COUNTS)
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_graph_build_matches_sequential(self, case, nodes):
+        matrix, rt = graph_build(case, "distributed", nodes=nodes)
+        assert rt.last_distributed_report.ok
+        assert_case_bit_identical(case, matrix)
+        # acceptance: measured comm volume == plan_transfers analytic counts
+        assert_comm_matches_plan(rt, nodes)
+        if nodes == 1:
+            assert rt.last_distributed_report.ledger.num_messages == 0
+
+
+class TestEndToEndPipeline:
+    """compress -> factorize -> solve entirely on one backend."""
+
+    # The dense-residual bound reflects the sweep's deliberately small rank
+    # cap (compression error dominates); exactness is asserted through the
+    # bit-identity with the fully sequential pipeline.
+    RESIDUAL_BOUND = 1e-3
+
+    @pytest.mark.parametrize("backend", ("deferred", "parallel"))
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_matches_sequential_pipeline_and_dense(self, case, backend):
+        x, residual = run_pipeline(case, backend)
+        assert np.array_equal(x, sequential_pipeline(case))
+        assert residual < self.RESIDUAL_BOUND
+
+    @needs_fork
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_distributed_pipeline(self, case):
+        x, residual = run_pipeline(case, "distributed", nodes=2)
+        assert np.array_equal(x, sequential_pipeline(case))
+        assert residual < self.RESIDUAL_BOUND
+
+
+class TestGraphShape:
+    """Task censuses: the construction graphs have exactly the expected ops."""
+
+    def _census(self, rt):
+        kinds = {}
+        for t in rt.graph.tasks:
+            kinds[t.kind] = kinds.get(t.kind, 0) + 1
+        return kinds
+
+    def test_hss_census(self):
+        case = next(c for c in CASES if c.format == "hss")
+        _, rt = graph_build(case, "deferred")
+        levels = int(np.log2(case.n // case.leaf_size))
+        nb = 2**levels
+        assert self._census(rt) == {
+            "ASSEMBLE_DIAG": nb,
+            "COMPRESS_BASIS": nb,
+            "TRANSLATE": nb - 2,      # internal non-root nodes
+            "COUPLING": nb - 1,       # one sibling pair per internal+leaf split
+        }
+        assert rt.graph.total_flops() > 0
+
+    def test_blr2_census(self):
+        case = next(c for c in CASES if c.format == "blr2")
+        _, rt = graph_build(case, "deferred")
+        nb = case.n // case.leaf_size
+        assert self._census(rt) == {
+            "ASSEMBLE_DIAG": nb,
+            "COMPRESS_BASIS": nb,
+            "COUPLING": nb * (nb - 1) // 2,
+        }
+
+    def test_hodlr_census(self):
+        case = next(c for c in CASES if c.format == "hodlr")
+        _, rt = graph_build(case, "deferred")
+        nb = case.n // case.leaf_size
+        assert self._census(rt) == {
+            "ASSEMBLE_DIAG": nb,
+            "COMPRESS_LOWRANK": nb - 1,  # one off-diagonal pair per internal node
+        }
+
+    def test_coupling_depends_on_both_bases(self):
+        """Dependency wiring: every COUPLING task has incoming basis edges."""
+        case = next(c for c in CASES if c.format == "blr2")
+        _, rt = graph_build(case, "deferred")
+        preds = {}
+        for src, dst in rt.graph.edges:
+            preds.setdefault(dst, set()).add(src)
+        kind_of = {t.tid: t.kind for t in rt.graph.tasks}
+        couplings = [t.tid for t in rt.graph.tasks if t.kind == "COUPLING"]
+        assert couplings
+        for tid in couplings:
+            sources = {kind_of[p] for p in preds.get(tid, ())}
+            assert sources == {"COMPRESS_BASIS"}
+
+
+class TestFacadeIntegration:
+    """compress_runtime= through StructuredSolver reaches the same graphs."""
+
+    def test_from_kernel_compress_runtime_bit_identical(self):
+        from repro.api import StructuredSolver
+        from repro.compress.verify import assert_compressed_identical
+
+        base = StructuredSolver.from_kernel("yukawa", n=256, leaf_size=32, max_rank=16)
+        graph = StructuredSolver.from_kernel(
+            "yukawa", n=256, leaf_size=32, max_rank=16,
+            compress_runtime="parallel", compress_workers=2,
+        )
+        assert base.compress_runtime is None
+        assert graph.compress_runtime is not None
+        assert graph.compress_runtime.num_tasks > 0
+        assert_compressed_identical("hss", base.matrix, graph.matrix)
+        b = np.random.default_rng(5).standard_normal(256)
+        assert np.array_equal(base.solve(b), graph.solve(b))
+
+    def test_unknown_backend_rejected(self):
+        from repro.api import StructuredSolver
+
+        with pytest.raises(ValueError, match="use_runtime"):
+            StructuredSolver.from_kernel(
+                "yukawa", n=256, leaf_size=32, max_rank=16, compress_runtime="gpu"
+            )

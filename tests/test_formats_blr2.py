@@ -63,3 +63,37 @@ class TestConstruction:
 
     def test_repr(self, blr2):
         assert "BLR2Matrix" in repr(blr2)
+
+
+class TestStructureInvariants:
+    """Property-style invariants for every BLR2 construction path."""
+
+    MAX_RANK = 30
+
+    def _check(self, blr2):
+        for i in range(blr2.nblocks):
+            u = blr2.bases[i]
+            assert 1 <= u.shape[1] <= self.MAX_RANK
+            np.testing.assert_allclose(u.T @ u, np.eye(u.shape[1]), atol=1e-10)
+            d = blr2.diag[i]
+            m = blr2.block_range(i).stop - blr2.block_range(i).start
+            assert d.shape == (m, m)
+            np.testing.assert_allclose(d, d.T, atol=1e-12)  # SPD kernel block
+        for (i, j), s in blr2.couplings.items():
+            assert i > j  # lower triangle only; symmetry provides the rest
+            assert s.shape == (blr2.rank(i), blr2.rank(j))
+
+    @pytest.mark.parametrize("method", ["svd", "qr"])
+    def test_sequential_build(self, kmat_small, method):
+        self._check(build_blr2(kmat_small, leaf_size=64, max_rank=self.MAX_RANK, basis_method=method))
+
+    @pytest.mark.parametrize("method", ["svd", "qr"])
+    def test_graph_build(self, kmat_small, method):
+        from repro.compress import build_blr2_dtd
+        from repro.pipeline.policy import ExecutionPolicy
+
+        matrix, _ = build_blr2_dtd(
+            kmat_small, leaf_size=64, max_rank=self.MAX_RANK, method=method,
+            policy=ExecutionPolicy(backend="deferred"),
+        )
+        self._check(matrix)

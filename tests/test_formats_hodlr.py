@@ -71,3 +71,43 @@ class TestHODLR:
 
     def test_repr(self, hodlr):
         assert "HODLRMatrix" in repr(hodlr)
+
+
+class TestStructureInvariants:
+    """Property-style invariants for every HODLR construction path."""
+
+    MAX_RANK = 24
+
+    def _check(self, hodlr):
+        def visit(node):
+            if node.is_leaf:
+                m = node.stop - node.start
+                assert node.dense.shape == (m, m)
+                np.testing.assert_allclose(node.dense, node.dense.T, atol=1e-12)
+                return
+            assert 1 <= node.upper.rank <= self.MAX_RANK
+            assert node.lower.rank == node.upper.rank
+            # symmetry A_21 = A_12^T holds bitwise on the factors
+            np.testing.assert_array_equal(node.lower.U, node.upper.V)
+            np.testing.assert_array_equal(node.lower.V, node.upper.U)
+            left, right = node.left, node.right
+            assert node.upper.shape == (left.stop - left.start, right.stop - right.start)
+            visit(left)
+            visit(right)
+
+        visit(hodlr.root)
+
+    @pytest.mark.parametrize("method", ["svd", "rsvd", "aca"])
+    def test_sequential_build(self, kmat_small, method):
+        self._check(build_hodlr(kmat_small, leaf_size=32, max_rank=self.MAX_RANK, method=method))
+
+    @pytest.mark.parametrize("method", ["svd", "rsvd", "aca"])
+    def test_graph_build(self, kmat_small, method):
+        from repro.compress import build_hodlr_dtd
+        from repro.pipeline.policy import ExecutionPolicy
+
+        matrix, _ = build_hodlr_dtd(
+            kmat_small, leaf_size=32, max_rank=self.MAX_RANK, method=method,
+            policy=ExecutionPolicy(backend="deferred"),
+        )
+        self._check(matrix)

@@ -133,3 +133,46 @@ class TestHSSStructure:
             HSSStructure.synthetic(n=100, leaf_size=64, rank=10)
         with pytest.raises(ValueError):
             HSSStructure.synthetic(n=63, leaf_size=64, rank=10)
+
+
+class TestStructureInvariants:
+    """Property-style invariants for every HSS construction path.
+
+    Basis orthogonality, rank bounds, skeleton locality and coupling shapes
+    must hold for each compression method, on the sequential builder and on
+    the task-graph construction subsystem alike.
+    """
+
+    MAX_RANK = 20
+
+    def _check(self, hss):
+        for (level, index), node in hss.nodes.items():
+            if level == 0:
+                assert node.U is None and node.rank == 0
+                continue
+            u = node.U
+            assert u is not None and node.rank == u.shape[1]
+            assert 1 <= node.rank <= self.MAX_RANK
+            np.testing.assert_allclose(u.T @ u, np.eye(u.shape[1]), atol=1e-10)
+            if node.skeleton is not None:
+                # skeleton points are actual points of the cluster
+                assert node.skeleton.shape == (node.rank,)
+                assert np.all(node.skeleton >= node.start)
+                assert np.all(node.skeleton < node.stop)
+        for (level, i, j), s in hss.couplings.items():
+            assert s.shape == (hss.node(level, i).rank, hss.node(level, j).rank)
+
+    @pytest.mark.parametrize("method", ["dense_rows", "interpolative"])
+    def test_sequential_build(self, kmat_small, method):
+        self._check(build_hss(kmat_small, leaf_size=32, max_rank=self.MAX_RANK, method=method))
+
+    @pytest.mark.parametrize("method", ["dense_rows", "interpolative"])
+    def test_graph_build(self, kmat_small, method):
+        from repro.compress import build_hss_dtd
+        from repro.pipeline.policy import ExecutionPolicy
+
+        matrix, _ = build_hss_dtd(
+            kmat_small, leaf_size=32, max_rank=self.MAX_RANK, method=method,
+            policy=ExecutionPolicy(backend="deferred"),
+        )
+        self._check(matrix)

@@ -200,3 +200,62 @@ class TestStats:
         assert "SolverService" in repr(service)
         service.submit(_rhs(1), **KEY)
         assert "pending=1" in repr(service)
+
+
+class TestCompressCaching:
+    """A FactorKey cache hit must skip re-compression and re-factorization."""
+
+    def test_miss_runs_compress_and_factorize_graphs(self):
+        service = SolverService(backend="parallel", n_workers=2, compress_runtime="parallel")
+        service.solve(_rhs(1), **KEY)
+        assert service.stats.cache_misses == 1
+        assert service.stats.compress_tasks > 0
+        assert service.stats.factor_tasks > 0
+        solver = service.solver_for(FactorKey.make(**KEY))
+        # the miss executed every recorded task, per the ExecutionReport
+        report = solver.compress_runtime.last_parallel_report
+        assert len(report.executed) == solver.compress_runtime.num_tasks > 0
+        report = solver.factorize_runtime.last_parallel_report
+        assert len(report.executed) == solver.factorize_runtime.num_tasks > 0
+
+    def test_cache_hit_runs_zero_compress_or_factorize_tasks(self):
+        """Regression: flush() re-validates per key, never re-compresses."""
+        service = SolverService(backend="parallel", n_workers=2, compress_runtime="parallel")
+        service.solve(_rhs(1), **KEY)
+        solver = service.solver_for(FactorKey.make(**KEY))
+        compress_rt, factorize_rt = solver.compress_runtime, solver.factorize_runtime
+        counts = (service.stats.compress_tasks, service.stats.factor_tasks)
+        compress_report = compress_rt.last_parallel_report
+
+        # several same-key tickets in one flush: one batch, still zero new tasks
+        for s in range(3):
+            service.submit(_rhs(1, seed=s + 10), **KEY)
+        service.flush()
+
+        assert service.stats.cache_hits >= 1
+        assert (service.stats.compress_tasks, service.stats.factor_tasks) == counts
+        cached = service.solver_for(FactorKey.make(**KEY))
+        # the same runtimes (and reports) -- no compression/factorization re-ran
+        assert cached.compress_runtime is compress_rt
+        assert cached.factorize_runtime is factorize_rt
+        assert compress_rt.last_parallel_report is compress_report
+        assert len(compress_report.executed) == compress_rt.num_tasks
+
+    def test_compress_runtime_results_bit_identical(self):
+        B = _rhs(4)
+        x_graph = SolverService(
+            backend="parallel", n_workers=2, compress_runtime="parallel"
+        ).solve(B, **KEY)
+        x_ref = SolverService(backend="reference").solve(B, **KEY)
+        assert np.array_equal(x_graph, x_ref)
+
+    def test_corrupt_cache_fails_loudly(self):
+        service = SolverService(backend="sequential")
+        ticket = service.submit(_rhs(1), **KEY)
+        key = ticket.key
+        service.solver_for(key)  # warm the cache
+        service._cache[key].matrix = SolverService(backend="reference").solver_for(
+            FactorKey.make(kernel="yukawa", n=128, leaf_size=32, max_rank=16)
+        ).matrix  # poison: cached entry no longer matches its key
+        with pytest.raises(RuntimeError, match="cache is corrupt"):
+            service.flush()
