@@ -15,7 +15,15 @@ import os
 from pathlib import Path
 from typing import Any, Dict
 
-__all__ = ["full_scale", "print_table", "record_bench", "bench_json_path"]
+from repro.experiments.timing import bench_repeats  # noqa: F401  (re-export)
+
+__all__ = [
+    "full_scale",
+    "print_table",
+    "record_bench",
+    "bench_json_path",
+    "bench_repeats",
+]
 
 
 def full_scale() -> bool:

@@ -1,0 +1,142 @@
+"""Guard the recorded speedup trajectory against regressions.
+
+Compares a freshly measured benchmark artifact (written by the benchmark
+suite under ``REPRO_BENCH_JSON``) against the committed
+``benchmarks/BENCH_runtime.json`` and fails when a parallel/process speedup
+regressed past the tolerance.  Used by the ``speedup-smoke`` CI job::
+
+    REPRO_BENCH_JSON=/tmp/bench-current.json PYTHONPATH=src \
+        python -m pytest benchmarks/test_compress_scaling.py \
+                         benchmarks/test_runtime_parallel_speedup.py -q
+    python benchmarks/check_speedup_trajectory.py /tmp/bench-current.json
+
+Rows match on ``(section, format, backend, fusion)``; only the concurrent
+backends (``thread``/``parallel``/``process``) gate, since that is the
+trajectory the north star tracks.  Absolute speedups are machine- and
+size-dependent, so the check is deliberately lenient: a current row must
+reach ``--tolerance`` (default 0.5) of the stored speedup when both runs
+measured the same problem size, and a looser ``--cross-size-tolerance``
+(default 0.25) when the committed trajectory was recorded at another size
+(e.g. a quick CI sweep against a committed ``REPRO_FULL=1`` artifact).
+Missing baselines, sections or rows are reported but never fail the check --
+the guard only ever compares what both artifacts actually measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, Tuple
+
+#: Sections carrying speedup rows, with the per-row key fields.
+SECTIONS = ("parallel_speedup", "compress_scaling")
+
+#: Backends whose speedup trajectory gates the check.
+GATED_BACKENDS = ("thread", "parallel", "process")
+
+
+def _load(path: Path) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a JSON object, got {type(data).__name__}")
+    return data
+
+
+def _speedup_rows(section: Dict) -> Iterator[Tuple[Tuple, float, int]]:
+    """Yield ``(key, speedup, n)`` per gated row of one benchmark section."""
+    n = int(section.get("n", 0))
+    for row in section.get("rows", ()):
+        backend = row.get("backend")
+        if backend not in GATED_BACKENDS or "speedup" not in row:
+            continue
+        key = (row.get("format"), backend, bool(row.get("fusion", False)))
+        yield key, float(row["speedup"]), int(row.get("n", n))
+
+
+def check(
+    current_path: Path,
+    baseline_path: Path,
+    *,
+    tolerance: float,
+    cross_size_tolerance: float,
+) -> int:
+    if not baseline_path.exists():
+        print(f"no committed baseline at {baseline_path}; nothing to compare")
+        return 0
+    current = _load(current_path)
+    baseline = _load(baseline_path)
+
+    failures = []
+    compared = 0
+    for name in SECTIONS:
+        cur_section = current.get(name)
+        base_section = baseline.get(name)
+        if not isinstance(cur_section, dict) or not isinstance(base_section, dict):
+            print(f"section {name!r}: missing on one side, skipped")
+            continue
+        base_rows = {key: (s, n) for key, s, n in _speedup_rows(base_section)}
+        for key, cur_speedup, cur_n in _speedup_rows(cur_section):
+            if key not in base_rows:
+                continue
+            base_speedup, base_n = base_rows[key]
+            if base_speedup <= 0:
+                continue
+            tol = tolerance if cur_n == base_n else cross_size_tolerance
+            floor = tol * base_speedup
+            compared += 1
+            verdict = "ok" if cur_speedup >= floor else "REGRESSED"
+            print(
+                f"{name} {key}: current {cur_speedup:.2f}x (n={cur_n}) vs "
+                f"stored {base_speedup:.2f}x (n={base_n}), floor {floor:.2f}x "
+                f"-> {verdict}"
+            )
+            if cur_speedup < floor:
+                failures.append((name, key, cur_speedup, floor))
+
+    if not compared:
+        print("no comparable speedup rows between the two artifacts")
+        return 0
+    if failures:
+        print(f"\n{len(failures)} speedup regression(s) past tolerance:")
+        for name, key, speedup, floor in failures:
+            print(f"  {name} {key}: {speedup:.2f}x < floor {floor:.2f}x")
+        return 1
+    print(f"\nall {compared} compared speedups within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="freshly measured benchmark JSON")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent / "BENCH_runtime.json",
+        help="committed trajectory to compare against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="fraction of the stored speedup a same-size row must reach",
+    )
+    parser.add_argument(
+        "--cross-size-tolerance",
+        type=float,
+        default=0.25,
+        help="fraction required when the stored row measured a different n",
+    )
+    args = parser.parse_args(argv)
+    return check(
+        args.current,
+        args.baseline,
+        tolerance=args.tolerance,
+        cross_size_tolerance=args.cross_size_tolerance,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

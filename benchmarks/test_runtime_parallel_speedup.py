@@ -4,30 +4,41 @@ The paper's central claim is that the ULV factorization, expressed as
 ``insert_task`` calls, runs correctly and scalably under out-of-order parallel
 execution.  This benchmark records the actual wall time of the same recorded
 task graph executed (a) sequentially in insertion order and (b) out-of-order
-on a thread pool, for the HSS-ULV and the BLR2-ULV task graphs, and verifies
-the parallel factors stay bit-identical to the sequential reference.
+on a thread pool -- once as recorded and once with record-time task
+fusion/batching -- for the HSS-ULV, BLR2-ULV and HODLR-ULV task graphs, and
+verifies the parallel factors stay bit-identical to the sequential reference.
+Both sides of every ratio use best-of-N warmed timings.
 
 Speedups depend on the available core count, BLAS threading and machine load
 (on a single-core machine the thread pool can only add overhead), so the wall
 times are *reported* but only correctness (and completion) is asserted.
 """
 
-from bench_utils import full_scale, print_table, record_bench
+from bench_utils import bench_repeats, full_scale, print_table, record_bench
 
 from repro.experiments.parallel_speedup import format_parallel_speedup, run_parallel_speedup
 
 N = 4096 if full_scale() else 2048
 WORKERS = 4
+REPEATS = bench_repeats()
 
 
 def _run():
-    return run_parallel_speedup(n=N, leaf_size=256, max_rank=60, n_workers=WORKERS)
+    rows = run_parallel_speedup(
+        n=N, leaf_size=256, max_rank=60, n_workers=WORKERS, repeats=REPEATS
+    )
+    rows += run_parallel_speedup(
+        n=N, leaf_size=256, max_rank=60, n_workers=WORKERS, fusion=True,
+        repeats=REPEATS,
+    )
+    return rows
 
 
 def test_runtime_parallel_speedup(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
     print_table(
-        f"Sequential vs parallel task-graph execution (N={N}, {WORKERS} workers)",
+        f"Sequential vs parallel task-graph execution "
+        f"(N={N}, {WORKERS} workers, best of {REPEATS})",
         format_parallel_speedup(rows),
     )
     record_bench(
@@ -36,11 +47,18 @@ def test_runtime_parallel_speedup(benchmark):
             "n": N,
             "workers": WORKERS,
             "backend": "thread",
+            "repeats": REPEATS,
             "rows": [
                 {
                     "algorithm": r.algorithm,
                     "format": r.format,
+                    "backend": r.backend,
                     "num_tasks": r.num_tasks,
+                    "n_workers": r.n_workers,
+                    "requested_workers": r.requested_workers,
+                    "nodes": r.nodes,
+                    "fusion": r.fusion,
+                    "repeats": r.repeats,
                     "seq_seconds": r.seq_seconds,
                     "par_seconds": r.par_seconds,
                     "speedup": r.speedup,
@@ -53,9 +71,16 @@ def test_runtime_parallel_speedup(benchmark):
 
     assert {r.algorithm for r in rows} == {"HSS-ULV", "BLR2-ULV", "HODLR-ULV"}
     assert {r.format for r in rows} == {"hss", "blr2", "hodlr"}
+    tasks = {(r.format, r.fusion): r.num_tasks for r in rows}
     for row in rows:
         assert row.n >= 2048
         assert row.num_tasks > 0
+        # the executor never spawns more workers than tasks (or than asked)
+        assert 1 <= row.n_workers <= row.requested_workers == WORKERS
+        assert row.repeats == REPEATS
         assert row.seq_seconds > 0 and row.par_seconds > 0
         # out-of-order execution must not change a single bit of the factors
         assert row.max_abs_diff <= 1e-10
+    # fusion only ever shrinks the task census
+    for fmt in ("hss", "blr2", "hodlr"):
+        assert tasks[(fmt, True)] <= tasks[(fmt, False)]

@@ -28,6 +28,12 @@ and the solve (:meth:`StructuredSolver.solve`):
     thread pool (``n_workers`` threads) by the event-driven graph executor --
     the shared-memory analogue of the paper's PaRSEC execution.  Use this for
     large problems where the independent per-block tasks dominate.
+``use_runtime="process"``
+    The task graph is recorded first, *fused* (record-time task coarsening,
+    :mod:`repro.runtime.fusion`) and then executed out-of-order on a pool of
+    ``n_workers`` forked worker processes -- GIL-free like the distributed
+    backend, but with the pool's dynamic load balancing instead of
+    owner-computes placement.
 ``use_runtime="distributed"``
     The task graph is recorded first and then executed across ``nodes`` forked
     worker processes with owner-computes placement from a distribution
@@ -123,6 +129,7 @@ class StructuredSolver:
         compress_nodes: int = 1,
         compress_workers: int = 4,
         compress_distribution: Optional[Union[str, DistributionStrategy]] = None,
+        compress_fusion: Optional[bool] = None,
         **kernel_params: float,
     ) -> "StructuredSolver":
         """Build the solver for a named kernel over an explicit point cloud.
@@ -140,7 +147,9 @@ class StructuredSolver:
         (:mod:`repro.compress`) and executes it there -- bit-identical to
         the sequential build.  ``compress_nodes`` / ``compress_workers`` /
         ``compress_distribution`` parameterize the runtime backends (named
-        separately from the kernel parameters caught by ``**kernel_params``).
+        separately from the kernel parameters caught by ``**kernel_params``);
+        ``compress_fusion`` toggles record-time task fusion/batching (None:
+        fused exactly where required, i.e. ``compress_runtime="process"``).
         The recording runtime is kept on :attr:`compress_runtime` for task
         and communication accounting.
         """
@@ -152,6 +161,7 @@ class StructuredSolver:
             nodes=compress_nodes,
             n_workers=compress_workers,
             distribution=compress_distribution,
+            fusion=compress_fusion,
         )
         compress_rt = None
         if policy.uses_runtime:
@@ -199,6 +209,7 @@ class StructuredSolver:
         compress_nodes: int = 1,
         compress_workers: int = 4,
         compress_distribution: Optional[Union[str, DistributionStrategy]] = None,
+        compress_fusion: Optional[bool] = None,
         **kernel_params: float,
     ) -> "StructuredSolver":
         """Build the solver on the paper's uniform 2D grid geometry of ``n`` points."""
@@ -217,6 +228,7 @@ class StructuredSolver:
             compress_nodes=compress_nodes,
             compress_workers=compress_workers,
             compress_distribution=compress_distribution,
+            compress_fusion=compress_fusion,
             **kernel_params,
         )
 
@@ -243,6 +255,7 @@ class StructuredSolver:
         nodes: int = 1,
         n_workers: int = 4,
         distribution: Optional[Union[str, DistributionStrategy]] = None,
+        fusion: Optional[bool] = None,
         force: bool = False,
     ) -> Any:
         """Compute (and cache) the ULV factorization of the compressed matrix.
@@ -277,11 +290,18 @@ class StructuredSolver:
             :class:`~repro.distribution.strategies.DistributionStrategy`
             instance or a name (``"row"`` / ``"block"`` / ``"element"``).
             Default: the paper's row-cyclic distribution.
+        fusion:
+            Record-time task fusion/batching (None: fused exactly where
+            required, i.e. ``use_runtime="process"``).
         force:
             Re-factorize even when a factor is already cached.
         """
         policy = ExecutionPolicy.resolve(
-            use_runtime, nodes=nodes, n_workers=n_workers, distribution=distribution
+            use_runtime,
+            nodes=nodes,
+            n_workers=n_workers,
+            distribution=distribution,
+            fusion=fusion,
         )
         if force:
             self.factor = None
@@ -306,6 +326,7 @@ class StructuredSolver:
         n_workers: int = 4,
         distribution: Optional[Union[str, DistributionStrategy]] = None,
         panel_size: Optional[int] = None,
+        fusion: Optional[bool] = None,
     ) -> np.ndarray:
         """Solve ``A x = b`` (factorizes on first use).
 
@@ -331,6 +352,9 @@ class StructuredSolver:
         panel_size:
             Columns per RHS panel of the task-graph solve; ``None`` keeps all
             ``k`` columns in one panel (bit-identical to the reference).
+        fusion:
+            Record-time task fusion/batching (None: fused exactly where
+            required, i.e. ``use_runtime="process"``).
         """
         policy = ExecutionPolicy.resolve(
             use_runtime,
@@ -338,6 +362,7 @@ class StructuredSolver:
             n_workers=n_workers,
             distribution=distribution,
             panel_size=panel_size,
+            fusion=fusion,
         )
         if not policy.uses_runtime and (panel_size is not None or distribution is not None):
             raise ValueError(

@@ -103,6 +103,10 @@ def _positive_int(value: str) -> int:
     return ivalue
 
 
+#: Maps the ``--fusion`` tri-state onto the ``ExecutionPolicy.fusion`` field.
+_FUSION_MODES = {"auto": None, "on": True, "off": False}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro`` experiment CLI.
 
@@ -163,6 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution path: off = sequential reference, immediate = DTD tasks "
         "run at insertion time, deferred = recorded graph run sequentially, "
         "parallel = task graph executed out-of-order on a thread pool, "
+        "process = fused task graph executed on a pool of forked worker "
+        "processes (GIL-free), "
         "distributed = task graph executed across --nodes worker processes "
         "with owner-computes placement",
     )
@@ -175,7 +181,18 @@ def build_parser() -> argparse.ArgumentParser:
         "the task-graph construction subsystem (bit-identical output)",
     )
     p.add_argument(
-        "--workers", type=int, default=4, help="thread count for --runtime parallel"
+        "--fusion",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="record-time task fusion/batching: auto = fused exactly where "
+        "required (the process backend), on/off = force for any task-graph "
+        "runtime (never changes results, only the task census)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="thread count for --runtime parallel, process count for --runtime process",
     )
     p.add_argument(
         "--nodes",
@@ -212,10 +229,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4, help="thread/process count for the parallel run")
     p.add_argument(
         "--backend",
-        choices=("thread", "process"),
+        choices=("thread", "process", "distributed"),
         default="thread",
         help="parallel substrate: thread = shared-memory thread pool, "
-        "process = distributed multi-process backend",
+        "process = fused task graphs on a forked process pool (GIL-free), "
+        "distributed = owner-computes multi-process backend",
+    )
+    p.add_argument(
+        "--fusion",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="record-time task fusion/batching of the timed graphs",
+    )
+    p.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=3,
+        help="best-of-N warmed timing repeats per side",
     )
 
     p = sub.add_parser(
@@ -266,7 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         action="append",
         dest="backends",
-        choices=("reference", "immediate", "sequential", "parallel", "distributed"),
+        choices=("reference", "immediate", "sequential", "parallel", "process", "distributed"),
         help="service backend (repeatable; default: reference, sequential, parallel)",
     )
     p.add_argument("--workers", type=int, default=4, help="thread count for the parallel backend")
@@ -320,6 +350,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--nodes", type=int, default=2, help="worker processes for the distributed backend"
     )
+    p.add_argument(
+        "--fusion",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="record-time task fusion/batching of the construction graphs",
+    )
+    p.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=3,
+        help="best-of-N warmed timing repeats per cell",
+    )
     p.add_argument("--seed", type=int, default=0, help="RNG seed for the construction")
 
     return parser
@@ -335,6 +377,14 @@ def _run_solve(args: argparse.Namespace) -> str:
     compress_distribution = (
         args.distribution if args.compress_runtime == "distributed" else None
     )
+    # --fusion applies wherever a graph is recorded; runtimes that execute
+    # bodies at insertion time (off/immediate) have no graph to coarsen, so
+    # the flag falls back to auto for them instead of being rejected.
+    fusion = _FUSION_MODES[args.fusion]
+    exec_fusion = fusion if args.runtime not in ("off", "immediate") else None
+    compress_fusion = (
+        fusion if args.compress_runtime not in ("off", "immediate") else None
+    )
     t0 = time.perf_counter()
     solver = StructuredSolver.from_kernel(
         args.kernel, n=args.n, format=args.format,
@@ -343,6 +393,7 @@ def _run_solve(args: argparse.Namespace) -> str:
         compress_nodes=args.nodes,
         compress_workers=args.workers,
         compress_distribution=compress_distribution,
+        compress_fusion=compress_fusion,
     )
     t_build = time.perf_counter() - t0
     t0 = time.perf_counter()
@@ -351,6 +402,7 @@ def _run_solve(args: argparse.Namespace) -> str:
         nodes=args.nodes,
         n_workers=args.workers,
         distribution=distribution,
+        fusion=exec_fusion,
     )
     t_factor = time.perf_counter() - t0
 
@@ -364,6 +416,7 @@ def _run_solve(args: argparse.Namespace) -> str:
         nodes=args.nodes,
         n_workers=args.workers,
         distribution=distribution,
+        fusion=exec_fusion,
     )
     t_solve = time.perf_counter() - t0
     residual = np.linalg.norm(solver.matvec(x) - b) / np.linalg.norm(b)
@@ -377,10 +430,12 @@ def _run_solve(args: argparse.Namespace) -> str:
         exact_residual = relative_residual(solver.kernel_matrix, x, b)
 
     runtime_detail = ""
-    if args.runtime == "parallel":
+    if args.runtime in ("parallel", "process"):
         runtime_detail = f" workers={args.workers}"
     elif args.runtime == "distributed":
         runtime_detail = f" nodes={args.nodes} distribution={args.distribution}"
+    if args.fusion != "auto":
+        runtime_detail += f" fusion={args.fusion}"
     if args.refine:
         runtime_detail += " refine=1"
     compress_detail = ""
@@ -447,6 +502,8 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
                 max_rank=args.max_rank,
                 n_workers=args.workers,
                 backend=args.backend,
+                fusion=_FUSION_MODES[args.fusion],
+                repeats=args.repeats,
             )
         )
     elif args.command == "weakscale":
@@ -499,6 +556,8 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
                 else ("deferred", "parallel", "distributed"),
                 n_workers=args.workers,
                 nodes=args.nodes,
+                fusion=_FUSION_MODES[args.fusion],
+                repeats=args.repeats,
                 seed=args.seed,
             )
         )

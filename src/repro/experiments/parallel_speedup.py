@@ -3,37 +3,50 @@
 The paper's central claim is that the ULV factorization expressed as
 ``insert_task`` calls runs correctly under out-of-order parallel execution.
 This driver measures the actual wall time of the same task graph executed
-sequentially and in parallel, for both the HSS-ULV and the BLR2-ULV task
+sequentially and in parallel, for the HSS-ULV, BLR2-ULV and HODLR-ULV task
 graphs, and verifies the parallel factors are bit-identical to the sequential
-ones.  Two parallel backends are supported:
+ones.  Three parallel backends are supported:
 
 ``thread``
     The recorded graph is executed out-of-order on an ``n_workers``-thread
     pool (:meth:`~repro.runtime.dtd.DTDRuntime.run_parallel`); timings cover
-    pure execution of an already-recorded graph.
+    pure execution of an already-recorded graph (recording is identical on
+    both sides and excluded).
 ``process``
-    The factorization runs on the distributed multi-process backend with
+    The recorded (and, by default, fused) graph is executed on a pool of
+    ``n_workers`` forked worker processes through the ``process``
+    :class:`~repro.pipeline.policy.ExecutionPolicy` backend; timings cover
+    recording plus execution for both sides (the forked workers' address
+    spaces need the recorded closures, so recording cannot be hoisted out).
+``distributed``
+    The factorization runs on the owner-computes multi-process backend with
     ``n_workers`` forked worker processes
     (:meth:`~repro.runtime.dtd.DTDRuntime.run_distributed`); timings cover
-    recording plus execution for both the sequential and the distributed run
-    (the graph must be recorded inside each address-space configuration), and
-    the row also reports the measured communication volume.
+    recording plus execution for both sides, and the row also reports the
+    measured communication volume.
 
-Used by ``python -m repro speedup [--backend thread|process]`` and by
-``benchmarks/test_runtime_parallel_speedup.py``.
+Both sides of every comparison use best-of-``repeats`` warmed timings over
+fresh graphs (:func:`repro.experiments.timing.best_of`); the sequential
+baseline is always the plain in-order execution of the *unfused* graph, the
+reference the paper's speedups are defined against.  ``fusion`` toggles
+record-time task fusion/batching of the parallel side (``None``: fused
+exactly where required, i.e. the ``process`` backend).
+
+Used by ``python -m repro speedup [--backend thread|process|distributed]``
+and by ``benchmarks/test_runtime_parallel_speedup.py``.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.blr2_ulv_dtd import blr2_ulv_factorize_dtd
 from repro.core.hodlr_ulv_dtd import hodlr_ulv_factorize_dtd
 from repro.core.hss_ulv_dtd import hss_ulv_factorize_dtd
+from repro.experiments.timing import best_of
 from repro.formats.blr2 import build_blr2
 from repro.formats.hodlr import build_hodlr
 from repro.formats.hss import build_hss
@@ -43,10 +56,18 @@ from repro.kernels.greens import kernel_by_name
 
 __all__ = ["SpeedupRow", "run_parallel_speedup", "format_parallel_speedup"]
 
+_BACKENDS = ("thread", "process", "distributed")
+
 
 @dataclass
 class SpeedupRow:
-    """One algorithm's sequential-vs-parallel measurement."""
+    """One algorithm's sequential-vs-parallel measurement.
+
+    ``n_workers`` is the concurrency the parallel run *actually used* (the
+    executor spawns at most one worker per task); ``requested_workers`` is
+    what the caller asked for.  ``nodes`` is the forked-process count of the
+    distributed backend (1 for the shared-memory backends).
+    """
 
     algorithm: str
     format: str
@@ -58,16 +79,14 @@ class SpeedupRow:
     max_abs_diff: float
     backend: str = "thread"
     comm_bytes: int = 0
+    requested_workers: int = 0
+    nodes: int = 1
+    fusion: bool = False
+    repeats: int = 1
 
     @property
     def speedup(self) -> float:
         return self.seq_seconds / self.par_seconds if self.par_seconds > 0 else float("inf")
-
-
-def _timed(fn) -> float:
-    t0 = time.perf_counter()
-    fn()
-    return time.perf_counter() - t0
 
 
 def run_parallel_speedup(
@@ -78,16 +97,23 @@ def run_parallel_speedup(
     max_rank: int = 60,
     n_workers: int = 4,
     backend: str = "thread",
+    fusion: Optional[bool] = None,
+    repeats: int = 3,
     seed: int = 0,
 ) -> List[SpeedupRow]:
-    """Measure sequential vs parallel task-graph execution for both formats.
+    """Measure sequential vs parallel task-graph execution for every format.
 
-    ``backend`` selects the parallel execution substrate: ``"thread"`` (thread
-    pool, shared memory) or ``"process"`` (distributed multi-process backend,
-    ``n_workers`` worker processes with owner-computes placement).
+    ``backend`` selects the parallel execution substrate (``"thread"``,
+    ``"process"`` or ``"distributed"``); ``fusion`` the record-time task
+    coarsening of the parallel side (``None``: backend default); ``repeats``
+    the best-of-N timing protocol applied to both sides.
     """
-    if backend not in ("thread", "process"):
-        raise ValueError(f"unknown backend {backend!r}; expected 'thread' or 'process'")
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+    if fusion is False and backend == "process":
+        raise ValueError("the process backend requires fusion; pass fusion=None or True")
+    fused = fusion if fusion is not None else backend == "process"
+    slots = 2 * max(1, n_workers)
     points = uniform_grid_2d(n)
     kmat = KernelMatrix(kernel_by_name(kernel), points)
     b = np.random.default_rng(seed).standard_normal(n)
@@ -101,31 +127,59 @@ def run_parallel_speedup(
     for name, fmt, build, factorize_dtd in algorithms:
         matrix = build(kmat, leaf_size=leaf_size, max_rank=max_rank)
         comm_bytes = 0
+        nodes = 1
+
         if backend == "thread":
-            # Record each graph without executing, so the timings below cover
-            # pure execution (insert_task recording cost is identical either way).
-            seq_factor, seq_rt = factorize_dtd(matrix, execution="deferred", execute=False)
-            par_factor, par_rt = factorize_dtd(matrix, execution="deferred", execute=False)
-            t_seq = _timed(seq_rt.run)
-            t_par = _timed(lambda: par_rt.run_parallel(n_workers=n_workers))
+            # Record each graph without executing, so the timings cover pure
+            # execution (recording cost is identical on both sides); every
+            # repeat records afresh because an executed graph cannot run again.
+            def record(*, fuse: bool):
+                factor, rt = factorize_dtd(matrix, execution="deferred", execute=False)
+                if fuse:
+                    rt.fuse(slots=slots)
+                return factor, rt
+
+            t_seq, (seq_factor, _) = best_of(
+                lambda state: (state[1].run(), state)[1],
+                repeats=repeats,
+                setup=lambda: record(fuse=False),
+            )
+            t_par, (par_factor, par_rt) = best_of(
+                lambda state: (state[1].run_parallel(n_workers=n_workers), state)[1],
+                repeats=repeats,
+                setup=lambda: record(fuse=fused),
+            )
+            actual_workers = par_rt.last_parallel_report.num_workers
         else:
-            # The distributed backend records and executes in one call (each
-            # worker's address space needs the recorded closures), so time the
-            # full record+execute path for both runs to keep them comparable.
-            seq_holder, par_holder = {}, {}
-            t_seq = _timed(
-                lambda: seq_holder.update(
-                    factor=factorize_dtd(matrix, execution="deferred")[0]
+            # Forked workers (pool or owner-computes) inherit the recorded
+            # closures, so recording cannot be hoisted out of the timed
+            # region; both sides time the full record+execute path to
+            # compare like with like.
+            from repro.pipeline.policy import ExecutionPolicy
+            from repro.pipeline.registry import get_format
+
+            def seq_full():
+                factor, _ = factorize_dtd(matrix, execution="deferred")
+                return factor
+
+            def par_full():
+                policy = ExecutionPolicy(
+                    backend="process" if backend == "process" else "distributed",
+                    n_workers=n_workers,
+                    nodes=n_workers if backend == "distributed" else 1,
+                    fusion=fusion,
                 )
-            )
-            t_par = _timed(
-                lambda: par_holder.update(
-                    result=factorize_dtd(matrix, execution="distributed", nodes=n_workers)
-                )
-            )
-            seq_factor = seq_holder["factor"]
-            par_factor, par_rt = par_holder["result"]
-            comm_bytes = par_rt.last_distributed_report.ledger.total_bytes
+                return get_format(fmt).factorize_dtd(matrix, policy=policy)
+
+            t_seq, seq_factor = best_of(seq_full, repeats=repeats)
+            t_par, (par_factor, par_rt) = best_of(par_full, repeats=repeats)
+            if backend == "process":
+                actual_workers = par_rt.last_process_report.num_workers
+            else:
+                comm_bytes = par_rt.last_distributed_report.ledger.total_bytes
+                nodes = n_workers
+                actual_workers = 1  # one in-order executor per forked node
+
         diff = float(np.max(np.abs(par_factor.solve(b) - seq_factor.solve(b))))
         rows.append(
             SpeedupRow(
@@ -133,12 +187,16 @@ def run_parallel_speedup(
                 format=fmt,
                 n=n,
                 num_tasks=par_rt.num_tasks,
-                n_workers=n_workers,
+                n_workers=actual_workers,
                 seq_seconds=t_seq,
                 par_seconds=t_par,
                 max_abs_diff=diff,
                 backend=backend,
                 comm_bytes=comm_bytes,
+                requested_workers=n_workers,
+                nodes=nodes,
+                fusion=fused,
+                repeats=repeats,
             )
         )
     return rows
@@ -147,12 +205,14 @@ def run_parallel_speedup(
 def format_parallel_speedup(rows: List[SpeedupRow]) -> str:
     """Format the measurement as a fixed-width table."""
     lines = [
-        f"{'algorithm':<10} {'backend':<8} {'N':>7} {'tasks':>6} {'workers':>7} "
-        f"{'seq [s]':>9} {'par [s]':>9} {'speedup':>8} {'comm [B]':>9} {'max diff':>10}"
+        f"{'algorithm':<10} {'backend':<11} {'N':>7} {'tasks':>6} {'workers':>7} "
+        f"{'nodes':>5} {'fused':>5} {'seq [s]':>9} {'par [s]':>9} {'speedup':>8} "
+        f"{'comm [B]':>9} {'max diff':>10}"
     ]
     for r in rows:
         lines.append(
-            f"{r.algorithm:<10} {r.backend:<8} {r.n:>7} {r.num_tasks:>6} {r.n_workers:>7} "
+            f"{r.algorithm:<10} {r.backend:<11} {r.n:>7} {r.num_tasks:>6} "
+            f"{r.n_workers:>7} {r.nodes:>5} {'yes' if r.fusion else 'no':>5} "
             f"{r.seq_seconds:>9.3f} {r.par_seconds:>9.3f} {r.speedup:>8.2f} "
             f"{r.comm_bytes:>9} {r.max_abs_diff:>10.2e}"
         )

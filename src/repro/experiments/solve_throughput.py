@@ -27,7 +27,12 @@ __all__ = ["ThroughputRow", "run_solve_throughput", "format_solve_throughput"]
 
 @dataclass
 class ThroughputRow:
-    """One measured (backend, batch size) point of the throughput sweep."""
+    """One measured (backend, batch size) point of the throughput sweep.
+
+    ``n_workers`` / ``nodes`` record the concurrency *this row's backend*
+    actually uses (1/1 for the in-order backends), not the sweep-level knob
+    values -- a row is self-describing without the surrounding payload.
+    """
 
     backend: str
     batch_size: int
@@ -37,6 +42,8 @@ class ThroughputRow:
     solves_per_sec: float
     max_residual: float
     format: str = "hss"
+    n_workers: int = 1
+    nodes: int = 1
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -48,6 +55,8 @@ class ThroughputRow:
             "wall_seconds": self.wall_seconds,
             "solves_per_sec": self.solves_per_sec,
             "max_residual": self.max_residual,
+            "n_workers": self.n_workers,
+            "nodes": self.nodes,
         }
 
 
@@ -131,6 +140,8 @@ def run_solve_throughput(
                     wall_seconds=wall,
                     solves_per_sec=requests / wall if wall > 0 else float("inf"),
                     max_residual=residual,
+                    n_workers=n_workers if backend in ("parallel", "process") else 1,
+                    nodes=nodes if backend == "distributed" else 1,
                 )
             )
     return {

@@ -1,0 +1,83 @@
+"""Warmed best-of-N timing shared by the experiment drivers and benchmarks.
+
+Every speedup the repository reports divides two wall times; measuring the
+baseline once and cold (first-touch allocation, lazy imports, BLAS thread
+spin-up) while the contender runs warm systematically inflates the ratio.
+These helpers make both sides of every comparison use the same protocol:
+``repeats`` fresh runs, best (minimum) wall time, repeat count stamped into
+the record.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["bench_repeats", "best_of", "best_of_pair"]
+
+_REPEATS_ENV = "REPRO_BENCH_REPEATS"
+
+
+def bench_repeats(default: int = 3) -> int:
+    """Timing repeats per measurement (override with ``REPRO_BENCH_REPEATS``)."""
+    raw = os.environ.get(_REPEATS_ENV)
+    if not raw:
+        return default
+    value = int(raw)
+    if value <= 0:
+        raise ValueError(f"{_REPEATS_ENV} must be a positive integer, got {raw!r}")
+    return value
+
+
+def best_of(
+    run: Callable[..., Any], *, repeats: int = 3, setup: Optional[Callable[[], Any]] = None
+) -> Tuple[float, Any]:
+    """Best-of-``repeats`` wall time of ``run`` over fresh states.
+
+    Each repeat optionally calls ``setup`` (untimed -- e.g. recording a fresh
+    task graph, since an executed graph cannot run again) and times one call
+    of ``run`` (receiving ``setup``'s return value when given).  Returns
+    ``(best_seconds, last_result)``: the minimum discards cold-start effects,
+    the last repeat's result serves the caller's correctness checks.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result: Any = None
+    for _ in range(repeats):
+        state = setup() if setup is not None else None
+        t0 = time.perf_counter()
+        result = run(state) if setup is not None else run()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def best_of_pair(
+    baseline: Callable[[], Any],
+    candidate: Callable[[], Any],
+    *,
+    repeats: int = 3,
+) -> Tuple[float, Any, float, Any]:
+    """Best-of-``repeats`` wall times of two callables, interleaved.
+
+    Timing all baseline repeats in one block and all candidate repeats in
+    another lets machine-speed drift (shared tenancy, frequency scaling)
+    land entirely on one side of the ratio; interleaving pairs each baseline
+    run with an adjacent candidate run so a slow epoch penalizes both.
+    Returns ``(best_baseline, last_baseline_result, best_candidate,
+    last_candidate_result)``.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best_base = best_cand = float("inf")
+    base_result: Any = None
+    cand_result: Any = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        base_result = baseline()
+        best_base = min(best_base, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        cand_result = candidate()
+        best_cand = min(best_cand, time.perf_counter() - t0)
+    return best_base, base_result, best_cand, cand_result

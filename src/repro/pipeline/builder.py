@@ -109,7 +109,14 @@ class GraphBuilder:
 
     # -- template -------------------------------------------------------------
     def record(self) -> "GraphBuilder":
-        """Declare handles, assign owners, seed state and insert all tasks (once)."""
+        """Declare handles, assign owners, seed state and insert all tasks (once).
+
+        With :attr:`ExecutionPolicy.fusion_enabled` the freshly recorded
+        graph is coarsened in place (chain fusion + batching, see
+        :mod:`repro.runtime.fusion`) before any backend sees it, so transfer
+        planning, comm verification and execution all run on the same fused
+        graph.
+        """
         if self._recorded:
             return self
         self.declare_handles()
@@ -117,6 +124,8 @@ class GraphBuilder:
         self.strategy.assign(self.runtime.handles)
         self.seed()
         self.record_tasks()
+        if self.policy.fusion_enabled and self.runtime.num_tasks:
+            self.runtime.fuse(slots=self.policy.resolve_batch_slots())
         self._recorded = True
         return self
 

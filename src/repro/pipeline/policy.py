@@ -27,7 +27,7 @@ __all__ = ["BACKENDS", "RUNTIME_BACKENDS", "ExecutionPolicy", "resolve_policy"]
 #: Every execution backend, in the order the docs present them.  ``"off"`` is
 #: the sequential reference implementation (no task graph); the rest record a
 #: DTD task graph and differ only in how the recorded graph is executed.
-BACKENDS = ("off", "immediate", "deferred", "parallel", "distributed")
+BACKENDS = ("off", "immediate", "deferred", "parallel", "process", "distributed")
 
 #: The backends that go through the DTD runtime (everything but ``"off"``).
 RUNTIME_BACKENDS = BACKENDS[1:]
@@ -43,11 +43,14 @@ class ExecutionPolicy:
         ``"off"`` (sequential reference, no task graph), ``"immediate"``
         (task bodies run at insertion time), ``"deferred"`` (record first,
         then run sequentially), ``"parallel"`` (record first, then execute
-        out-of-order on a thread pool) or ``"distributed"`` (record first,
-        then execute across forked worker processes with owner-computes
-        placement).  All backends produce bit-identical results.
+        out-of-order on a thread pool), ``"process"`` (record first, fuse,
+        then execute on a pool of forked worker processes -- GIL-free) or
+        ``"distributed"`` (record first, then execute across forked worker
+        processes with owner-computes placement).  All backends produce
+        bit-identical results.
     n_workers:
-        Thread count for the ``parallel`` backend.
+        Thread count for the ``parallel`` backend, process count for the
+        ``process`` backend.
     nodes:
         Process count for the data distribution (real worker processes for
         ``distributed``, simulated ranks otherwise).
@@ -59,6 +62,18 @@ class ExecutionPolicy:
     panel_size:
         Columns per RHS panel of the task-graph solves; None keeps all
         columns in one panel (bit-identical to the sequential reference).
+    fusion:
+        Record-time task fusion/batching (:mod:`repro.runtime.fusion`):
+        coalesce short same-phase task chains and batch independent
+        same-kind tasks so each scheduled task amortizes its dispatch cost.
+        ``None`` (default) enables fusion exactly where it is required --
+        the ``process`` backend; ``True``/``False`` force it on the other
+        deferred-graph backends.  Fusion never changes results (the member
+        bodies run in insertion order), only the task census.
+    batch_slots:
+        Upper bound on the number of batches a wide task group is split
+        into; ``None`` derives ``2 * n_workers`` so every worker keeps two
+        batches in flight.
     """
 
     backend: str = "off"
@@ -66,11 +81,23 @@ class ExecutionPolicy:
     nodes: int = 1
     distribution: Optional[Union[str, DistributionStrategy]] = None
     panel_size: Optional[int] = None
+    fusion: Optional[bool] = None
+    batch_slots: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.fusion is not None and not self.fusion and self.backend == "process":
+            raise ValueError(
+                "the process backend requires fusion; per-leaf task chains pass "
+                "state outside handles and must be coarsened to stay colocated"
+            )
+        if self.fusion and self.backend in ("off", "immediate"):
+            raise ValueError(
+                f"fusion requires a deferred-graph backend, not {self.backend!r} "
+                "(immediate bodies run at insertion time; 'off' records no graph)"
             )
 
     # -- construction ---------------------------------------------------------
@@ -83,6 +110,8 @@ class ExecutionPolicy:
         nodes: int = 1,
         distribution: Optional[Union[str, DistributionStrategy]] = None,
         panel_size: Optional[int] = None,
+        fusion: Optional[bool] = None,
+        batch_slots: Optional[int] = None,
     ) -> "ExecutionPolicy":
         """Normalize a facade-style ``use_runtime`` argument into a policy.
 
@@ -93,7 +122,8 @@ class ExecutionPolicy:
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown use_runtime {use_runtime!r}; expected False, True, "
-                "'off', 'immediate', 'deferred', 'parallel' or 'distributed'"
+                "'off', 'immediate', 'deferred', 'parallel', 'process' or "
+                "'distributed'"
             )
         return cls(
             backend=backend,
@@ -101,6 +131,8 @@ class ExecutionPolicy:
             nodes=nodes,
             distribution=distribution,
             panel_size=panel_size,
+            fusion=fusion,
+            batch_slots=batch_slots,
         )
 
     @property
@@ -112,6 +144,23 @@ class ExecutionPolicy:
         """A copy of this policy on a different backend."""
         return replace(self, backend=backend)
 
+    @property
+    def fusion_enabled(self) -> bool:
+        """True when the graph builders should coarsen recorded graphs.
+
+        ``fusion=None`` resolves to "on exactly for the process backend" --
+        its workers rely on fused chains to keep non-handle state colocated.
+        """
+        if self.fusion is None:
+            return self.backend == "process"
+        return bool(self.fusion) and self.uses_runtime
+
+    def resolve_batch_slots(self) -> int:
+        """Concrete batch-count bound for :meth:`DTDRuntime.fuse`."""
+        if self.batch_slots:
+            return int(self.batch_slots)
+        return 2 * max(1, self.n_workers)
+
     # -- runtime / strategy construction -------------------------------------
     def make_runtime(self) -> DTDRuntime:
         """A fresh :class:`DTDRuntime` in the recording mode this backend needs.
@@ -119,7 +168,7 @@ class ExecutionPolicy:
         ``parallel`` and ``distributed`` require a fully deferred graph; the
         sequential backends record in their own mode.
         """
-        if self.backend in ("parallel", "distributed"):
+        if self.backend in ("parallel", "process", "distributed"):
             return DTDRuntime(execution="deferred")
         if self.backend in ("immediate", "deferred"):
             return DTDRuntime(execution=self.backend)
@@ -169,6 +218,16 @@ class ExecutionPolicy:
                 for fragment in report.fragments:
                     merge(fragment)
             return report
+        if self.backend == "process":
+            if runtime.num_tasks == 0:
+                return None
+            report = runtime.run_process(
+                n_workers=self.n_workers, collect=collect, timeout=timeout
+            )
+            if merge is not None:
+                for fragment in report.fragments:
+                    merge(fragment)
+            return report
         if self.backend == "parallel":
             return runtime.run_parallel(n_workers=self.n_workers, timeout=timeout)
         runtime.run()
@@ -197,7 +256,8 @@ def resolve_policy(
         if execution not in RUNTIME_BACKENDS:
             raise ValueError(
                 f"unknown execution mode {execution!r}; "
-                "expected 'immediate', 'deferred', 'parallel' or 'distributed'"
+                "expected 'immediate', 'deferred', 'parallel', 'process' or "
+                "'distributed'"
             )
         backend = execution
     else:

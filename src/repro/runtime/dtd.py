@@ -65,6 +65,10 @@ class DTDRuntime:
         self.last_distributed_report = None
         #: Report of the most recent :meth:`run_parallel` call (or None).
         self.last_parallel_report = None
+        #: Report of the most recent :meth:`run_process` call (or None).
+        self.last_process_report = None
+        #: Stats of the most recent :meth:`fuse` call (or None).
+        self.last_fusion_stats = None
 
     # -- data management ------------------------------------------------------
     def register_handle(self, handle: DataHandle) -> DataHandle:
@@ -150,6 +154,51 @@ class DTDRuntime:
             task.run()
             self._executed.add(task.tid)
         return task
+
+    # -- graph coarsening ------------------------------------------------------
+    def fuse(self, *, slots: int = 8):
+        """Coarsen the recorded graph in place (chain fusion + batching).
+
+        Collapses linear same-phase, same-owner task chains and batches
+        independent same-kind tasks through
+        :func:`repro.runtime.fusion.coarsen_graph`, replacing :attr:`graph`
+        with the coarse graph.  Surviving tasks keep their original ids and
+        the dependency-discovery state is remapped onto them, so more
+        ``insert_task`` calls may follow (they will depend on the fused
+        tasks exactly as they would have on the absorbed originals).
+
+        Only valid before any task body has run on a deferred (or symbolic)
+        graph.  Returns the :class:`~repro.runtime.fusion.FusionStats`, also
+        stored as :attr:`last_fusion_stats`.
+        """
+        from repro.runtime.fusion import coarsen_graph
+
+        if self.execution == "immediate":
+            raise RuntimeError(
+                "cannot fuse an immediate-mode graph; its task bodies already ran"
+            )
+        if self._failed is not None:
+            raise RuntimeError(
+                "runtime has a failed execution; rebuild the task graph"
+            ) from self._failed
+        if self._executed:
+            raise RuntimeError(
+                f"{len(self._executed)} task(s) already executed; "
+                "fusion requires a fully deferred graph"
+            )
+        coarse, head_of, stats = coarsen_graph(self.graph, slots=slots)
+        self.graph = coarse
+        # Remap the discovery state so later insert_task calls wire their
+        # dependencies to the fused heads instead of absorbed task ids.
+        self._last_writer = {
+            hid: head_of.get(tid, tid) for hid, tid in self._last_writer.items()
+        }
+        self._readers_since_write = {
+            hid: sorted({head_of.get(tid, tid) for tid in readers})
+            for hid, readers in self._readers_since_write.items()
+        }
+        self.last_fusion_stats = stats
+        return stats
 
     # -- execution --------------------------------------------------------------
     def run(self) -> None:
@@ -269,6 +318,59 @@ class DTDRuntime:
         self.last_distributed_report = report
         return report
 
+    def run_process(
+        self,
+        *,
+        n_workers: int = 4,
+        collect=None,
+        timeout: Optional[float] = None,
+    ):
+        """Execute the recorded graph on a pool of forked worker processes.
+
+        The GIL-free counterpart of :meth:`run_parallel`: task bodies run in
+        ``fork``-ed worker processes that inherit the graph and all
+        pre-execution numerical state; values written through *bound* handles
+        are shipped back to the parent after each task and injected into the
+        consumers' processes, so the numerical dataflow is exact.  Results
+        living outside handles are gathered per worker by ``collect`` (see
+        :func:`repro.runtime.executor.execute_graph_processes`).
+
+        Only valid on a fully deferred graph.  Like the distributed backend,
+        any failure poisons the runtime: partially computed state lives in
+        pool worker processes and cannot be resumed.
+
+        Returns the :class:`~repro.runtime.executor.ExecutionReport`
+        (fragments in ``report.fragments``), also stored as
+        :attr:`last_process_report`.
+        """
+        from repro.runtime.executor import execute_graph_processes
+
+        if self.execution == "symbolic":
+            raise RuntimeError("cannot run a symbolic graph; task bodies were discarded")
+        if self._failed is not None:
+            raise RuntimeError(
+                "runtime has a failed execution; rebuild the task graph"
+            ) from self._failed
+        if self._executed:
+            raise RuntimeError(
+                f"{len(self._executed)} task(s) already executed; "
+                "the process backend requires a fully deferred graph"
+            )
+        try:
+            report = execute_graph_processes(
+                self.graph, n_workers=n_workers, collect=collect, timeout=timeout
+            )
+        except BaseException as exc:
+            partial = getattr(exc, "execution_report", None)
+            if partial is not None:
+                self._executed.update(partial.executed)
+                self.last_process_report = partial
+            self._failed = exc
+            raise
+        self._executed.update(report.executed)
+        self.last_process_report = report
+        return report
+
     # -- inspection ---------------------------------------------------------------
     @property
     def num_tasks(self) -> int:
@@ -299,12 +401,13 @@ def resolve_execution(
     if execution is not None:
         if runtime is not None:
             raise ValueError("pass either `runtime` or `execution`, not both")
-        if execution in ("parallel", "distributed"):
+        if execution in ("parallel", "process", "distributed"):
             return DTDRuntime(execution="deferred"), execution
         if execution in ("immediate", "deferred"):
             return DTDRuntime(execution=execution), "sequential"
         raise ValueError(
             f"unknown execution mode {execution!r}; "
-            "expected 'immediate', 'deferred', 'parallel' or 'distributed'"
+            "expected 'immediate', 'deferred', 'parallel', 'process' or "
+            "'distributed'"
         )
     return (runtime if runtime is not None else DTDRuntime(execution="immediate")), "sequential"

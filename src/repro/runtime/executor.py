@@ -27,13 +27,15 @@ interrupted mid-kernel).
 from __future__ import annotations
 
 import heapq
+import multiprocessing
 import threading
 import time
-from typing import Dict, List, Mapping, Optional
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.runtime.dag import TaskGraph
 
-__all__ = ["execute_graph", "ExecutionReport"]
+__all__ = ["execute_graph", "execute_graph_processes", "ExecutionReport"]
 
 
 class ExecutionReport:
@@ -41,6 +43,12 @@ class ExecutionReport:
 
     Attributes
     ----------
+    num_workers:
+        Workers actually spawned: ``max(1, min(requested, num_tasks))`` (0
+        for an empty graph) -- the executor never starts more workers than
+        there are tasks.
+    requested_workers:
+        The ``n_workers`` the caller asked for.
     executed:
         Task ids that completed successfully, in completion order.
     errors:
@@ -52,16 +60,27 @@ class ExecutionReport:
         True when the overall ``timeout`` expired before the graph drained.
     wall_time:
         Wall-clock seconds spent inside :func:`execute_graph`.
+    fragments:
+        Per-worker result fragments (process-pool executions only).
     """
 
-    def __init__(self, num_tasks: int, num_workers: int) -> None:
+    def __init__(
+        self,
+        num_tasks: int,
+        num_workers: int,
+        requested_workers: Optional[int] = None,
+    ) -> None:
         self.num_tasks = num_tasks
         self.num_workers = num_workers
+        self.requested_workers = (
+            requested_workers if requested_workers is not None else num_workers
+        )
         self.executed: List[int] = []
         self.errors: Dict[int, BaseException] = {}
         self.cancelled: List[int] = []
         self.timed_out: bool = False
         self.wall_time: float = 0.0
+        self.fragments: List = []
 
     @property
     def ok(self) -> bool:
@@ -123,7 +142,13 @@ def execute_graph(
     t0 = time.perf_counter()
     succ, pred = graph.adjacency()
     remaining = {t.tid: len(pred.get(t.tid, [])) for t in graph.tasks}
-    report = ExecutionReport(num_tasks=graph.num_tasks, num_workers=n_workers)
+    # Report the worker count that will actually be spawned, not the request.
+    actual_workers = max(1, min(n_workers, graph.num_tasks)) if graph.num_tasks else 0
+    report = ExecutionReport(
+        num_tasks=graph.num_tasks,
+        num_workers=actual_workers,
+        requested_workers=n_workers,
+    )
     if graph.num_tasks == 0:
         return report
 
@@ -193,7 +218,7 @@ def execute_graph(
 
     threads = [
         threading.Thread(target=worker, name=f"executor-{i}", daemon=True)
-        for i in range(max(1, min(n_workers, graph.num_tasks)))
+        for i in range(actual_workers)
     ]
     for thread in threads:
         thread.start()
@@ -222,6 +247,234 @@ def execute_graph(
         if report.errors:
             first = next(iter(report.errors.values()))
             first.execution_report = report
+            raise first
+        if report.timed_out:
+            err = TimeoutError(
+                f"graph execution exceeded {timeout}s "
+                f"({len(report.executed)}/{report.num_tasks} tasks completed)"
+            )
+            err.execution_report = report
+            raise err
+    return report
+
+
+# -- process-pool execution ---------------------------------------------------
+#
+# The pool workers are forked, so they inherit the recorded graph (closures
+# and all) plus the pre-execution numerical state through this module-level
+# slot -- nothing but task ids and handle values ever crosses the process
+# boundary.  The slot is populated before the pool is created and cleared in
+# the `finally` of execute_graph_processes; ProcessPoolExecutor forks its
+# workers lazily from the submitting (main) thread, so every worker sees a
+# consistent snapshot.
+_POOL_STATE: Dict[str, Any] = {}
+
+
+def _pool_run_task(tid: int, inject: Dict[int, Any]) -> Dict[int, Any]:
+    """Run one task inside a pool worker; returns its bound written values."""
+    graph = _POOL_STATE["graph"]
+    by_hid = _POOL_STATE["by_hid"]
+    for hid, value in inject.items():
+        by_hid[hid].set_value(value)
+    task = graph.task(tid)
+    task.run()
+    out: Dict[int, Any] = {}
+    for handle in task.write_handles:
+        if handle.bound:
+            out[handle.hid] = handle.get_value()
+    return out
+
+
+def _pool_collect(_slot: int) -> Any:
+    """Gather one worker's result fragment (runs inside the worker).
+
+    Blocks on a barrier sized to the worker count first, which forces the
+    pool to stand up every worker and hand each exactly one collect call --
+    so every worker's fragment is gathered exactly once.
+    """
+    barrier = _POOL_STATE["barrier"]
+    if barrier is not None:
+        barrier.wait(timeout=120.0)
+    collect = _POOL_STATE["collect"]
+    return collect() if collect is not None else None
+
+
+def _check_bound_dataflow(graph: TaskGraph) -> None:
+    """Every cross-task value flow must go through a *bound* handle.
+
+    The process backend ships written handle values between workers through
+    their getters/setters; a task reading a handle some earlier task wrote
+    without accessors would silently read stale forked state.  Task chains
+    passing state outside handles must be fused first (the `process` backend
+    enables fusion by default).
+    """
+    last_writer: Dict[int, int] = {}
+    for task in graph.tasks:
+        for handle in task.read_handles:
+            writer = last_writer.get(handle.hid)
+            if writer is not None and writer != task.tid and not handle.bound:
+                raise RuntimeError(
+                    f"process backend: task {task.tid} ({task.name!r}) reads "
+                    f"unbound handle {handle.name!r} written by task {writer}; "
+                    "bind the handle (DataHandle.bind/bind_item) or fuse the chain"
+                )
+        for handle in task.write_handles:
+            last_writer[handle.hid] = task.tid
+
+
+def execute_graph_processes(
+    graph: TaskGraph,
+    *,
+    n_workers: int = 4,
+    timeout: Optional[float] = None,
+    priorities: Optional[Mapping[int, float]] = None,
+    collect: Optional[Callable[[], Any]] = None,
+    raise_on_error: bool = True,
+) -> ExecutionReport:
+    """Execute all task bodies of ``graph`` on ``n_workers`` forked processes.
+
+    The GIL-free counterpart of :func:`execute_graph`: workers are forked
+    from the current process (inheriting the graph and all pre-execution
+    state), ready tasks are dispatched highest-critical-path-first, and the
+    parent holds the authoritative copy of every *bound* handle -- written
+    values are shipped back after each task and injected into the process
+    that runs a consumer, so out-of-order cross-process execution is exactly
+    as bit-identical as the thread pool.
+
+    ``collect`` (optional) is invoked once inside every worker after the
+    graph drains; the returned fragments are stored in
+    ``ExecutionReport.fragments`` so results kept outside handles (per-node
+    factor stores, solution blocks) can be merged by the caller.
+
+    Error and timeout semantics mirror :func:`execute_graph`: the first task
+    error cancels all not-yet-started tasks, a timeout cancels the rest but
+    lets in-flight bodies finish, and with ``raise_on_error`` the partial
+    report rides on the raised exception as ``exc.execution_report``.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError("the process backend requires fork (POSIX)")
+    t0 = time.perf_counter()
+    succ, pred = graph.adjacency()
+    remaining = {t.tid: len(pred.get(t.tid, [])) for t in graph.tasks}
+    actual_workers = max(1, min(n_workers, graph.num_tasks)) if graph.num_tasks else 0
+    report = ExecutionReport(
+        num_tasks=graph.num_tasks,
+        num_workers=actual_workers,
+        requested_workers=n_workers,
+    )
+    if graph.num_tasks == 0:
+        report.wall_time = time.perf_counter() - t0
+        return report
+
+    graph.validate_drainable()
+    _check_bound_dataflow(graph)
+
+    if priorities is None:
+        priorities = graph.critical_path_priorities(succ)
+
+    by_hid: Dict[int, Any] = {}
+    for task in graph.tasks:
+        for access in task.accesses:
+            by_hid.setdefault(access.handle.hid, access.handle)
+
+    ctx = multiprocessing.get_context("fork")
+    deadline = None if timeout is None else t0 + timeout
+    ready: List[tuple] = [
+        (-priorities.get(tid, 0.0), tid) for tid, cnt in remaining.items() if cnt == 0
+    ]
+    heapq.heapify(ready)
+    dirty: set = set()          # hids written by completed tasks
+    started: set = set()
+    futures: Dict[Any, int] = {}  # future -> tid
+
+    _POOL_STATE["graph"] = graph
+    _POOL_STATE["by_hid"] = by_hid
+    _POOL_STATE["collect"] = collect
+    _POOL_STATE["barrier"] = ctx.Barrier(actual_workers) if collect is not None else None
+    pool = ProcessPoolExecutor(max_workers=actual_workers, mp_context=ctx)
+    try:
+        def submit_ready() -> None:
+            while ready:
+                _, tid = heapq.heappop(ready)
+                task = graph.task(tid)
+                inject = {
+                    h.hid: h.get_value()
+                    for h in task.read_handles
+                    if h.bound and h.hid in dirty
+                }
+                started.add(tid)
+                futures[pool.submit(_pool_run_task, tid, inject)] = tid
+
+        submit_ready()
+        stop = False
+        while futures and not stop:
+            budget = None if deadline is None else max(0.0, deadline - time.perf_counter())
+            done, _ = wait(futures, timeout=budget, return_when=FIRST_COMPLETED)
+            if not done:
+                report.timed_out = True
+                break
+            for fut in done:
+                tid = futures.pop(fut)
+                try:
+                    writes = fut.result()
+                except BaseException as exc:
+                    report.errors[tid] = exc
+                    stop = True
+                    continue
+                for hid, value in writes.items():
+                    by_hid[hid].set_value(value)
+                    dirty.add(hid)
+                report.executed.append(tid)
+                if not stop:
+                    for nxt in succ.get(tid, []):
+                        remaining[nxt] -= 1
+                        if remaining[nxt] == 0:
+                            heapq.heappush(ready, (-priorities.get(nxt, 0.0), nxt))
+            if not stop:
+                submit_ready()
+
+        if report.timed_out or report.errors:
+            # Cancel whatever has not started; in-flight bodies finish (their
+            # processes cannot be interrupted mid-kernel) and are recorded.
+            for fut, tid in list(futures.items()):
+                if fut.cancel():
+                    started.discard(tid)
+                    del futures[fut]
+            for fut, tid in futures.items():
+                try:
+                    writes = fut.result()
+                except BaseException as exc:
+                    report.errors.setdefault(tid, exc)
+                else:
+                    for hid, value in writes.items():
+                        by_hid[hid].set_value(value)
+                        dirty.add(hid)
+                    report.executed.append(tid)
+            futures.clear()
+            for task in graph.tasks:
+                if task.tid not in started:
+                    report.cancelled.append(task.tid)
+        elif collect is not None:
+            # One blocking collect call per worker: the barrier holds each
+            # worker until all of them run one, so the pool spawns any
+            # workers it never needed during execution (their fragments are
+            # near-empty forks of the parent, and merging is idempotent).
+            collect_futures = [
+                pool.submit(_pool_collect, slot) for slot in range(actual_workers)
+            ]
+            report.fragments = [f.result(timeout=150.0) for f in collect_futures]
+    finally:
+        pool.shutdown(wait=True)
+        _POOL_STATE.clear()
+        report.wall_time = time.perf_counter() - t0
+
+    if raise_on_error:
+        if report.errors:
+            first = next(iter(report.errors.values()))
+            try:
+                first.execution_report = report
+            except AttributeError:
+                pass  # some builtin exceptions reject new attributes
             raise first
         if report.timed_out:
             err = TimeoutError(

@@ -1,0 +1,277 @@
+"""Record-time task fusion and batching (graph coarsening).
+
+The per-task bodies of the ULV graphs are tiny numpy calls, so on small
+block sizes the scheduler dispatch cost (heap pops, condition-variable
+wakeups, cross-process submissions) dominates the useful work -- the exact
+runtime-overhead regime the paper measures in Sec. 5.3.3.  This module
+coarsens a recorded :class:`~repro.runtime.dag.TaskGraph` so every scheduled
+task amortizes its dispatch cost, without changing a single bit of the
+numerical result:
+
+* **Chain fusion** collapses linear task chains -- a task whose only
+  successor has it as its only predecessor, within the same phase and on the
+  same owner process (per-leaf ``DIAG_PRODUCT -> PARTIAL_FACTOR`` pairs,
+  forward/backward solve sequences) -- into one task that runs the member
+  bodies back to back.
+* **Batching** groups independent same-kind, same-phase, same-owner tasks
+  (leaf assembly/compression blocks, BLR2 coupling tiles, RHS panels) into
+  stacked tasks, splitting each group over a bounded number of ``slots`` so
+  wide phases keep enough concurrency for the pool.
+
+Both passes contract groups of tasks into their *head* (the earliest member
+by insertion order).  A task may only join a group when every predecessor
+outside the group was inserted before the group's head; every contracted
+edge therefore still runs from a lower to a higher task id, so the coarse
+graph keeps the DTD invariant that insertion order is a topological order --
+``validate_insertion_order`` holds with no tid renumbering, and schedulers,
+transfer planning and the comm ledger work on the coarse graph unchanged.
+
+Member bodies execute in insertion order inside the fused body, which is
+exactly the order the sequential reference uses, so fusion preserves
+bit-identity on every backend.  Access lists are merged per handle: a handle
+read by a member before any member wrote it stays an external read, a handle
+written by any member stays a write -- so the derived dependencies (and the
+handles carried on cross-task edges) remain exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.dag import TaskGraph
+from repro.runtime.task import AccessMode, Task, TaskAccess
+
+__all__ = ["FusionStats", "coarsen_graph", "fuse_chains", "batch_tasks"]
+
+
+@dataclass(frozen=True)
+class FusionStats:
+    """What one :func:`coarsen_graph` call did to the graph."""
+
+    tasks_before: int
+    tasks_after: int
+    chains_fused: int
+    batches_fused: int
+
+    @property
+    def tasks_removed(self) -> int:
+        return self.tasks_before - self.tasks_after
+
+
+def _fused_body(members: Sequence[Task]) -> Callable[[], None]:
+    """One callable running the member bodies back to back, in insertion order."""
+    bodies = tuple((t.func, t.args, t.kwargs) for t in members)
+
+    def run_fused() -> None:
+        for func, args, kwargs in bodies:
+            if func is not None:
+                func(*args, **kwargs)
+
+    return run_fused
+
+
+def _merge_accesses(members: Sequence[Task]) -> List[TaskAccess]:
+    """Merge member access lists into the access list of the fused task.
+
+    Handles appear in first-occurrence order (the head's accesses first, so
+    placement-relevant accesses keep their position).  A handle is an
+    external read if any member reads it before a member wrote it; it is a
+    write if any member writes it.  Purely internal values (written then only
+    read inside the group) collapse to a plain write.
+    """
+    order: List[int] = []
+    by_hid: Dict[int, TaskAccess] = {}
+    read_external: set = set()
+    written: set = set()
+    for task in members:
+        for access in task.accesses:
+            hid = access.handle.hid
+            if hid not in by_hid:
+                by_hid[hid] = access
+                order.append(hid)
+            if access.mode.reads and hid not in written:
+                read_external.add(hid)
+            if access.mode.writes:
+                written.add(hid)
+    merged: List[TaskAccess] = []
+    for hid in order:
+        if hid in written:
+            mode = AccessMode.RW if hid in read_external else AccessMode.WRITE
+        else:
+            mode = AccessMode.READ
+        merged.append(TaskAccess(handle=by_hid[hid].handle, mode=mode))
+    return merged
+
+
+def _fused_kind(members: Sequence[Task]) -> str:
+    kinds: List[str] = []
+    for t in members:
+        if t.kind not in kinds:
+            kinds.append(t.kind)
+    return "+".join(kinds)
+
+
+def _make_fused_task(members: Sequence[Task], kind: Optional[str] = None) -> Task:
+    """Contract ``members`` (insertion-ordered) into one task at the head's tid."""
+    head = members[0]
+    if len(members) == 1:
+        return head
+    return Task(
+        tid=head.tid,
+        name=f"{head.name}+{len(members) - 1}",
+        kind=kind if kind is not None else _fused_kind(members),
+        func=_fused_body(members),
+        accesses=_merge_accesses(members),
+        flops=float(sum(t.flops for t in members)),
+        phase=head.phase,
+        # Pin the placement the head had under owner-computes so fusion never
+        # moves work between processes (access merging may reorder writes).
+        process=head.owner_process(),
+    )
+
+
+def _contract(
+    graph: TaskGraph,
+    groups: Sequence[Sequence[Task]],
+    kinds: Optional[Sequence[Optional[str]]] = None,
+) -> Tuple[TaskGraph, Dict[int, int]]:
+    """Build the coarse graph: one task per group, edges contracted to heads.
+
+    Returns ``(coarse_graph, head_of)`` where ``head_of`` maps every original
+    task id to the id of the task it survives as.
+    """
+    head_of: Dict[int, int] = {}
+    for group in groups:
+        head = group[0]
+        for member in group:
+            head_of[member.tid] = head.tid
+    coarse = TaskGraph()
+    for i, group in enumerate(groups):
+        kind = kinds[i] if kinds is not None else None
+        coarse.add_task(_make_fused_task(group, kind=kind))
+    for s, d in sorted(graph.edges):
+        hs, hd = head_of[s], head_of[d]
+        if hs == hd:
+            continue
+        handles = graph.edge_data.get((s, d), ())
+        if handles:
+            for handle in handles:
+                coarse.add_edge(hs, hd, handle)
+        else:
+            coarse.add_edge(hs, hd)
+    return coarse, head_of
+
+
+def fuse_chains(graph: TaskGraph) -> Tuple[TaskGraph, Dict[int, int], int]:
+    """Collapse linear same-phase, same-owner chains into single tasks.
+
+    Returns ``(coarse_graph, head_of, chains_fused)``.
+    """
+    succ, pred = graph.adjacency()
+    absorbed: set = set()
+    groups: List[List[Task]] = []
+    for task in graph.tasks:
+        if task.tid in absorbed:
+            continue
+        chain = [task]
+        tail = task
+        while True:
+            nxt = succ.get(tail.tid, [])
+            if len(nxt) != 1:
+                break
+            candidate = graph.task(nxt[0])
+            if (
+                len(pred.get(candidate.tid, [])) != 1
+                or candidate.phase != tail.phase
+                or candidate.owner_process() != task.owner_process()
+            ):
+                break
+            chain.append(candidate)
+            absorbed.add(candidate.tid)
+            tail = candidate
+        groups.append(chain)
+    chains = sum(1 for g in groups if len(g) > 1)
+    if not chains:
+        return graph, {t.tid: t.tid for t in graph.tasks}, 0
+    coarse, head_of = _contract(graph, groups)
+    return coarse, head_of, chains
+
+
+def batch_tasks(graph: TaskGraph, *, slots: int = 8) -> Tuple[TaskGraph, Dict[int, int], int]:
+    """Group independent same-kind, same-phase, same-owner tasks into batches.
+
+    Tasks join the currently open group of their ``(kind, phase, owner)`` key
+    when every predecessor outside the group precedes the group's head; each
+    group is then split into at most ``slots`` contiguous chunks so a wide
+    phase still feeds every pool worker.  Returns ``(coarse_graph, head_of,
+    batches_fused)``.
+    """
+    _, pred = graph.adjacency()
+    open_group: Dict[tuple, List[Task]] = {}
+    open_members: Dict[tuple, set] = {}
+    groups: List[List[Task]] = []
+
+    for task in graph.tasks:
+        key = (task.kind, task.phase, task.owner_process())
+        group = open_group.get(key)
+        if group is not None:
+            members = open_members[key]
+            head_tid = group[0].tid
+            if all(p < head_tid or p in members for p in pred.get(task.tid, [])):
+                group.append(task)
+                members.add(task.tid)
+                continue
+        group = [task]
+        open_group[key] = group
+        open_members[key] = {task.tid}
+        groups.append(group)
+
+    # Split each group into at most `slots` contiguous chunks (insertion
+    # order), so batching trades dispatch overhead without serializing a
+    # whole phase onto one worker.
+    slots = max(1, int(slots))
+    chunks: List[List[Task]] = []
+    kinds: List[Optional[str]] = []
+    for group in groups:
+        n_chunks = min(len(group), slots)
+        size = -(-len(group) // n_chunks)  # ceil division
+        for start in range(0, len(group), size):
+            chunk = group[start:start + size]
+            chunks.append(chunk)
+            # Batches keep the member kind so task censuses and the
+            # performance model's per-kind breakdowns stay recognizable.
+            kinds.append(chunk[0].kind)
+    chunks_with_kinds = sorted(zip(chunks, kinds), key=lambda ck: ck[0][0].tid)
+    chunks = [c for c, _ in chunks_with_kinds]
+    kinds = [k for _, k in chunks_with_kinds]
+    batches = sum(1 for c in chunks if len(c) > 1)
+    if not batches:
+        return graph, {t.tid: t.tid for t in graph.tasks}, 0
+    coarse, head_of = _contract(graph, chunks, kinds)
+    return coarse, head_of, batches
+
+
+def coarsen_graph(
+    graph: TaskGraph, *, slots: int = 8
+) -> Tuple[TaskGraph, Dict[int, int], FusionStats]:
+    """Chain-fuse then batch ``graph``.
+
+    Returns ``(coarse_graph, head_of, stats)`` where ``head_of`` maps every
+    original task id to the id it survives as.  The result keeps original
+    task ids for the surviving heads (insertion order remains a topological
+    order), merges access lists exactly, and leaves placement untouched -- so
+    it can be executed, transfer-planned and comm-verified by every backend
+    exactly like the fine graph.
+    """
+    before = graph.num_tasks
+    chained, chain_map, n_chains = fuse_chains(graph)
+    batched, batch_map, n_batches = batch_tasks(chained, slots=slots)
+    head_of = {tid: batch_map[head] for tid, head in chain_map.items()}
+    stats = FusionStats(
+        tasks_before=before,
+        tasks_after=batched.num_tasks,
+        chains_fused=n_chains,
+        batches_fused=n_batches,
+    )
+    return batched, head_of, stats

@@ -41,6 +41,7 @@ _BACKEND_TO_RUNTIME: Dict[str, Union[bool, str]] = {
     "immediate": True,
     "sequential": "deferred",
     "parallel": "parallel",
+    "process": "process",
     "distributed": "distributed",
 }
 
@@ -138,8 +139,9 @@ class SolverService:
         Solve execution path: ``"reference"`` (sequential factor.solve),
         ``"immediate"`` / ``"sequential"`` (task graph, sequential bodies),
         ``"parallel"`` (thread-pool executor, ``n_workers`` threads; the
-        default) or ``"distributed"`` (``nodes`` forked worker processes).
-        All backends produce bit-identical solutions.
+        default), ``"process"`` (fused graphs on ``n_workers`` forked pool
+        processes, GIL-free) or ``"distributed"`` (``nodes`` forked worker
+        processes).  All backends produce bit-identical solutions.
     n_workers / nodes / distribution:
         Runtime-backend parameters, as in :meth:`repro.api.StructuredSolver.solve`.
     panel_size:
@@ -158,6 +160,12 @@ class SolverService:
         :class:`FactorKey` cache hit skips compression *and* factorization
         entirely -- zero graph tasks run (see ``ServiceStats.compress_tasks``
         / ``factor_tasks``).
+    fusion:
+        Record-time task fusion/batching for every graph this service
+        records (compression, factorization and the batched solves).
+        ``None`` (default) fuses exactly where required -- the ``process``
+        backend; ``True``/``False`` force it on the other task-graph
+        backends.  Fusion never changes solutions, only the task census.
     """
 
     def __init__(
@@ -171,6 +179,7 @@ class SolverService:
         refine: bool = False,
         max_cached: int = 8,
         compress_runtime: Union[bool, str] = False,
+        fusion: Optional[bool] = None,
     ) -> None:
         if backend not in _BACKEND_TO_RUNTIME:
             raise ValueError(
@@ -193,6 +202,7 @@ class SolverService:
         self.refine = refine
         self.max_cached = max_cached
         self.compress_runtime = compress_runtime
+        self.fusion = fusion
         self.stats = ServiceStats()
         self._cache: "OrderedDict[FactorKey, StructuredSolver]" = OrderedDict()
         self._queue: List[SolveTicket] = []
@@ -214,6 +224,7 @@ class SolverService:
             compress_nodes=self.nodes,
             compress_workers=self.n_workers,
             compress_distribution=self.distribution,
+            compress_fusion=self.fusion,
             **dict(key.params),
         )
         # Factorize through the service's backend so the whole miss path is
@@ -228,6 +239,7 @@ class SolverService:
                 nodes=self.nodes,
                 n_workers=self.n_workers,
                 distribution=self.distribution,
+                fusion=self.fusion,
             )
         self.stats.factor_seconds += time.perf_counter() - t0
         if solver.compress_runtime is not None:
@@ -319,6 +331,7 @@ class SolverService:
                 n_workers=self.n_workers,
                 distribution=self.distribution,
                 panel_size=self.panel_size,
+                fusion=self.fusion,
             )
         try:
             for key, tickets in by_key.items():

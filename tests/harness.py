@@ -129,11 +129,20 @@ def dense_reference(case: CompressCase) -> np.ndarray:
     return kernel_matrix_for(case).dense()
 
 
-def _policy(backend: str, *, nodes: int = 1, n_workers: int = 2) -> ExecutionPolicy:
-    return ExecutionPolicy(backend=backend, nodes=nodes, n_workers=n_workers)
+def _policy(
+    backend: str, *, nodes: int = 1, n_workers: int = 2, fusion: Optional[bool] = None
+) -> ExecutionPolicy:
+    return ExecutionPolicy(backend=backend, nodes=nodes, n_workers=n_workers, fusion=fusion)
 
 
-def graph_build(case: CompressCase, backend: str, *, nodes: int = 1, n_workers: int = 2):
+def graph_build(
+    case: CompressCase,
+    backend: str,
+    *,
+    nodes: int = 1,
+    n_workers: int = 2,
+    fusion: Optional[bool] = None,
+):
     """Compress one case through the registry's ``compress_graph`` on ``backend``.
 
     Returns ``(matrix, runtime)``.
@@ -146,7 +155,7 @@ def graph_build(case: CompressCase, backend: str, *, nodes: int = 1, n_workers: 
         tol=None,
         method=None,
         seed=case.seed,
-        policy=_policy(backend, nodes=nodes, n_workers=n_workers),
+        policy=_policy(backend, nodes=nodes, n_workers=n_workers, fusion=fusion),
     )
 
 
@@ -177,6 +186,7 @@ def run_pipeline(
     nodes: int = 1,
     n_workers: int = 2,
     k: int = 3,
+    fusion: Optional[bool] = None,
 ) -> Tuple[np.ndarray, float]:
     """Compress -> factorize -> solve one case entirely on ``backend``.
 
@@ -184,7 +194,7 @@ def run_pipeline(
     reference operator (``||A_dense x - b|| / ||b||``).
     """
     spec = get_format(case.format)
-    policy = _policy(backend, nodes=nodes, n_workers=n_workers)
+    policy = _policy(backend, nodes=nodes, n_workers=n_workers, fusion=fusion)
     matrix, _ = spec.compress_graph(
         kernel_matrix_for(case),
         leaf_size=case.leaf_size,

@@ -106,6 +106,68 @@ class TestEndToEndPipeline:
         assert residual < self.RESIDUAL_BOUND
 
 
+@needs_fork
+class TestBitIdentityProcess:
+    """Forked process-pool backend against the sequential build."""
+
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_graph_build_matches_sequential(self, case):
+        matrix, rt = graph_build(case, "process")
+        assert rt.last_process_report is not None and rt.last_process_report.ok
+        # the process backend fuses by default: the executed graph is coarse
+        stats = rt.last_fusion_stats
+        assert stats is not None and rt.num_tasks == stats.tasks_after
+        assert_case_bit_identical(case, matrix)
+
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_process_pipeline(self, case):
+        x, residual = run_pipeline(case, "process")
+        assert np.array_equal(x, sequential_pipeline(case))
+        assert residual < TestEndToEndPipeline.RESIDUAL_BOUND
+
+
+class TestFusion:
+    """fusion=on/off sweeps: bit-identity, comm-plan equality, census drop."""
+
+    @pytest.mark.parametrize("backend", ("deferred", "parallel"))
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_fused_build_bit_identical_and_smaller(self, case, backend):
+        plain, rt_plain = graph_build(case, backend, fusion=False)
+        fused, rt_fused = graph_build(case, backend, fusion=True)
+        assert_case_bit_identical(case, plain)
+        assert_case_bit_identical(case, fused)
+        stats = rt_fused.last_fusion_stats
+        assert stats is not None
+        assert stats.tasks_before == rt_plain.num_tasks
+        # fusion must actually coarsen every construction graph
+        assert rt_fused.num_tasks == stats.tasks_after < stats.tasks_before
+        rt_fused.validate()
+
+    @needs_fork
+    @pytest.mark.parametrize("nodes", NODE_COUNTS)
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_fused_distributed_comm_matches_plan(self, case, nodes):
+        matrix, rt = graph_build(case, "distributed", nodes=nodes, fusion=True)
+        assert rt.last_distributed_report.ok
+        assert_case_bit_identical(case, matrix)
+        # the merged access lists must keep plan_transfers exact
+        assert_comm_matches_plan(rt, nodes)
+
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_fused_pipeline_matches_sequential(self, case):
+        x, residual = run_pipeline(case, "parallel", fusion=True)
+        assert np.array_equal(x, sequential_pipeline(case))
+        assert residual < TestEndToEndPipeline.RESIDUAL_BOUND
+
+    def test_invalid_fusion_policies_rejected(self):
+        from repro.pipeline.policy import ExecutionPolicy
+
+        with pytest.raises(ValueError, match="fusion"):
+            ExecutionPolicy(backend="process", fusion=False)
+        with pytest.raises(ValueError, match="fusion"):
+            ExecutionPolicy(backend="immediate", fusion=True)
+
+
 class TestGraphShape:
     """Task censuses: the construction graphs have exactly the expected ops."""
 

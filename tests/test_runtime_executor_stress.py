@@ -71,6 +71,10 @@ class TestRandomizedGraphs:
         assert graph.is_acyclic()
         report = execute_graph(graph, n_workers=n_workers)
         assert report.ok
+        # the report carries the *actual* worker count (never more threads
+        # than tasks) next to what the caller requested
+        assert report.num_workers == max(1, min(n_workers, 120))
+        assert report.requested_workers == n_workers
         assert len(values) == 120
         assert violations == []
 
@@ -116,7 +120,19 @@ class TestRandomizedGraphs:
             graph.add_task(Task(tid=tid, name=f"w{tid}", kind="WIDE", func=body))
         report = execute_graph(graph, n_workers=n_workers)
         assert report.ok
+        assert report.num_workers == n_workers
+        assert report.requested_workers == n_workers
         assert count["n"] == 200
+
+    def test_worker_count_clamped_to_task_count(self):
+        """Requesting more workers than tasks must not spawn idle threads."""
+        graph = TaskGraph()
+        for tid in range(3):
+            graph.add_task(Task(tid=tid, name=f"s{tid}", kind="SMALL", func=lambda: None))
+        report = execute_graph(graph, n_workers=16)
+        assert report.ok
+        assert report.num_workers == 3
+        assert report.requested_workers == 16
 
     def test_deep_chain_respects_order(self):
         """A 300-deep pure chain must execute strictly in order."""
