@@ -20,6 +20,15 @@ measured the same problem size, and a looser ``--cross-size-tolerance``
 (e.g. a quick CI sweep against a committed ``REPRO_FULL=1`` artifact).
 Missing baselines, sections or rows are reported but never fail the check --
 the guard only ever compares what both artifacts actually measured.
+
+When the current artifact carries a ``trace_overhead`` section (written by
+``benchmarks/test_trace_overhead.py``), the recorded traced-vs-untraced
+overhead fraction is additionally gated against ``--max-trace-overhead``
+(default 3%): measured tracing must stay cheap enough to leave the timings
+it explains unperturbed.
+
+Failures print a readable diff of every offending row (stored vs current
+speedup, the floor it missed, and the shortfall) before the non-zero exit.
 """
 
 from __future__ import annotations
@@ -56,21 +65,50 @@ def _speedup_rows(section: Dict) -> Iterator[Tuple[Tuple, float, int]]:
         yield key, float(row["speedup"]), int(row.get("n", n))
 
 
+def _check_trace_overhead(current: Dict, max_trace_overhead: float) -> Iterator[str]:
+    """Yield one failure line per violated trace-overhead bound."""
+    section = current.get("trace_overhead")
+    if not isinstance(section, dict):
+        print("section 'trace_overhead': not in the current artifact, skipped")
+        return
+    fraction = section.get("overhead_fraction")
+    if not isinstance(fraction, (int, float)):
+        print("section 'trace_overhead': no overhead_fraction recorded, skipped")
+        return
+    verdict = "ok" if fraction <= max_trace_overhead else "TOO EXPENSIVE"
+    print(
+        f"trace_overhead: measured {fraction * 100:+.2f}% "
+        f"(untraced {section.get('untraced_best', float('nan')):.4f}s vs "
+        f"traced {section.get('traced_best', float('nan')):.4f}s, "
+        f"n={section.get('n')}, best of {section.get('repeats')}) "
+        f"<= limit {max_trace_overhead * 100:.1f}% -> {verdict}"
+    )
+    if fraction > max_trace_overhead:
+        yield (
+            f"trace_overhead: {fraction * 100:+.2f}% exceeds the "
+            f"{max_trace_overhead * 100:.1f}% limit "
+            f"(untraced {section.get('untraced_best')}s, traced {section.get('traced_best')}s)"
+        )
+
+
 def check(
     current_path: Path,
     baseline_path: Path,
     *,
     tolerance: float,
     cross_size_tolerance: float,
+    max_trace_overhead: float = 0.03,
 ) -> int:
-    if not baseline_path.exists():
-        print(f"no committed baseline at {baseline_path}; nothing to compare")
-        return 0
     current = _load(current_path)
-    baseline = _load(baseline_path)
-
-    failures = []
+    failures: list = []
     compared = 0
+
+    if not baseline_path.exists():
+        print(f"no committed baseline at {baseline_path}; skipping speedup comparison")
+        baseline = {}
+    else:
+        baseline = _load(baseline_path)
+
     for name in SECTIONS:
         cur_section = current.get(name)
         base_section = baseline.get(name)
@@ -94,16 +132,24 @@ def check(
                 f"-> {verdict}"
             )
             if cur_speedup < floor:
-                failures.append((name, key, cur_speedup, floor))
+                fmt, backend, fusion = key
+                failures.append(
+                    f"{name}: format={fmt} backend={backend} fusion={fusion} "
+                    f"n={cur_n}: current {cur_speedup:.2f}x < floor {floor:.2f}x "
+                    f"(stored {base_speedup:.2f}x at n={base_n}, "
+                    f"short by {(floor - cur_speedup) / floor * 100:.0f}%)"
+                )
 
+    failures.extend(_check_trace_overhead(current, max_trace_overhead))
+
+    if failures:
+        print(f"\n{len(failures)} benchmark gate failure(s):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
     if not compared:
         print("no comparable speedup rows between the two artifacts")
         return 0
-    if failures:
-        print(f"\n{len(failures)} speedup regression(s) past tolerance:")
-        for name, key, speedup, floor in failures:
-            print(f"  {name} {key}: {speedup:.2f}x < floor {floor:.2f}x")
-        return 1
     print(f"\nall {compared} compared speedups within tolerance")
     return 0
 
@@ -129,12 +175,19 @@ def main(argv=None) -> int:
         default=0.25,
         help="fraction required when the stored row measured a different n",
     )
+    parser.add_argument(
+        "--max-trace-overhead",
+        type=float,
+        default=0.03,
+        help="largest tolerated traced-vs-untraced overhead fraction",
+    )
     args = parser.parse_args(argv)
     return check(
         args.current,
         args.baseline,
         tolerance=args.tolerance,
         cross_size_tolerance=args.cross_size_tolerance,
+        max_trace_overhead=args.max_trace_overhead,
     )
 
 

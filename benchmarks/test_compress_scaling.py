@@ -85,6 +85,10 @@ def test_compress_scaling(benchmark):
         assert row.wall_seconds > 0 and row.sequential_seconds > 0
         assert row.tasks > 0
         assert row.repeats == REPEATS
+        # the recorded raw samples are the evidence behind the best-of claim
+        assert len(row.sequential_samples) == len(row.wall_samples) == REPEATS
+        assert min(row.sequential_samples) == row.sequential_seconds
+        assert min(row.wall_samples) == row.wall_seconds
         # rows carry the concurrency they actually used
         if row.backend in ("parallel", "process"):
             assert row.n_workers == (1 if row.fusion else 4) and row.nodes == 1

@@ -63,6 +63,8 @@ def test_runtime_parallel_speedup(benchmark):
                     "par_seconds": r.par_seconds,
                     "speedup": r.speedup,
                     "max_abs_diff": r.max_abs_diff,
+                    "seq_samples": r.seq_samples,
+                    "par_samples": r.par_samples,
                 }
                 for r in rows
             ],
@@ -79,6 +81,10 @@ def test_runtime_parallel_speedup(benchmark):
         assert 1 <= row.n_workers <= row.requested_workers == WORKERS
         assert row.repeats == REPEATS
         assert row.seq_seconds > 0 and row.par_seconds > 0
+        # the recorded raw samples are the evidence behind the best-of claim
+        assert len(row.seq_samples) == len(row.par_samples) == REPEATS
+        assert min(row.seq_samples) == row.seq_seconds
+        assert min(row.par_samples) == row.par_seconds
         # out-of-order execution must not change a single bit of the factors
         assert row.max_abs_diff <= 1e-10
     # fusion only ever shrinks the task census

@@ -110,6 +110,8 @@ class StructuredSolver:
         self.compress_runtime: Any = None
         #: DTD runtime of the most recent task-graph factorization (or None).
         self.factorize_runtime: Any = None
+        #: DTD runtime of the most recent task-graph solve (or None).
+        self.solve_runtime: Any = None
 
     # -- constructors -------------------------------------------------------
     @classmethod
@@ -130,6 +132,7 @@ class StructuredSolver:
         compress_workers: int = 4,
         compress_distribution: Optional[Union[str, DistributionStrategy]] = None,
         compress_fusion: Optional[bool] = None,
+        compress_trace: bool = False,
         **kernel_params: float,
     ) -> "StructuredSolver":
         """Build the solver for a named kernel over an explicit point cloud.
@@ -149,7 +152,10 @@ class StructuredSolver:
         ``compress_distribution`` parameterize the runtime backends (named
         separately from the kernel parameters caught by ``**kernel_params``);
         ``compress_fusion`` toggles record-time task fusion/batching (None:
-        fused exactly where required, i.e. ``compress_runtime="process"``).
+        fused exactly where required, i.e. ``compress_runtime="process"``);
+        ``compress_trace`` records a measured
+        :class:`~repro.runtime.tracing.ExecutionTrace` of the compression
+        (``solver.compress_runtime.last_trace``).
         The recording runtime is kept on :attr:`compress_runtime` for task
         and communication accounting.
         """
@@ -162,6 +168,7 @@ class StructuredSolver:
             n_workers=compress_workers,
             distribution=compress_distribution,
             fusion=compress_fusion,
+            trace=compress_trace,
         )
         compress_rt = None
         if policy.uses_runtime:
@@ -210,6 +217,7 @@ class StructuredSolver:
         compress_workers: int = 4,
         compress_distribution: Optional[Union[str, DistributionStrategy]] = None,
         compress_fusion: Optional[bool] = None,
+        compress_trace: bool = False,
         **kernel_params: float,
     ) -> "StructuredSolver":
         """Build the solver on the paper's uniform 2D grid geometry of ``n`` points."""
@@ -229,6 +237,7 @@ class StructuredSolver:
             compress_workers=compress_workers,
             compress_distribution=compress_distribution,
             compress_fusion=compress_fusion,
+            compress_trace=compress_trace,
             **kernel_params,
         )
 
@@ -256,6 +265,7 @@ class StructuredSolver:
         n_workers: int = 4,
         distribution: Optional[Union[str, DistributionStrategy]] = None,
         fusion: Optional[bool] = None,
+        trace: bool = False,
         force: bool = False,
     ) -> Any:
         """Compute (and cache) the ULV factorization of the compressed matrix.
@@ -293,6 +303,10 @@ class StructuredSolver:
         fusion:
             Record-time task fusion/batching (None: fused exactly where
             required, i.e. ``use_runtime="process"``).
+        trace:
+            Record a measured :class:`~repro.runtime.tracing.ExecutionTrace`
+            of the factorization; retrieve it with :meth:`last_traces` or
+            from ``self.factorize_runtime.last_trace``.
         force:
             Re-factorize even when a factor is already cached.
         """
@@ -302,6 +316,7 @@ class StructuredSolver:
             n_workers=n_workers,
             distribution=distribution,
             fusion=fusion,
+            trace=trace,
         )
         if force:
             self.factor = None
@@ -327,6 +342,7 @@ class StructuredSolver:
         distribution: Optional[Union[str, DistributionStrategy]] = None,
         panel_size: Optional[int] = None,
         fusion: Optional[bool] = None,
+        trace: bool = False,
     ) -> np.ndarray:
         """Solve ``A x = b`` (factorizes on first use).
 
@@ -355,6 +371,10 @@ class StructuredSolver:
         fusion:
             Record-time task fusion/batching (None: fused exactly where
             required, i.e. ``use_runtime="process"``).
+        trace:
+            Record a measured :class:`~repro.runtime.tracing.ExecutionTrace`
+            of the task-graph solve; retrieve it with :meth:`last_traces` or
+            from ``self.solve_runtime.last_trace``.
         """
         policy = ExecutionPolicy.resolve(
             use_runtime,
@@ -363,6 +383,7 @@ class StructuredSolver:
             distribution=distribution,
             panel_size=panel_size,
             fusion=fusion,
+            trace=trace,
         )
         if not policy.uses_runtime and (panel_size is not None or distribution is not None):
             raise ValueError(
@@ -384,10 +405,29 @@ class StructuredSolver:
                 ).reshape(x.shape)
             return x
         spec = get_format(self.format)
-        x, _ = spec.solve_dtd(
+        x, self.solve_runtime = spec.solve_dtd(
             factor, b, policy=policy, refine=refine, matvec=self.kernel_matrix.matvec
         )
         return x
+
+    def last_traces(self) -> dict:
+        """Measured traces of the most recent traced executions, by phase.
+
+        Returns a dict with any of the keys ``"compress"``, ``"factorize"``,
+        ``"solve"`` whose phase both ran through the runtime and was traced
+        (``compress_trace=`` / ``factorize(trace=True)`` /
+        ``solve(trace=True)``).
+        """
+        out = {}
+        for phase, rt in (
+            ("compress", self.compress_runtime),
+            ("factorize", self.factorize_runtime),
+            ("solve", self.solve_runtime),
+        ):
+            trace = getattr(rt, "last_trace", None)
+            if trace is not None:
+                out[phase] = trace
+        return out
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Fast matrix-vector product with the compressed approximation.

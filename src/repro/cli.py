@@ -17,6 +17,7 @@ Usage::
     python -m repro weakscale --base-n 512 --max-nodes 4
     python -m repro servebench --n 1024 --requests 32 --batch 1 --batch 8
     python -m repro compresscale --n 2048 --workers 4 --nodes 2
+    python -m repro trace --phase factorize --runtime parallel --chrome-json trace.json
 
 Each experiment sub-command runs the corresponding driver
 (:mod:`repro.experiments`) and prints the same rows/series the paper reports.
@@ -56,6 +57,12 @@ from one cached factorization per backend.
 task graph is executed on the real multi-process backend and replayed through
 the machine simulator, reporting measured vs modelled makespan and per-strategy
 communication volume.
+
+``trace`` runs one phase (compress, factorize or solve) on one runtime
+backend with measured task-level tracing enabled and prints the per-worker
+compute/overhead/communication/idle breakdown plus per-kind and per-phase
+aggregate tables; ``--chrome-json`` additionally writes the timeline as
+Chrome trace-event JSON loadable in ``chrome://tracing`` or Perfetto.
 """
 
 from __future__ import annotations
@@ -364,6 +371,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0, help="RNG seed for the construction")
 
+    p = sub.add_parser(
+        "trace",
+        help="measured task-level trace of one phase on one runtime backend",
+    )
+    p.add_argument("--n", type=int, default=512, help="problem size")
+    p.add_argument("--kernel", default="yukawa", help="kernel name")
+    p.add_argument(
+        "--format",
+        choices=format_choices,
+        default="hss",
+        help="structured matrix format",
+    )
+    p.add_argument("--leaf-size", type=int, default=128, help="leaf cluster size")
+    p.add_argument("--max-rank", type=int, default=30, help="skeleton rank cap")
+    p.add_argument(
+        "--phase",
+        choices=("compress", "factorize", "solve"),
+        default="factorize",
+        help="pipeline phase to trace",
+    )
+    p.add_argument(
+        "--runtime",
+        choices=tuple(b for b in RUNTIME_CHOICES if b != "off"),
+        default="parallel",
+        help="execution backend of the traced phase",
+    )
+    p.add_argument("--workers", type=int, default=4, help="thread/process count")
+    p.add_argument(
+        "--nodes", type=int, default=2, help="worker processes for the distributed backend"
+    )
+    p.add_argument(
+        "--distribution",
+        choices=distribution_choices,
+        default="row",
+        help="placement strategy for the distributed backend",
+    )
+    p.add_argument("--seed", type=int, default=0, help="RNG seed for the right-hand side")
+    p.add_argument(
+        "--chrome-json",
+        default=None,
+        metavar="PATH",
+        help="write the timeline as Chrome trace-event JSON to PATH",
+    )
+
     return parser
 
 
@@ -458,6 +509,67 @@ def _run_solve(args: argparse.Namespace) -> str:
     ]
     if exact_residual is not None:
         lines.append(f"exact residual     {exact_residual:.3e}")
+    return "\n".join(lines)
+
+
+def _run_trace(args: argparse.Namespace) -> str:
+    """Trace one pipeline phase on one runtime backend and format the report."""
+    import numpy as np
+
+    from repro.api import StructuredSolver
+
+    distribution = args.distribution if args.runtime == "distributed" else None
+    compress = args.phase == "compress"
+    solver = StructuredSolver.from_kernel(
+        args.kernel,
+        n=args.n,
+        format=args.format,
+        leaf_size=args.leaf_size,
+        max_rank=args.max_rank,
+        compress_runtime=args.runtime if compress else "off",
+        compress_nodes=args.nodes,
+        compress_workers=args.workers,
+        compress_distribution=distribution if compress else None,
+        compress_trace=compress,
+    )
+    if args.phase == "factorize":
+        solver.factorize(
+            use_runtime=args.runtime,
+            nodes=args.nodes,
+            n_workers=args.workers,
+            distribution=distribution,
+            trace=True,
+        )
+    elif args.phase == "solve":
+        # The factorization is the sequential cached reference; only the
+        # solve runs (traced) through the requested backend.
+        solver.factorize()
+        b = np.random.default_rng(args.seed).standard_normal(args.n)
+        solver.solve(
+            b,
+            use_runtime=args.runtime,
+            nodes=args.nodes,
+            n_workers=args.workers,
+            distribution=distribution,
+            trace=True,
+        )
+    trace = solver.last_traces().get(args.phase)
+    if trace is None:
+        raise SystemExit(
+            f"phase {args.phase!r} produced no trace on runtime {args.runtime!r}"
+        )
+    lines = [
+        f"Measured trace: phase={args.phase} runtime={args.runtime} "
+        f"format={args.format} kernel={args.kernel} n={args.n}",
+        repr(trace),
+        "",
+        trace.format_breakdown(),
+        "",
+        trace.format_aggregates(),
+    ]
+    if args.chrome_json:
+        lines.append("")
+        lines.append(f"chrome trace written to {trace.to_chrome_json(args.chrome_json)}")
     return "\n".join(lines)
 
 
@@ -561,6 +673,8 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
                 seed=args.seed,
             )
         )
+    elif args.command == "trace":
+        out = _run_trace(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise ValueError(f"unknown command {args.command!r}")
 

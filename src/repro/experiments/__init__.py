@@ -17,7 +17,13 @@ from repro.experiments.workloads import (
 from repro.experiments.table1_complexity import run_table1, format_table1
 from repro.experiments.table2_accuracy import run_table2, format_table2
 from repro.experiments.fig9_weak_scaling import run_fig9, format_fig9
-from repro.experiments.fig10_breakdown import run_fig10, format_fig10
+from repro.experiments.fig10_breakdown import (
+    MeasuredBreakdownRow,
+    format_fig10,
+    format_fig10_measured,
+    run_fig10,
+    run_fig10_measured,
+)
 from repro.experiments.fig11_problem_size import run_fig11, format_fig11
 from repro.experiments.fig12_leaf_size import run_fig12, format_fig12
 from repro.experiments.parallel_speedup import (
@@ -71,6 +77,9 @@ __all__ = [
     "format_fig9",
     "run_fig10",
     "format_fig10",
+    "MeasuredBreakdownRow",
+    "run_fig10_measured",
+    "format_fig10_measured",
     "run_fig11",
     "format_fig11",
     "run_fig12",

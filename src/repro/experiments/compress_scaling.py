@@ -27,7 +27,7 @@ Run via ``python -m repro compresscale`` or the benchmark harness
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.compress.verify import compressed_identical
@@ -60,6 +60,10 @@ class CompressScalingRow:
     comm_matches_plan: bool = True
     fusion: bool = False
     repeats: int = 1
+    # Per-repeat raw wall times behind the best-of figures, in repeat order
+    # (the interleaved protocol pairs sample i of both lists back to back).
+    sequential_samples: List[float] = field(default_factory=list)
+    wall_samples: List[float] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -77,6 +81,8 @@ class CompressScalingRow:
             "comm_matches_plan": self.comm_matches_plan,
             "fusion": self.fusion,
             "repeats": self.repeats,
+            "sequential_samples": self.sequential_samples,
+            "wall_samples": self.wall_samples,
         }
 
 
@@ -124,7 +130,7 @@ def run_compress_scaling(
             # (not once per format): on a drifting machine a block of
             # baseline timings taken minutes before the graph timings would
             # put all the drift on one side of the speedup.
-            t_seq, reference, wall, (matrix, rt) = best_of_pair(
+            pair = best_of_pair(
                 lambda: spec.build(
                     kmat, leaf_size=leaf_size, max_rank=max_rank, tol=None,
                     method=None, seed=seed,
@@ -135,6 +141,7 @@ def run_compress_scaling(
                 ),
                 repeats=repeats,
             )
+            t_seq, reference, wall, (matrix, rt) = pair
 
             comm_messages = comm_bytes = 0
             comm_matches = True
@@ -163,6 +170,8 @@ def run_compress_scaling(
                     comm_matches_plan=comm_matches,
                     fusion=policy.fusion_enabled,
                     repeats=repeats,
+                    sequential_samples=pair.baseline_samples,
+                    wall_samples=pair.candidate_samples,
                 )
             )
     return {

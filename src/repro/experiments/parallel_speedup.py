@@ -38,7 +38,7 @@ and by ``benchmarks/test_runtime_parallel_speedup.py``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
@@ -67,6 +67,8 @@ class SpeedupRow:
     executor spawns at most one worker per task); ``requested_workers`` is
     what the caller asked for.  ``nodes`` is the forked-process count of the
     distributed backend (1 for the shared-memory backends).
+    ``seq_samples`` / ``par_samples`` are the per-repeat raw wall times
+    behind the best-of ``seq_seconds`` / ``par_seconds``, in repeat order.
     """
 
     algorithm: str
@@ -83,6 +85,8 @@ class SpeedupRow:
     nodes: int = 1
     fusion: bool = False
     repeats: int = 1
+    seq_samples: List[float] = field(default_factory=list)
+    par_samples: List[float] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
@@ -139,16 +143,18 @@ def run_parallel_speedup(
                     rt.fuse(slots=slots)
                 return factor, rt
 
-            t_seq, (seq_factor, _) = best_of(
+            seq_timing = best_of(
                 lambda state: (state[1].run(), state)[1],
                 repeats=repeats,
                 setup=lambda: record(fuse=False),
             )
-            t_par, (par_factor, par_rt) = best_of(
+            t_seq, (seq_factor, _) = seq_timing
+            par_timing = best_of(
                 lambda state: (state[1].run_parallel(n_workers=n_workers), state)[1],
                 repeats=repeats,
                 setup=lambda: record(fuse=fused),
             )
+            t_par, (par_factor, par_rt) = par_timing
             actual_workers = par_rt.last_parallel_report.num_workers
         else:
             # Forked workers (pool or owner-computes) inherit the recorded
@@ -171,8 +177,10 @@ def run_parallel_speedup(
                 )
                 return get_format(fmt).factorize_dtd(matrix, policy=policy)
 
-            t_seq, seq_factor = best_of(seq_full, repeats=repeats)
-            t_par, (par_factor, par_rt) = best_of(par_full, repeats=repeats)
+            seq_timing = best_of(seq_full, repeats=repeats)
+            t_seq, seq_factor = seq_timing
+            par_timing = best_of(par_full, repeats=repeats)
+            t_par, (par_factor, par_rt) = par_timing
             if backend == "process":
                 actual_workers = par_rt.last_process_report.num_workers
             else:
@@ -197,6 +205,8 @@ def run_parallel_speedup(
                 nodes=nodes,
                 fusion=fused,
                 repeats=repeats,
+                seq_samples=seq_timing.samples,
+                par_samples=par_timing.samples,
             )
         )
     return rows

@@ -12,9 +12,15 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
-__all__ = ["bench_repeats", "best_of", "best_of_pair"]
+__all__ = [
+    "bench_repeats",
+    "best_of",
+    "best_of_pair",
+    "TimingResult",
+    "PairTimingResult",
+]
 
 _REPEATS_ENV = "REPRO_BENCH_REPEATS"
 
@@ -30,27 +36,72 @@ def bench_repeats(default: int = 3) -> int:
     return value
 
 
+class TimingResult(tuple):
+    """The ``(best_seconds, last_result)`` pair of :func:`best_of`.
+
+    Unpacks exactly like the 2-tuple it always was; additionally carries the
+    per-repeat raw wall times as :attr:`samples`, so bench artifacts can
+    record the full evidence behind every "best" claim.
+    """
+
+    samples: List[float]
+
+    def __new__(cls, best: float, result: Any, samples: List[float]) -> "TimingResult":
+        self = super().__new__(cls, (best, result))
+        self.samples = list(samples)
+        return self
+
+
+class PairTimingResult(tuple):
+    """The 4-tuple of :func:`best_of_pair`, plus both sides' raw samples.
+
+    Unpacks as ``(best_baseline, baseline_result, best_candidate,
+    candidate_result)``; :attr:`baseline_samples` / :attr:`candidate_samples`
+    hold the per-repeat wall times in repeat order (interleaved protocol:
+    sample ``i`` of both lists ran back to back).
+    """
+
+    baseline_samples: List[float]
+    candidate_samples: List[float]
+
+    def __new__(
+        cls,
+        best_base: float,
+        base_result: Any,
+        best_cand: float,
+        cand_result: Any,
+        baseline_samples: List[float],
+        candidate_samples: List[float],
+    ) -> "PairTimingResult":
+        self = super().__new__(cls, (best_base, base_result, best_cand, cand_result))
+        self.baseline_samples = list(baseline_samples)
+        self.candidate_samples = list(candidate_samples)
+        return self
+
+
 def best_of(
     run: Callable[..., Any], *, repeats: int = 3, setup: Optional[Callable[[], Any]] = None
-) -> Tuple[float, Any]:
+) -> TimingResult:
     """Best-of-``repeats`` wall time of ``run`` over fresh states.
 
     Each repeat optionally calls ``setup`` (untimed -- e.g. recording a fresh
     task graph, since an executed graph cannot run again) and times one call
-    of ``run`` (receiving ``setup``'s return value when given).  Returns
-    ``(best_seconds, last_result)``: the minimum discards cold-start effects,
-    the last repeat's result serves the caller's correctness checks.
+    of ``run`` (receiving ``setup``'s return value when given).  Returns a
+    :class:`TimingResult` unpacking as ``(best_seconds, last_result)``: the
+    minimum discards cold-start effects, the last repeat's result serves the
+    caller's correctness checks, and ``.samples`` carries every repeat's raw
+    wall time for auditability.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    best = float("inf")
+    samples: List[float] = []
     result: Any = None
     for _ in range(repeats):
         state = setup() if setup is not None else None
         t0 = time.perf_counter()
         result = run(state) if setup is not None else run()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
+        samples.append(time.perf_counter() - t0)
+    return TimingResult(min(samples), result, samples)
 
 
 def best_of_pair(
@@ -58,26 +109,31 @@ def best_of_pair(
     candidate: Callable[[], Any],
     *,
     repeats: int = 3,
-) -> Tuple[float, Any, float, Any]:
+) -> PairTimingResult:
     """Best-of-``repeats`` wall times of two callables, interleaved.
 
     Timing all baseline repeats in one block and all candidate repeats in
     another lets machine-speed drift (shared tenancy, frequency scaling)
     land entirely on one side of the ratio; interleaving pairs each baseline
     run with an adjacent candidate run so a slow epoch penalizes both.
-    Returns ``(best_baseline, last_baseline_result, best_candidate,
-    last_candidate_result)``.
+    Returns a :class:`PairTimingResult` unpacking as ``(best_baseline,
+    last_baseline_result, best_candidate, last_candidate_result)``, with the
+    per-repeat raw samples on ``.baseline_samples`` / ``.candidate_samples``.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    best_base = best_cand = float("inf")
+    base_samples: List[float] = []
+    cand_samples: List[float] = []
     base_result: Any = None
     cand_result: Any = None
     for _ in range(repeats):
         t0 = time.perf_counter()
         base_result = baseline()
-        best_base = min(best_base, time.perf_counter() - t0)
+        base_samples.append(time.perf_counter() - t0)
         t0 = time.perf_counter()
         cand_result = candidate()
-        best_cand = min(best_cand, time.perf_counter() - t0)
-    return best_base, base_result, best_cand, cand_result
+        cand_samples.append(time.perf_counter() - t0)
+    return PairTimingResult(
+        min(base_samples), base_result, min(cand_samples), cand_result,
+        base_samples, cand_samples,
+    )

@@ -74,6 +74,12 @@ class ExecutionPolicy:
         Upper bound on the number of batches a wide task group is split
         into; ``None`` derives ``2 * n_workers`` so every worker keeps two
         batches in flight.
+    trace:
+        Record a measured :class:`~repro.runtime.tracing.ExecutionTrace`
+        (per-task spans, per-worker breakdowns, Chrome-exportable timeline)
+        of every runtime execution; the trace rides on the backend report
+        (``report.trace``) and on :attr:`DTDRuntime.last_trace`.  Ignored by
+        ``"off"`` (no task graph is recorded).
     """
 
     backend: str = "off"
@@ -83,6 +89,7 @@ class ExecutionPolicy:
     panel_size: Optional[int] = None
     fusion: Optional[bool] = None
     batch_slots: Optional[int] = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -112,6 +119,7 @@ class ExecutionPolicy:
         panel_size: Optional[int] = None,
         fusion: Optional[bool] = None,
         batch_slots: Optional[int] = None,
+        trace: bool = False,
     ) -> "ExecutionPolicy":
         """Normalize a facade-style ``use_runtime`` argument into a policy.
 
@@ -133,6 +141,7 @@ class ExecutionPolicy:
             panel_size=panel_size,
             fusion=fusion,
             batch_slots=batch_slots,
+            trace=trace,
         )
 
     @property
@@ -169,9 +178,9 @@ class ExecutionPolicy:
         sequential backends record in their own mode.
         """
         if self.backend in ("parallel", "process", "distributed"):
-            return DTDRuntime(execution="deferred")
+            return DTDRuntime(execution="deferred", trace=self.trace)
         if self.backend in ("immediate", "deferred"):
-            return DTDRuntime(execution=self.backend)
+            return DTDRuntime(execution=self.backend, trace=self.trace)
         raise ValueError("backend 'off' does not record a task graph")
 
     def resolve_distribution(self, max_level: int) -> DistributionStrategy:
@@ -208,6 +217,11 @@ class ExecutionPolicy:
           order (a no-op for ``immediate`` bodies that already ran), returning
           None.
         """
+        if self.trace and not runtime.trace:
+            # A caller-supplied runtime may predate the policy; deferred
+            # bodies have not run yet, so turning tracing on here still
+            # captures every span (immediate bodies recorded their own).
+            runtime.trace = True
         if self.backend == "distributed":
             if runtime.num_tasks == 0:
                 return None

@@ -59,6 +59,7 @@ from repro.runtime.dag import TaskGraph
 from repro.runtime.dtd import DTDRuntime
 from repro.runtime.machine import MachineConfig, fugaku_like, laptop_like
 from repro.runtime.trace import SimulationResult, WorkerBreakdown
+from repro.runtime.tracing import CommSpan, ExecutionTrace, SpanAggregate, TaskSpan
 from repro.runtime.simulator import simulate
 from repro.runtime.executor import execute_graph
 from repro.runtime.distributed import (
@@ -79,6 +80,10 @@ __all__ = [
     "laptop_like",
     "SimulationResult",
     "WorkerBreakdown",
+    "ExecutionTrace",
+    "TaskSpan",
+    "CommSpan",
+    "SpanAggregate",
     "simulate",
     "execute_graph",
     "CommLedger",

@@ -78,6 +78,9 @@ class DistributedReport:
         Per-worker statistics (task count, messages sent, wall time).
     wall_time:
         Parent-side wall-clock seconds for the whole execution.
+    trace:
+        Measured :class:`~repro.runtime.tracing.ExecutionTrace` merging all
+        ranks onto one clock-aligned timeline (``trace=True`` runs only).
     """
 
     nodes: int
@@ -90,6 +93,7 @@ class DistributedReport:
     fragments: List[Any] = field(default_factory=list)
     per_rank: Dict[int, Dict[str, float]] = field(default_factory=dict)
     wall_time: float = 0.0
+    trace: Any = None
 
     @property
     def ok(self) -> bool:
@@ -101,9 +105,13 @@ class DistributedReport:
         )
 
     def __repr__(self) -> str:
+        # Same shape as ExecutionReport.__repr__: surface error/cancelled
+        # counts and the timeout flag, not just the happy-path statistics.
         return (
             f"DistributedReport(nodes={self.nodes}, tasks={self.num_tasks}, "
-            f"executed={len(self.executed)}, messages={self.ledger.num_messages}, "
+            f"executed={len(self.executed)}, errors={len(self.errors)}, "
+            f"cancelled={len(self.cancelled)}, timed_out={self.timed_out}, "
+            f"messages={self.ledger.num_messages}, "
             f"comm_bytes={self.ledger.total_bytes}, wall_time={self.wall_time:.3g}s)"
         )
 
@@ -151,8 +159,16 @@ def _worker_main(
     inboxes: List[Any],
     report_queue: Any,
     collect: Optional[Callable[[], Any]],
+    trace: bool = False,
 ) -> None:
-    """Event loop of one worker process (runs in a forked child)."""
+    """Event loop of one worker process (runs in a forked child).
+
+    With ``trace`` the worker stamps every task body, every serialize+send
+    and deserialize+install interval, and its bookkeeping time, shipping the
+    raw tuples back in :class:`WorkerResult` -- all stamps are absolute
+    ``perf_counter`` values on the parent's clock (fork shares
+    ``CLOCK_MONOTONIC``).
+    """
     t0 = time.perf_counter()
     result = WorkerResult(rank=rank)
     succ, pred = graph.adjacency()
@@ -163,18 +179,30 @@ def _worker_main(
     ready = [(-priorities.get(tid, 0.0), tid) for tid in local if remaining[tid] == 0]
     heapq.heapify(ready)
     inbox = inboxes[rank]
+    ready_at: Dict[int, float] = {}
+    if trace:
+        for _, tid in ready:
+            ready_at[tid] = t0
 
     def apply_message(msg: DataMessage) -> None:
         # Install the remote values, then release the dependency: receipt of
         # the data *is* the producer's completion notification.
+        tr0 = time.perf_counter() if trace else 0.0
         handles = graph.edge_data.get(msg.edge, [])
         for handle, value in zip(handles, pickle.loads(msg.payload)):
             if value is not None:
                 handle.set_value(value)
+        if trace:
+            result.comm_spans.append(
+                ("recv", msg.src, rank, msg.edge, len(msg.payload),
+                 tr0, time.perf_counter())
+            )
         consumer = msg.edge[1]
         remaining[consumer] -= 1
         if remaining[consumer] == 0:
             heapq.heappush(ready, (-priorities.get(consumer, 0.0), consumer))
+            if trace:
+                ready_at[consumer] = time.perf_counter()
 
     try:
         while len(result.executed) < len(local):
@@ -192,6 +220,7 @@ def _worker_main(
                 continue
             _, tid = heapq.heappop(ready)
             task = graph.task(tid)
+            t_start = time.perf_counter() if trace else 0.0
             try:
                 task.run()
             except BaseException as exc:
@@ -199,20 +228,33 @@ def _worker_main(
                     rank, tid, task.name, repr(exc), traceback.format_exc()
                 )
                 break
+            t_end = time.perf_counter() if trace else 0.0
             result.executed.append(tid)
+            if trace:
+                result.spans.append((tid, ready_at.get(tid, t0), t_start, t_end))
+            comm_round = 0.0
             for nxt in succ.get(tid, []):
                 dst = proc_of[nxt]
                 if dst == rank:
                     remaining[nxt] -= 1
                     if remaining[nxt] == 0:
                         heapq.heappush(ready, (-priorities.get(nxt, 0.0), nxt))
+                        if trace:
+                            ready_at[nxt] = time.perf_counter()
                 else:
                     handles = graph.edge_data.get((tid, nxt), [])
+                    ts0 = time.perf_counter() if trace else 0.0
                     values = tuple(h.get_value() if h.bound else None for h in handles)
                     # Serialize once: the pickled payload both crosses the
                     # queue and yields the measured byte count.
                     payload = pickle.dumps(values, pickle.HIGHEST_PROTOCOL)
                     inboxes[dst].put(DataMessage(edge=(tid, nxt), src=rank, dst=dst, payload=payload))
+                    if trace:
+                        ts1 = time.perf_counter()
+                        comm_round += ts1 - ts0
+                        result.comm_spans.append(
+                            ("send", rank, dst, (tid, nxt), len(payload), ts0, ts1)
+                        )
                     result.events.append(
                         CommEvent(
                             src=rank,
@@ -223,6 +265,10 @@ def _worker_main(
                             payload_nbytes=len(payload),
                         )
                     )
+            if trace:
+                # Post-task bookkeeping (dependency release, scheduling),
+                # minus the timed communication it contained.
+                result.overhead += (time.perf_counter() - t_end) - comm_round
         if result.error is None and collect is not None:
             result.fragment = collect()
     except BaseException as exc:  # protocol/serialization failure, not a task body
@@ -240,6 +286,7 @@ def execute_graph_distributed(
     collect: Optional[Callable[[], Any]] = None,
     timeout: Optional[float] = None,
     raise_on_error: bool = True,
+    trace: bool = False,
 ) -> DistributedReport:
     """Execute all task bodies of ``graph`` across ``nodes`` worker processes.
 
@@ -268,6 +315,10 @@ def execute_graph_distributed(
     raise_on_error:
         If True (default) the first worker error (or :class:`TimeoutError`)
         is raised with the partial report attached as ``exc.execution_report``.
+    trace:
+        Record per-rank task spans and timed communication actions and merge
+        them into one clock-aligned
+        :class:`~repro.runtime.tracing.ExecutionTrace` on ``report.trace``.
 
     Returns
     -------
@@ -302,7 +353,7 @@ def execute_graph_distributed(
     workers = [
         ctx.Process(
             target=_worker_main,
-            args=(rank, graph, proc_of, priorities, inboxes, report_queue, collect),
+            args=(rank, graph, proc_of, priorities, inboxes, report_queue, collect, trace),
             name=f"dtd-rank{rank}",
             daemon=True,
         )
@@ -391,6 +442,38 @@ def execute_graph_distributed(
         settled = set(report.executed) | set(report.errors)
         report.cancelled = [t.tid for t in graph.tasks if t.tid not in settled]
     report.wall_time = time.perf_counter() - t0
+
+    if trace:
+        from repro.runtime.tracing import CommSpan, ExecutionTrace, build_spans
+
+        tr = ExecutionTrace(
+            backend="distributed",
+            n_workers=nodes,
+            wall_time=report.wall_time,
+        )
+        raw: List[tuple] = []
+        for rank in sorted(results):
+            res = results[rank]
+            for tid, queue_t, start_t, end_t in res.spans:
+                task = graph.task(tid)
+                raw.append(
+                    (tid, task.name, task.kind, task.phase, rank, rank,
+                     queue_t, start_t, end_t)
+                )
+            for action, src, dst, edge, nbytes, cs, ce in res.comm_spans:
+                tr.comm.append(CommSpan(
+                    action=action,
+                    worker=rank,
+                    src=src,
+                    dst=dst,
+                    edge=tuple(edge),
+                    nbytes=nbytes,
+                    start_t=cs - t0,
+                    end_t=ce - t0,
+                ))
+            tr.worker_overhead[rank] = res.overhead
+        tr.spans = build_spans(raw, t0)
+        report.trace = tr
 
     if raise_on_error:
         if report.errors:

@@ -42,7 +42,17 @@ class DataMessage:
 
 @dataclass
 class WorkerResult:
-    """Final report of one worker process, sent to the parent."""
+    """Final report of one worker process, sent to the parent.
+
+    When the execution is traced, ``spans`` carries one raw stamp tuple
+    ``(tid, queue_t, start_t, end_t)`` per executed task and ``comm_spans``
+    one ``(action, src, dst, edge, nbytes, start_t, end_t)`` tuple per timed
+    communication action -- absolute ``perf_counter`` stamps on the parent's
+    clock (fork shares ``CLOCK_MONOTONIC``), assembled into an
+    :class:`~repro.runtime.tracing.ExecutionTrace` by the parent.
+    ``overhead`` is the worker's measured bookkeeping time (dependency
+    release, scheduling) outside task bodies and communication.
+    """
 
     rank: int
     executed: List[int] = field(default_factory=list)
@@ -50,6 +60,9 @@ class WorkerResult:
     fragment: Any = None
     error: Optional["RemoteTaskError"] = None
     wall_time: float = 0.0
+    spans: List[Tuple[int, float, float, float]] = field(default_factory=list)
+    comm_spans: List[Tuple] = field(default_factory=list)
+    overhead: float = 0.0
 
 
 class RemoteTaskError(RuntimeError):

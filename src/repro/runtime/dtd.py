@@ -31,6 +31,7 @@ Execution modes
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -48,12 +49,19 @@ class DTDRuntime:
     ----------
     execution:
         ``"immediate"`` (default), ``"deferred"`` or ``"symbolic"``.
+    trace:
+        Record a measured :class:`~repro.runtime.tracing.ExecutionTrace` of
+        every execution.  Sequential runs (immediate bodies, :meth:`run`) are
+        stamped at DTD level; the parallel/process/distributed backends
+        receive the flag and attach their own traces.  The most recent trace
+        is available as :attr:`last_trace`.
     """
 
-    def __init__(self, execution: str = "immediate") -> None:
+    def __init__(self, execution: str = "immediate", *, trace: bool = False) -> None:
         if execution not in ("immediate", "deferred", "symbolic"):
             raise ValueError(f"unknown execution mode {execution!r}")
         self.execution = execution
+        self.trace = bool(trace)
         self.graph = TaskGraph()
         self._next_tid = 0
         self._last_writer: Dict[int, int] = {}
@@ -61,6 +69,8 @@ class DTDRuntime:
         self._handles: Dict[str, DataHandle] = {}
         self._executed: set[int] = set()
         self._failed: Optional[BaseException] = None
+        #: Raw sequential span tuples (immediate bodies / run()), absolute stamps.
+        self._span_log: List[tuple] = []
         #: Report of the most recent :meth:`run_distributed` call (or None).
         self.last_distributed_report = None
         #: Report of the most recent :meth:`run_parallel` call (or None).
@@ -69,6 +79,10 @@ class DTDRuntime:
         self.last_process_report = None
         #: Stats of the most recent :meth:`fuse` call (or None).
         self.last_fusion_stats = None
+        #: Fusion contraction map of all :meth:`fuse` calls (original -> head tid).
+        self.last_head_of: Dict[int, int] = {}
+        #: Measured trace of the most recent execution (``trace=True`` only).
+        self.last_trace = None
 
     # -- data management ------------------------------------------------------
     def register_handle(self, handle: DataHandle) -> DataHandle:
@@ -151,7 +165,15 @@ class DTDRuntime:
                 self._readers_since_write[hid] = []
 
         if self.execution == "immediate" and task.func is not None:
-            task.run()
+            if self.trace:
+                queue_t = time.perf_counter()
+                task.run()
+                self._span_log.append(
+                    (task.tid, task.name, task.kind, task.phase, 0, 0,
+                     queue_t, queue_t, time.perf_counter())
+                )
+            else:
+                task.run()
             self._executed.add(task.tid)
         return task
 
@@ -198,6 +220,14 @@ class DTDRuntime:
             for hid, readers in self._readers_since_write.items()
         }
         self.last_fusion_stats = stats
+        # Compose onto any earlier fusion rounds, so last_head_of always maps
+        # original ids onto the heads that will actually execute (and show up
+        # as spans in a trace).
+        self.last_head_of = {
+            tid: head_of.get(head, head) for tid, head in self.last_head_of.items()
+        }
+        for tid, head in head_of.items():
+            self.last_head_of.setdefault(tid, head)
         return stats
 
     # -- execution --------------------------------------------------------------
@@ -213,8 +243,46 @@ class DTDRuntime:
             ) from self._failed
         for task in self.graph.tasks:
             if task.tid not in self._executed and task.func is not None:
-                task.run()
+                if self.trace:
+                    queue_t = time.perf_counter()
+                    task.run()
+                    self._span_log.append(
+                        (task.tid, task.name, task.kind, task.phase, 0, 0,
+                         queue_t, queue_t, time.perf_counter())
+                    )
+                else:
+                    task.run()
                 self._executed.add(task.tid)
+        if self.trace and self._span_log:
+            self.assemble_trace()
+
+    def assemble_trace(self):
+        """Build the :class:`~repro.runtime.tracing.ExecutionTrace` of the
+        sequential (immediate / deferred ``run()``) execution so far.
+
+        The timeline origin is the first recorded span's stamp and the wall
+        time spans to the last body's end, so an immediate-mode trace covers
+        the record-and-execute window including any driver code between
+        ``insert_task`` calls (which shows up as idle).  Parallel backends
+        attach their own traces to their reports instead; see
+        :attr:`last_trace`.
+        """
+        from repro.runtime.tracing import ExecutionTrace, build_spans
+
+        if not self.trace:
+            raise RuntimeError("runtime was created with trace=False")
+        log = self._span_log
+        t0 = min(item[6] for item in log) if log else 0.0
+        wall = (max(item[8] for item in log) - t0) if log else 0.0
+        tr = ExecutionTrace(
+            backend=self.execution,
+            n_workers=1,
+            wall_time=wall,
+        )
+        tr.spans = build_spans(log, t0)
+        tr.head_of = dict(self.last_head_of)
+        self.last_trace = tr
+        return tr
 
     def run_parallel(self, *, n_workers: int = 4, timeout: Optional[float] = None):
         """Execute the recorded graph out-of-order on a thread pool.
@@ -245,11 +313,14 @@ class DTDRuntime:
                 "use run() to finish the remaining tasks sequentially"
             )
         try:
-            report = execute_graph(self.graph, n_workers=n_workers, timeout=timeout)
+            report = execute_graph(
+                self.graph, n_workers=n_workers, timeout=timeout, trace=self.trace
+            )
         except BaseException as exc:
             partial = getattr(exc, "execution_report", None)
             if partial is not None:
                 self._executed.update(partial.executed)
+                self._adopt_trace(partial)
             # A failed task body may have left shared state half-written, so
             # poison the runtime: run()/run_parallel() must not "resume".  A
             # pure timeout is different -- every started task ran to
@@ -263,7 +334,16 @@ class DTDRuntime:
             raise
         self._executed.update(report.executed)
         self.last_parallel_report = report
+        self._adopt_trace(report)
         return report
+
+    def _adopt_trace(self, report) -> None:
+        """Attach the fusion map to a backend trace and remember it."""
+        trace = getattr(report, "trace", None)
+        if trace is not None:
+            if self.last_head_of:
+                trace.head_of = dict(self.last_head_of)
+            self.last_trace = trace
 
     def run_distributed(
         self,
@@ -305,17 +385,20 @@ class DTDRuntime:
             )
         try:
             report = execute_graph_distributed(
-                self.graph, nodes=nodes, strategy=strategy, collect=collect, timeout=timeout
+                self.graph, nodes=nodes, strategy=strategy, collect=collect,
+                timeout=timeout, trace=self.trace,
             )
         except BaseException as exc:
             partial = getattr(exc, "execution_report", None)
             if partial is not None:
                 self._executed.update(partial.executed)
                 self.last_distributed_report = partial
+                self._adopt_trace(partial)
             self._failed = exc
             raise
         self._executed.update(report.executed)
         self.last_distributed_report = report
+        self._adopt_trace(report)
         return report
 
     def run_process(
@@ -358,17 +441,20 @@ class DTDRuntime:
             )
         try:
             report = execute_graph_processes(
-                self.graph, n_workers=n_workers, collect=collect, timeout=timeout
+                self.graph, n_workers=n_workers, collect=collect,
+                timeout=timeout, trace=self.trace,
             )
         except BaseException as exc:
             partial = getattr(exc, "execution_report", None)
             if partial is not None:
                 self._executed.update(partial.executed)
                 self.last_process_report = partial
+                self._adopt_trace(partial)
             self._failed = exc
             raise
         self._executed.update(report.executed)
         self.last_process_report = report
+        self._adopt_trace(report)
         return report
 
     # -- inspection ---------------------------------------------------------------

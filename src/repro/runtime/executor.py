@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
+import os
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -62,6 +63,9 @@ class ExecutionReport:
         Wall-clock seconds spent inside :func:`execute_graph`.
     fragments:
         Per-worker result fragments (process-pool executions only).
+    trace:
+        Measured :class:`~repro.runtime.tracing.ExecutionTrace` when the
+        execution ran with ``trace=True`` (None otherwise).
     """
 
     def __init__(
@@ -81,6 +85,7 @@ class ExecutionReport:
         self.timed_out: bool = False
         self.wall_time: float = 0.0
         self.fragments: List = []
+        self.trace = None
 
     @property
     def ok(self) -> bool:
@@ -95,7 +100,8 @@ class ExecutionReport:
         return (
             f"ExecutionReport(tasks={self.num_tasks}, workers={self.num_workers}, "
             f"executed={len(self.executed)}, errors={len(self.errors)}, "
-            f"cancelled={len(self.cancelled)}, wall_time={self.wall_time:.3g}s)"
+            f"cancelled={len(self.cancelled)}, timed_out={self.timed_out}, "
+            f"wall_time={self.wall_time:.3g}s)"
         )
 
 
@@ -106,6 +112,7 @@ def execute_graph(
     timeout: Optional[float] = None,
     priorities: Optional[Mapping[int, float]] = None,
     raise_on_error: bool = True,
+    trace: bool = False,
 ) -> ExecutionReport:
     """Execute all task bodies of ``graph`` with ``n_workers`` threads.
 
@@ -133,6 +140,11 @@ def execute_graph(
         the exception as ``exc.execution_report``.  Pass False to inspect the
         partial :class:`ExecutionReport` (``errors`` / ``cancelled`` /
         ``timed_out``) instead.
+    trace:
+        Record a measured :class:`~repro.runtime.tracing.ExecutionTrace`
+        (per-task spans, per-worker dispatch overhead and wait time) onto
+        ``report.trace``.  The workers only append stamp tuples while tasks
+        run; span objects are built after the graph drains.
 
     Returns
     -------
@@ -150,6 +162,7 @@ def execute_graph(
         requested_workers=n_workers,
     )
     if graph.num_tasks == 0:
+        report.wall_time = time.perf_counter() - t0
         return report
 
     # Fail fast on graphs the scheduler could never drain -- otherwise the
@@ -169,6 +182,15 @@ def execute_graph(
     started: set = set()
     cancelled_set: set = set()
     state = {"inflight": 0, "stop": False, "timed_out": False}
+    # Tracing state: per-worker raw stamp tuples and measured dispatch
+    # overhead, plus the ready-time of every dispatched task (guarded by
+    # `cond`, like the heap it annotates).
+    ready_at: Dict[int, float] = {}
+    span_logs: List[List[tuple]] = [[] for _ in range(actual_workers)]
+    overhead_log: List[float] = [0.0] * actual_workers
+    if trace:
+        for _, tid in ready:
+            ready_at[tid] = t0
 
     def _settled() -> int:  # caller holds cond
         return len(report.executed) + len(report.errors) + len(report.cancelled)
@@ -182,22 +204,41 @@ def execute_graph(
         state["stop"] = True
         cond.notify_all()
 
-    def worker() -> None:
+    def worker(widx: int) -> None:
+        spans = span_logs[widx]
+        overhead = 0.0
+        t_start = t_end = 0.0
         while True:
+            # Dispatch: everything inside the condition block that is not
+            # cond.wait counts as measured runtime overhead; the wait itself
+            # is the worker's idle time.
+            tb0 = time.perf_counter() if trace else 0.0
+            idle_round = 0.0
             with cond:
                 while not ready and not state["stop"]:
-                    cond.wait()
+                    if trace:
+                        tw0 = time.perf_counter()
+                        cond.wait()
+                        idle_round += time.perf_counter() - tw0
+                    else:
+                        cond.wait()
                 if state["stop"]:
+                    overhead_log[widx] = overhead
                     return
                 _, tid = heapq.heappop(ready)
                 started.add(tid)
                 state["inflight"] += 1
             task = graph.task(tid)
             error: Optional[BaseException] = None
+            if trace:
+                t_start = time.perf_counter()
+                overhead += (t_start - tb0) - idle_round
             try:
                 task.run()
             except BaseException as exc:  # propagate through the report
                 error = exc
+            if trace:
+                t_end = time.perf_counter()
             with cond:
                 state["inflight"] -= 1
                 if error is not None:
@@ -205,19 +246,29 @@ def execute_graph(
                     _cancel_unstarted()
                 else:
                     report.executed.append(tid)
+                    if trace:
+                        spans.append(
+                            (tid, task.name, task.kind, task.phase, widx, 0,
+                             ready_at.get(tid, t0), t_start, t_end)
+                        )
                     if not state["stop"]:
+                        now = time.perf_counter() if trace else 0.0
                         for nxt in succ.get(tid, []):
                             remaining[nxt] -= 1
                             if remaining[nxt] == 0:
                                 heapq.heappush(ready, (-priorities.get(nxt, 0.0), nxt))
+                                if trace:
+                                    ready_at[nxt] = now
                         if ready:
                             cond.notify_all()
                 if _settled() == graph.num_tasks and state["inflight"] == 0:
                     state["stop"] = True
                     cond.notify_all()
+            if trace:
+                overhead += time.perf_counter() - t_end
 
     threads = [
-        threading.Thread(target=worker, name=f"executor-{i}", daemon=True)
+        threading.Thread(target=worker, args=(i,), name=f"executor-{i}", daemon=True)
         for i in range(actual_workers)
     ]
     for thread in threads:
@@ -240,6 +291,19 @@ def execute_graph(
             thread.join()
         report.timed_out = state["timed_out"]
         report.wall_time = time.perf_counter() - t0
+        if trace:
+            from repro.runtime.tracing import ExecutionTrace, build_spans
+
+            tr = ExecutionTrace(
+                backend="parallel",
+                n_workers=actual_workers,
+                wall_time=report.wall_time,
+            )
+            tr.spans = build_spans(
+                [item for log in span_logs for item in log], t0
+            )
+            tr.worker_overhead = {w: o for w, o in enumerate(overhead_log)}
+            report.trace = tr
 
     if raise_on_error:
         # A task error outranks a concurrent timeout: TimeoutError means
@@ -270,19 +334,32 @@ def execute_graph(
 _POOL_STATE: Dict[str, Any] = {}
 
 
-def _pool_run_task(tid: int, inject: Dict[int, Any]) -> Dict[int, Any]:
-    """Run one task inside a pool worker; returns its bound written values."""
+def _pool_run_task(tid: int, inject: Dict[int, Any]) -> tuple:
+    """Run one task inside a pool worker.
+
+    Returns ``(written_values, span)`` where ``span`` is None untraced, or the
+    raw stamp tuple ``(pid, install_t0, install_t1, run_t0, run_t1, gather_t1)``
+    -- absolute ``perf_counter`` stamps on the parent's clock (fork shares
+    ``CLOCK_MONOTONIC``), split into handle-install (recv), task body
+    (compute) and written-value gather (send) intervals.
+    """
+    trace = _POOL_STATE.get("trace", False)
+    t_in0 = time.perf_counter() if trace else 0.0
     graph = _POOL_STATE["graph"]
     by_hid = _POOL_STATE["by_hid"]
     for hid, value in inject.items():
         by_hid[hid].set_value(value)
     task = graph.task(tid)
+    t_run0 = time.perf_counter() if trace else 0.0
     task.run()
+    t_run1 = time.perf_counter() if trace else 0.0
     out: Dict[int, Any] = {}
     for handle in task.write_handles:
         if handle.bound:
             out[handle.hid] = handle.get_value()
-    return out
+    if not trace:
+        return out, None
+    return out, (os.getpid(), t_in0, t_run0, t_run0, t_run1, time.perf_counter())
 
 
 def _pool_collect(_slot: int) -> Any:
@@ -330,6 +407,7 @@ def execute_graph_processes(
     priorities: Optional[Mapping[int, float]] = None,
     collect: Optional[Callable[[], Any]] = None,
     raise_on_error: bool = True,
+    trace: bool = False,
 ) -> ExecutionReport:
     """Execute all task bodies of ``graph`` on ``n_workers`` forked processes.
 
@@ -350,6 +428,13 @@ def execute_graph_processes(
     error cancels all not-yet-started tasks, a timeout cancels the rest but
     lets in-flight bodies finish, and with ``raise_on_error`` the partial
     report rides on the raised exception as ``exc.execution_report``.
+
+    With ``trace=True`` every worker stamps its task bodies and the
+    handle-shuttle intervals (install/gather, reported as communication) and
+    ships the stamps back with the results; the parent's scheduling loop time
+    is measured as ``scheduler_overhead``.  Fork shares ``CLOCK_MONOTONIC``,
+    so child stamps merge directly onto the parent's timeline in
+    ``report.trace``.
     """
     if "fork" not in multiprocessing.get_all_start_methods():
         raise RuntimeError("the process backend requires fork (POSIX)")
@@ -387,9 +472,17 @@ def execute_graph_processes(
     started: set = set()
     futures: Dict[Any, int] = {}  # future -> tid
 
+    # Tracing state: parent-side submit stamps (queue_t of each span), raw
+    # child stamp tuples, and the parent scheduling-loop time (everything the
+    # parent does between waits, accounted as central scheduler overhead).
+    submit_at: Dict[int, float] = {}
+    child_spans: List[tuple] = []   # (tid, pid, in0, in1, run0, run1, out1)
+    sched_overhead = 0.0
+
     _POOL_STATE["graph"] = graph
     _POOL_STATE["by_hid"] = by_hid
     _POOL_STATE["collect"] = collect
+    _POOL_STATE["trace"] = trace
     _POOL_STATE["barrier"] = ctx.Barrier(actual_workers) if collect is not None else None
     pool = ProcessPoolExecutor(max_workers=actual_workers, mp_context=ctx)
     try:
@@ -403,6 +496,8 @@ def execute_graph_processes(
                     if h.bound and h.hid in dirty
                 }
                 started.add(tid)
+                if trace:
+                    submit_at[tid] = time.perf_counter()
                 futures[pool.submit(_pool_run_task, tid, inject)] = tid
 
         submit_ready()
@@ -413,10 +508,11 @@ def execute_graph_processes(
             if not done:
                 report.timed_out = True
                 break
+            ts0 = time.perf_counter() if trace else 0.0
             for fut in done:
                 tid = futures.pop(fut)
                 try:
-                    writes = fut.result()
+                    writes, span = fut.result()
                 except BaseException as exc:
                     report.errors[tid] = exc
                     stop = True
@@ -425,6 +521,8 @@ def execute_graph_processes(
                     by_hid[hid].set_value(value)
                     dirty.add(hid)
                 report.executed.append(tid)
+                if span is not None:
+                    child_spans.append((tid,) + span)
                 if not stop:
                     for nxt in succ.get(tid, []):
                         remaining[nxt] -= 1
@@ -432,6 +530,8 @@ def execute_graph_processes(
                             heapq.heappush(ready, (-priorities.get(nxt, 0.0), nxt))
             if not stop:
                 submit_ready()
+            if trace:
+                sched_overhead += time.perf_counter() - ts0
 
         if report.timed_out or report.errors:
             # Cancel whatever has not started; in-flight bodies finish (their
@@ -442,7 +542,7 @@ def execute_graph_processes(
                     del futures[fut]
             for fut, tid in futures.items():
                 try:
-                    writes = fut.result()
+                    writes, span = fut.result()
                 except BaseException as exc:
                     report.errors.setdefault(tid, exc)
                 else:
@@ -450,6 +550,8 @@ def execute_graph_processes(
                         by_hid[hid].set_value(value)
                         dirty.add(hid)
                     report.executed.append(tid)
+                    if span is not None:
+                        child_spans.append((tid,) + span)
             futures.clear()
             for task in graph.tasks:
                 if task.tid not in started:
@@ -467,6 +569,42 @@ def execute_graph_processes(
         pool.shutdown(wait=True)
         _POOL_STATE.clear()
         report.wall_time = time.perf_counter() - t0
+        if trace:
+            from repro.runtime.tracing import CommSpan, ExecutionTrace, build_spans
+
+            tr = ExecutionTrace(
+                backend="process",
+                n_workers=actual_workers,
+                wall_time=report.wall_time,
+                scheduler_overhead=sched_overhead,
+            )
+            # Map distinct worker pids onto dense worker indices in
+            # first-seen (completion) order.
+            slot_of: Dict[int, int] = {}
+            raw: List[tuple] = []
+            for tid, pid, t_in0, t_in1, t_run0, t_run1, t_out1 in child_spans:
+                widx = slot_of.setdefault(pid, len(slot_of))
+                task = graph.task(tid)
+                raw.append(
+                    (tid, task.name, task.kind, task.phase, widx, widx,
+                     submit_at.get(tid, t0), t_run0, t_run1)
+                )
+                # Handle shuttling across the fork boundary: install of
+                # injected values (recv) and gather of written values (send).
+                if t_in1 > t_in0:
+                    tr.comm.append(CommSpan(
+                        action="recv", worker=widx, src=-1, dst=widx,
+                        edge=(tid, tid), nbytes=0,
+                        start_t=t_in0 - t0, end_t=t_in1 - t0,
+                    ))
+                if t_out1 > t_run1:
+                    tr.comm.append(CommSpan(
+                        action="send", worker=widx, src=widx, dst=-1,
+                        edge=(tid, tid), nbytes=0,
+                        start_t=t_run1 - t0, end_t=t_out1 - t0,
+                    ))
+            tr.spans = build_spans(raw, t0)
+            report.trace = tr
 
     if raise_on_error:
         if report.errors:

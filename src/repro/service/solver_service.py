@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -32,7 +32,13 @@ from repro.core.rhs import validate_rhs
 from repro.distribution.strategies import DistributionStrategy
 from repro.pipeline.registry import get_format
 
-__all__ = ["FactorKey", "SolveTicket", "ServiceStats", "SolverService"]
+__all__ = [
+    "FactorKey",
+    "LatencyHistogram",
+    "SolveTicket",
+    "ServiceStats",
+    "SolverService",
+]
 
 #: Maps the service backend name to the ``use_runtime`` mode of
 #: :meth:`repro.api.StructuredSolver.solve`.
@@ -75,6 +81,11 @@ class FactorKey:
             format=get_format(format).name,
         )
 
+    @property
+    def label(self) -> str:
+        """Compact metrics label, e.g. ``"hss:yukawa:n=1024"``."""
+        return f"{self.format}:{self.kernel}:n={self.n}"
+
 
 class SolveTicket:
     """Handle for one queued right-hand side, resolved by :meth:`SolverService.flush`."""
@@ -109,6 +120,68 @@ class SolveTicket:
         return f"SolveTicket({self.key.kernel}, n={self.key.n}, nrhs={self.nrhs}, done={self.done})"
 
 
+#: Half-decade bucket upper bounds of :class:`LatencyHistogram`, 100us .. 100s.
+_BUCKET_BOUNDS: Tuple[float, ...] = tuple(10.0 ** (k / 2.0) for k in range(-8, 5))
+
+
+@dataclass
+class LatencyHistogram:
+    """Half-decade log-bucketed latency histogram (seconds).
+
+    Buckets span 100 microseconds to 100 seconds with two buckets per decade
+    (plus an overflow bucket), enough resolution to tell a cache-hit batch
+    from a factorize-on-miss batch at a fixed, tiny memory cost.
+    """
+
+    counts: List[int] = field(default_factory=lambda: [0] * (len(_BUCKET_BOUNDS) + 1))
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        idx = 0
+        while idx < len(_BUCKET_BOUNDS) and seconds > _BUCKET_BOUNDS[idx]:
+            idx += 1
+        self.counts[idx] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile observation."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for idx, n in enumerate(self.counts):
+            seen += n
+            if seen >= target and n:
+                return _BUCKET_BOUNDS[min(idx, len(_BUCKET_BOUNDS) - 1)]
+        return self.max
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot (count/total/mean/min/max/p50/p95 + buckets)."""
+        buckets = {
+            f"le_{_BUCKET_BOUNDS[i]:.4g}s": n
+            for i, n in enumerate(self.counts[:-1])
+            if n
+        }
+        if self.counts[-1]:
+            buckets["overflow"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "buckets": buckets,
+        }
+
+
 @dataclass
 class ServiceStats:
     """Counters accumulated over the lifetime of one :class:`SolverService`."""
@@ -123,11 +196,20 @@ class ServiceStats:
     solve_seconds: float = 0.0   #: wall time spent in batched solves
     compress_tasks: int = 0    #: compression graph tasks executed (cache misses only)
     factor_tasks: int = 0      #: factorization graph tasks executed (cache misses only)
+    compress_seconds: float = 0.0   #: stage timer: wall time building compressed matrices
+    factorize_seconds: float = 0.0  #: stage timer: wall time inside ULV factorizations
+    #: Per-factorization-key batch-solve latency histograms
+    #: (key label -> :class:`LatencyHistogram`).
+    latency: Dict[str, LatencyHistogram] = field(default_factory=dict)
 
     @property
     def solves_per_sec(self) -> float:
         """Solved RHS columns per second of solve-phase wall time."""
         return self.solves / self.solve_seconds if self.solve_seconds > 0 else 0.0
+
+    def observe_latency(self, label: str, seconds: float) -> None:
+        """Record one batched-solve latency under ``label``."""
+        self.latency.setdefault(label, LatencyHistogram()).observe(seconds)
 
 
 class SolverService:
@@ -166,6 +248,11 @@ class SolverService:
         ``None`` (default) fuses exactly where required -- the ``process``
         backend; ``True``/``False`` force it on the other task-graph
         backends.  Fusion never changes solutions, only the task census.
+    trace:
+        Record measured :class:`~repro.runtime.tracing.ExecutionTrace` objects
+        for every task-graph factorization and batched solve this service
+        runs; :meth:`metrics` then includes the most recent solve trace's
+        summary.  Ignored by ``backend="reference"`` (no task graph).
     """
 
     def __init__(
@@ -180,6 +267,7 @@ class SolverService:
         max_cached: int = 8,
         compress_runtime: Union[bool, str] = False,
         fusion: Optional[bool] = None,
+        trace: bool = False,
     ) -> None:
         if backend not in _BACKEND_TO_RUNTIME:
             raise ValueError(
@@ -203,9 +291,12 @@ class SolverService:
         self.max_cached = max_cached
         self.compress_runtime = compress_runtime
         self.fusion = fusion
+        self.trace = bool(trace)
         self.stats = ServiceStats()
         self._cache: "OrderedDict[FactorKey, StructuredSolver]" = OrderedDict()
         self._queue: List[SolveTicket] = []
+        #: Measured trace of the most recent batched solve (``trace=True`` only).
+        self.last_solve_trace: Any = None
 
     # -- factorization cache -------------------------------------------------
     def solver_for(self, key: FactorKey) -> StructuredSolver:
@@ -225,8 +316,11 @@ class SolverService:
             compress_workers=self.n_workers,
             compress_distribution=self.distribution,
             compress_fusion=self.fusion,
+            compress_trace=self.trace and self.compress_runtime is not False,
             **dict(key.params),
         )
+        t1 = time.perf_counter()
+        self.stats.compress_seconds += t1 - t0
         # Factorize through the service's backend so the whole miss path is
         # one task-graph pipeline (compress -> factorize); the reference
         # backend keeps the sequential path.
@@ -240,8 +334,11 @@ class SolverService:
                 n_workers=self.n_workers,
                 distribution=self.distribution,
                 fusion=self.fusion,
+                trace=self.trace,
             )
-        self.stats.factor_seconds += time.perf_counter() - t0
+        t2 = time.perf_counter()
+        self.stats.factorize_seconds += t2 - t1
+        self.stats.factor_seconds += t2 - t0
         if solver.compress_runtime is not None:
             self.stats.compress_tasks += solver.compress_runtime.num_tasks
         if solver.factorize_runtime is not None:
@@ -332,6 +429,7 @@ class SolverService:
                 distribution=self.distribution,
                 panel_size=self.panel_size,
                 fusion=self.fusion,
+                trace=self.trace,
             )
         try:
             for key, tickets in by_key.items():
@@ -339,9 +437,13 @@ class SolverService:
                 batch = np.concatenate([t._b for t in tickets], axis=1)
                 t0 = time.perf_counter()
                 x = solver.solve(batch, **solve_kwargs)
-                self.stats.solve_seconds += time.perf_counter() - t0
+                elapsed = time.perf_counter() - t0
+                self.stats.solve_seconds += elapsed
+                self.stats.observe_latency(key.label, elapsed)
                 self.stats.batches += 1
                 self.stats.solves += batch.shape[1]
+                if self.trace and solver.solve_runtime is not None:
+                    self.last_solve_trace = solver.solve_runtime.last_trace
                 start = 0
                 for ticket in tickets:
                     ticket._resolve(x[:, start : start + ticket.nrhs])
@@ -372,6 +474,46 @@ class SolverService:
         )
         self.flush()
         return ticket.result
+
+    def metrics(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the service's runtime metrics.
+
+        Fields: the backend configuration (``backend`` / ``n_workers`` /
+        ``nodes`` / ``panel_size``), cache state (``cached`` / ``pending`` /
+        ``cache_hits`` / ``cache_misses`` / ``evictions``), request counters
+        (``requests`` / ``solves`` / ``batches`` / ``solves_per_sec``), the
+        stage timers (``compress_seconds`` / ``factorize_seconds`` /
+        ``factor_seconds`` / ``solve_seconds``), per-key batch latency
+        histogram summaries under ``latency``, and -- when the service was
+        created with ``trace=True`` -- the most recent solve trace's
+        breakdown summary under ``last_solve_trace``.
+        """
+        stats = self.stats
+        snapshot: Dict[str, Any] = {
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "nodes": self.nodes,
+            "panel_size": self.panel_size,
+            "cached": len(self._cache),
+            "pending": self.pending,
+            "requests": stats.requests,
+            "solves": stats.solves,
+            "batches": stats.batches,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "evictions": stats.evictions,
+            "compress_seconds": stats.compress_seconds,
+            "factorize_seconds": stats.factorize_seconds,
+            "factor_seconds": stats.factor_seconds,
+            "solve_seconds": stats.solve_seconds,
+            "solves_per_sec": stats.solves_per_sec,
+            "compress_tasks": stats.compress_tasks,
+            "factor_tasks": stats.factor_tasks,
+            "latency": {label: hist.summary() for label, hist in stats.latency.items()},
+        }
+        if self.last_solve_trace is not None:
+            snapshot["last_solve_trace"] = self.last_solve_trace.summary()
+        return snapshot
 
     def __repr__(self) -> str:
         return (
