@@ -12,6 +12,9 @@ from __future__ import annotations
 
 import json
 import os
+import socket
+import subprocess
+import time
 from pathlib import Path
 from typing import Any, Dict
 
@@ -19,6 +22,7 @@ from repro.experiments.timing import bench_repeats  # noqa: F401  (re-export)
 
 __all__ = [
     "full_scale",
+    "machine_stamp",
     "print_table",
     "record_bench",
     "bench_json_path",
@@ -40,6 +44,35 @@ def print_table(title: str, body: str) -> None:
     print(body)
 
 
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=5,
+        )
+        return out.stdout.strip() if out.returncode == 0 else ""
+    except OSError:
+        return ""
+
+
+def machine_stamp() -> Dict[str, Any]:
+    """Where and when a section was measured: git SHA, hostname, core count.
+
+    Stamped into every recorded section so single-core-container numbers are
+    never conflated with multi-core runs -- the trajectory gate
+    (:func:`repro.obs.trajectory.machine_stamp`) compares cross-machine rows
+    at the lenient tolerance.  Readers must tolerate its absence (artifacts
+    recorded before the stamp existed).
+    """
+    return {
+        "git_sha": _git_sha(),
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
 def bench_json_path() -> Path:
     """Location of the benchmark artifact (override with REPRO_BENCH_JSON)."""
     override = os.environ.get("REPRO_BENCH_JSON")
@@ -56,7 +89,8 @@ def record_bench(section: str, payload: Dict[str, Any]) -> Path:
     sections from earlier benchmarks in the same run are preserved; a corrupt
     or missing file is replaced.  The scale flag is recorded per section, so
     sections measured at different REPRO_FULL settings stay correctly
-    labelled.  Returns the artifact path.
+    labelled, and every section carries the :func:`machine_stamp` of the run
+    that measured it.  Returns the artifact path.
     """
     path = bench_json_path()
     data: Dict[str, Any] = {}
@@ -67,7 +101,7 @@ def record_bench(section: str, payload: Dict[str, Any]) -> Path:
             data = loaded
     except (OSError, ValueError):
         pass
-    data[section] = {"full_scale": full_scale(), **payload}
+    data[section] = {"full_scale": full_scale(), "machine": machine_stamp(), **payload}
     tmp = path.with_suffix(".json.tmp")
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)

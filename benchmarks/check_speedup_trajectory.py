@@ -1,157 +1,44 @@
 """Guard the recorded speedup trajectory against regressions.
 
-Compares a freshly measured benchmark artifact (written by the benchmark
-suite under ``REPRO_BENCH_JSON``) against the committed
-``benchmarks/BENCH_runtime.json`` and fails when a parallel/process speedup
-regressed past the tolerance.  Used by the ``speedup-smoke`` CI job::
+Thin CLI over :mod:`repro.obs.trajectory`: compares a freshly measured
+benchmark artifact (written by the benchmark suite under
+``REPRO_BENCH_JSON``) against the committed ``benchmarks/BENCH_runtime.json``
+and fails when a parallel/process speedup regressed past the tolerance, or
+when a recorded observability overhead fraction (traced, traced+metered)
+exceeds ``--max-trace-overhead``.  Used by the ``speedup-smoke`` /
+``trace-smoke`` / ``metrics-smoke`` CI jobs::
 
     REPRO_BENCH_JSON=/tmp/bench-current.json PYTHONPATH=src \
         python -m pytest benchmarks/test_compress_scaling.py \
                          benchmarks/test_runtime_parallel_speedup.py -q
     python benchmarks/check_speedup_trajectory.py /tmp/bench-current.json
 
-Rows match on ``(section, format, backend, fusion)``; only the concurrent
-backends (``thread``/``parallel``/``process``) gate, since that is the
-trajectory the north star tracks.  Absolute speedups are machine- and
-size-dependent, so the check is deliberately lenient: a current row must
-reach ``--tolerance`` (default 0.5) of the stored speedup when both runs
-measured the same problem size, and a looser ``--cross-size-tolerance``
-(default 0.25) when the committed trajectory was recorded at another size
-(e.g. a quick CI sweep against a committed ``REPRO_FULL=1`` artifact).
-Missing baselines, sections or rows are reported but never fail the check --
-the guard only ever compares what both artifacts actually measured.
-
-When the current artifact carries a ``trace_overhead`` section (written by
-``benchmarks/test_trace_overhead.py``), the recorded traced-vs-untraced
-overhead fraction is additionally gated against ``--max-trace-overhead``
-(default 3%): measured tracing must stay cheap enough to leave the timings
-it explains unperturbed.
-
-Failures print a readable diff of every offending row (stored vs current
-speedup, the floor it missed, and the shortfall) before the non-zero exit.
+See the trajectory module for the matching and tolerance semantics (rows
+match on section/format/backend/fusion; same-size same-core-count rows gate
+at ``--tolerance``, anything cross-size or cross-machine at the lenient
+``--cross-size-tolerance``; machine stamps are read backfill-tolerantly).
+Failures print a readable diff of every offending row before the non-zero
+exit.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
-from typing import Dict, Iterator, Tuple
 
-#: Sections carrying speedup rows, with the per-row key fields.
-SECTIONS = ("parallel_speedup", "compress_scaling")
+# Runnable without PYTHONPATH=src (the CI jobs invoke it bare).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-#: Backends whose speedup trajectory gates the check.
-GATED_BACKENDS = ("thread", "parallel", "process")
+from repro.obs.trajectory import (  # noqa: E402
+    GATED_BACKENDS,
+    SECTIONS,
+    check_trajectory,
+)
 
-
-def _load(path: Path) -> Dict:
-    with open(path, "r", encoding="utf-8") as fh:
-        data = json.load(fh)
-    if not isinstance(data, dict):
-        raise SystemExit(f"{path}: expected a JSON object, got {type(data).__name__}")
-    return data
-
-
-def _speedup_rows(section: Dict) -> Iterator[Tuple[Tuple, float, int]]:
-    """Yield ``(key, speedup, n)`` per gated row of one benchmark section."""
-    n = int(section.get("n", 0))
-    for row in section.get("rows", ()):
-        backend = row.get("backend")
-        if backend not in GATED_BACKENDS or "speedup" not in row:
-            continue
-        key = (row.get("format"), backend, bool(row.get("fusion", False)))
-        yield key, float(row["speedup"]), int(row.get("n", n))
-
-
-def _check_trace_overhead(current: Dict, max_trace_overhead: float) -> Iterator[str]:
-    """Yield one failure line per violated trace-overhead bound."""
-    section = current.get("trace_overhead")
-    if not isinstance(section, dict):
-        print("section 'trace_overhead': not in the current artifact, skipped")
-        return
-    fraction = section.get("overhead_fraction")
-    if not isinstance(fraction, (int, float)):
-        print("section 'trace_overhead': no overhead_fraction recorded, skipped")
-        return
-    verdict = "ok" if fraction <= max_trace_overhead else "TOO EXPENSIVE"
-    print(
-        f"trace_overhead: measured {fraction * 100:+.2f}% "
-        f"(untraced {section.get('untraced_best', float('nan')):.4f}s vs "
-        f"traced {section.get('traced_best', float('nan')):.4f}s, "
-        f"n={section.get('n')}, best of {section.get('repeats')}) "
-        f"<= limit {max_trace_overhead * 100:.1f}% -> {verdict}"
-    )
-    if fraction > max_trace_overhead:
-        yield (
-            f"trace_overhead: {fraction * 100:+.2f}% exceeds the "
-            f"{max_trace_overhead * 100:.1f}% limit "
-            f"(untraced {section.get('untraced_best')}s, traced {section.get('traced_best')}s)"
-        )
-
-
-def check(
-    current_path: Path,
-    baseline_path: Path,
-    *,
-    tolerance: float,
-    cross_size_tolerance: float,
-    max_trace_overhead: float = 0.03,
-) -> int:
-    current = _load(current_path)
-    failures: list = []
-    compared = 0
-
-    if not baseline_path.exists():
-        print(f"no committed baseline at {baseline_path}; skipping speedup comparison")
-        baseline = {}
-    else:
-        baseline = _load(baseline_path)
-
-    for name in SECTIONS:
-        cur_section = current.get(name)
-        base_section = baseline.get(name)
-        if not isinstance(cur_section, dict) or not isinstance(base_section, dict):
-            print(f"section {name!r}: missing on one side, skipped")
-            continue
-        base_rows = {key: (s, n) for key, s, n in _speedup_rows(base_section)}
-        for key, cur_speedup, cur_n in _speedup_rows(cur_section):
-            if key not in base_rows:
-                continue
-            base_speedup, base_n = base_rows[key]
-            if base_speedup <= 0:
-                continue
-            tol = tolerance if cur_n == base_n else cross_size_tolerance
-            floor = tol * base_speedup
-            compared += 1
-            verdict = "ok" if cur_speedup >= floor else "REGRESSED"
-            print(
-                f"{name} {key}: current {cur_speedup:.2f}x (n={cur_n}) vs "
-                f"stored {base_speedup:.2f}x (n={base_n}), floor {floor:.2f}x "
-                f"-> {verdict}"
-            )
-            if cur_speedup < floor:
-                fmt, backend, fusion = key
-                failures.append(
-                    f"{name}: format={fmt} backend={backend} fusion={fusion} "
-                    f"n={cur_n}: current {cur_speedup:.2f}x < floor {floor:.2f}x "
-                    f"(stored {base_speedup:.2f}x at n={base_n}, "
-                    f"short by {(floor - cur_speedup) / floor * 100:.0f}%)"
-                )
-
-    failures.extend(_check_trace_overhead(current, max_trace_overhead))
-
-    if failures:
-        print(f"\n{len(failures)} benchmark gate failure(s):")
-        for line in failures:
-            print(f"  {line}")
-        return 1
-    if not compared:
-        print("no comparable speedup rows between the two artifacts")
-        return 0
-    print(f"\nall {compared} compared speedups within tolerance")
-    return 0
+__all__ = ["SECTIONS", "GATED_BACKENDS", "main"]
 
 
 def main(argv=None) -> int:
@@ -173,22 +60,29 @@ def main(argv=None) -> int:
         "--cross-size-tolerance",
         type=float,
         default=0.25,
-        help="fraction required when the stored row measured a different n",
+        help="fraction required when the stored row measured a different n "
+        "or a different core count",
     )
     parser.add_argument(
         "--max-trace-overhead",
         type=float,
         default=0.03,
-        help="largest tolerated traced-vs-untraced overhead fraction",
+        help="largest tolerated observability overhead fraction (applies to "
+        "both the traced and the traced+metered measurements)",
     )
     args = parser.parse_args(argv)
-    return check(
+    result = check_trajectory(
         args.current,
         args.baseline,
         tolerance=args.tolerance,
         cross_size_tolerance=args.cross_size_tolerance,
         max_trace_overhead=args.max_trace_overhead,
     )
+    for line in result.lines:
+        print(line)
+    print()
+    print(result.summary())
+    return result.exit_code
 
 
 if __name__ == "__main__":

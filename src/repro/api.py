@@ -133,6 +133,7 @@ class StructuredSolver:
         compress_distribution: Optional[Union[str, DistributionStrategy]] = None,
         compress_fusion: Optional[bool] = None,
         compress_trace: bool = False,
+        compress_metrics: Optional[Any] = None,
         **kernel_params: float,
     ) -> "StructuredSolver":
         """Build the solver for a named kernel over an explicit point cloud.
@@ -155,7 +156,9 @@ class StructuredSolver:
         fused exactly where required, i.e. ``compress_runtime="process"``);
         ``compress_trace`` records a measured
         :class:`~repro.runtime.tracing.ExecutionTrace` of the compression
-        (``solver.compress_runtime.last_trace``).
+        (``solver.compress_runtime.last_trace``); ``compress_metrics``
+        accumulates task/memory metrics of the compression into a caller
+        :class:`~repro.obs.metrics.MetricsRegistry`.
         The recording runtime is kept on :attr:`compress_runtime` for task
         and communication accounting.
         """
@@ -169,6 +172,7 @@ class StructuredSolver:
             distribution=compress_distribution,
             fusion=compress_fusion,
             trace=compress_trace,
+            metrics=compress_metrics,
         )
         compress_rt = None
         if policy.uses_runtime:
@@ -218,6 +222,7 @@ class StructuredSolver:
         compress_distribution: Optional[Union[str, DistributionStrategy]] = None,
         compress_fusion: Optional[bool] = None,
         compress_trace: bool = False,
+        compress_metrics: Optional[Any] = None,
         **kernel_params: float,
     ) -> "StructuredSolver":
         """Build the solver on the paper's uniform 2D grid geometry of ``n`` points."""
@@ -238,6 +243,7 @@ class StructuredSolver:
             compress_distribution=compress_distribution,
             compress_fusion=compress_fusion,
             compress_trace=compress_trace,
+            compress_metrics=compress_metrics,
             **kernel_params,
         )
 
@@ -266,6 +272,7 @@ class StructuredSolver:
         distribution: Optional[Union[str, DistributionStrategy]] = None,
         fusion: Optional[bool] = None,
         trace: bool = False,
+        metrics: Optional[Any] = None,
         force: bool = False,
     ) -> Any:
         """Compute (and cache) the ULV factorization of the compressed matrix.
@@ -307,6 +314,9 @@ class StructuredSolver:
             Record a measured :class:`~repro.runtime.tracing.ExecutionTrace`
             of the factorization; retrieve it with :meth:`last_traces` or
             from ``self.factorize_runtime.last_trace``.
+        metrics:
+            Optional :class:`~repro.obs.metrics.MetricsRegistry` accumulating
+            task/comm/memory metrics of the runtime factorization.
         force:
             Re-factorize even when a factor is already cached.
         """
@@ -317,6 +327,7 @@ class StructuredSolver:
             distribution=distribution,
             fusion=fusion,
             trace=trace,
+            metrics=metrics,
         )
         if force:
             self.factor = None
@@ -343,6 +354,7 @@ class StructuredSolver:
         panel_size: Optional[int] = None,
         fusion: Optional[bool] = None,
         trace: bool = False,
+        metrics: Optional[Any] = None,
     ) -> np.ndarray:
         """Solve ``A x = b`` (factorizes on first use).
 
@@ -375,6 +387,9 @@ class StructuredSolver:
             Record a measured :class:`~repro.runtime.tracing.ExecutionTrace`
             of the task-graph solve; retrieve it with :meth:`last_traces` or
             from ``self.solve_runtime.last_trace``.
+        metrics:
+            Optional :class:`~repro.obs.metrics.MetricsRegistry` accumulating
+            task/comm/memory metrics of the task-graph solve.
         """
         policy = ExecutionPolicy.resolve(
             use_runtime,
@@ -384,6 +399,7 @@ class StructuredSolver:
             panel_size=panel_size,
             fusion=fusion,
             trace=trace,
+            metrics=metrics,
         )
         if not policy.uses_runtime and (panel_size is not None or distribution is not None):
             raise ValueError(

@@ -18,6 +18,9 @@ Usage::
     python -m repro servebench --n 1024 --requests 32 --batch 1 --batch 8
     python -m repro compresscale --n 2048 --workers 4 --nodes 2
     python -m repro trace --phase factorize --runtime parallel --chrome-json trace.json
+    python -m repro metrics --phase factorize --runtime process
+    python -m repro metrics --phase solve --runtime distributed --nodes 2 --json
+    python -m repro benchreport --html report.html
 
 Each experiment sub-command runs the corresponding driver
 (:mod:`repro.experiments`) and prints the same rows/series the paper reports.
@@ -63,6 +66,16 @@ backend with measured task-level tracing enabled and prints the per-worker
 compute/overhead/communication/idle breakdown plus per-kind and per-phase
 aggregate tables; ``--chrome-json`` additionally writes the timeline as
 Chrome trace-event JSON loadable in ``chrome://tracing`` or Perfetto.
+
+``metrics`` runs one phase the same way with a
+:class:`~repro.obs.metrics.MetricsRegistry` attached and emits the
+accumulated task/comm/memory metrics in Prometheus text exposition format
+(``--json``: the registry snapshot as JSON instead); every runtime backend
+reports the same metric vocabulary (see README "Observability").
+
+``benchreport`` renders the benchmark artifact ``BENCH_runtime.json`` into a
+markdown report (``--html``: additionally a self-contained HTML file) with
+per-row timing sparklines and regression deltas against a baseline artifact.
 """
 
 from __future__ import annotations
@@ -415,6 +428,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the timeline as Chrome trace-event JSON to PATH",
     )
 
+    p = sub.add_parser(
+        "metrics",
+        help="runtime metrics of one phase on one backend, in Prometheus text format",
+    )
+    p.add_argument("--n", type=int, default=512, help="problem size")
+    p.add_argument("--kernel", default="yukawa", help="kernel name")
+    p.add_argument(
+        "--format",
+        choices=format_choices,
+        default="hss",
+        help="structured matrix format",
+    )
+    p.add_argument("--leaf-size", type=int, default=128, help="leaf cluster size")
+    p.add_argument("--max-rank", type=int, default=30, help="skeleton rank cap")
+    p.add_argument(
+        "--phase",
+        choices=("compress", "factorize", "solve"),
+        default="factorize",
+        help="pipeline phase to meter",
+    )
+    p.add_argument(
+        "--runtime",
+        choices=tuple(b for b in RUNTIME_CHOICES if b != "off"),
+        default="parallel",
+        help="execution backend of the metered phase",
+    )
+    p.add_argument("--workers", type=int, default=4, help="thread/process count")
+    p.add_argument(
+        "--nodes", type=int, default=2, help="worker processes for the distributed backend"
+    )
+    p.add_argument(
+        "--distribution",
+        choices=distribution_choices,
+        default="row",
+        help="placement strategy for the distributed backend",
+    )
+    p.add_argument("--seed", type=int, default=0, help="RNG seed for the right-hand side")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry snapshot as JSON instead of Prometheus text",
+    )
+    p.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the exposition to PATH instead of stdout",
+    )
+
+    p = sub.add_parser(
+        "benchreport",
+        help="render BENCH_runtime.json into a markdown/HTML trajectory report",
+    )
+    p.add_argument(
+        "artifact",
+        nargs="?",
+        default=None,
+        metavar="PATH",
+        help="benchmark artifact to render (default: the committed one)",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline artifact for regression deltas (default: the committed "
+        "artifact when rendering another one)",
+    )
+    p.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the markdown to PATH instead of stdout",
+    )
+    p.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="additionally write a self-contained HTML report to PATH",
+    )
+
     return parser
 
 
@@ -573,6 +666,93 @@ def _run_trace(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_metrics(args: argparse.Namespace) -> str:
+    """Meter one pipeline phase on one runtime backend; emit the registry."""
+    import json
+
+    import numpy as np
+
+    from repro.api import StructuredSolver
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    distribution = args.distribution if args.runtime == "distributed" else None
+    compress = args.phase == "compress"
+    solver = StructuredSolver.from_kernel(
+        args.kernel,
+        n=args.n,
+        format=args.format,
+        leaf_size=args.leaf_size,
+        max_rank=args.max_rank,
+        compress_runtime=args.runtime if compress else "off",
+        compress_nodes=args.nodes,
+        compress_workers=args.workers,
+        compress_distribution=distribution if compress else None,
+        compress_metrics=registry if compress else None,
+    )
+    if args.phase == "factorize":
+        solver.factorize(
+            use_runtime=args.runtime,
+            nodes=args.nodes,
+            n_workers=args.workers,
+            distribution=distribution,
+            metrics=registry,
+        )
+    elif args.phase == "solve":
+        # The factorization is the sequential cached reference; only the
+        # solve runs (metered) through the requested backend.
+        solver.factorize()
+        b = np.random.default_rng(args.seed).standard_normal(args.n)
+        solver.solve(
+            b,
+            use_runtime=args.runtime,
+            nodes=args.nodes,
+            n_workers=args.workers,
+            distribution=distribution,
+            metrics=registry,
+        )
+    if args.json:
+        out = json.dumps(registry.as_dict(), indent=2, sort_keys=True)
+    else:
+        out = registry.render_prometheus().rstrip("\n")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(out + "\n")
+        return (
+            f"metrics: phase={args.phase} runtime={args.runtime} "
+            f"format={args.format} n={args.n} -> {args.output} "
+            f"({len(registry.families())} families)"
+        )
+    return out
+
+
+def _run_benchreport(args: argparse.Namespace) -> str:
+    """Render the benchmark artifact into markdown (and optionally HTML)."""
+    from pathlib import Path
+
+    from repro.obs import benchreport
+
+    artifact = Path(args.artifact) if args.artifact else benchreport._default_artifact()
+    current = benchreport.load_artifact(artifact)
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is None and artifact.resolve() != benchreport._default_artifact():
+        baseline_path = benchreport._default_artifact()
+    baseline = (
+        benchreport.load_artifact(baseline_path)
+        if baseline_path is not None and baseline_path.exists()
+        else None
+    )
+    markdown = benchreport.render_markdown(current, baseline)
+    if args.html:
+        Path(args.html).write_text(
+            benchreport.render_html(current, baseline), encoding="utf-8"
+        )
+    if args.output:
+        Path(args.output).write_text(markdown, encoding="utf-8")
+        return f"benchreport: {artifact} -> {args.output}"
+    return markdown.rstrip("\n")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> str:
     """Run one experiment and return (and print) its formatted table."""
     args = build_parser().parse_args(argv)
@@ -675,6 +855,10 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
         )
     elif args.command == "trace":
         out = _run_trace(args)
+    elif args.command == "metrics":
+        out = _run_metrics(args)
+    elif args.command == "benchreport":
+        out = _run_benchreport(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise ValueError(f"unknown command {args.command!r}")
 

@@ -1,0 +1,51 @@
+"""Process-wide observability: metrics registry, exposition, events, memory.
+
+The aggregating counterpart of :mod:`repro.runtime.tracing` (which records
+per-run timelines): a mergeable :class:`MetricsRegistry` threaded through the
+four execution backends and the :class:`~repro.service.SolverService`,
+Prometheus text exposition, a structured :class:`EventLog`, memory/byte
+accounting, the benchmark trajectory gate, and the ``repro benchreport``
+renderer.  See README "Observability" for the metric names and label
+conventions.
+"""
+
+from repro.obs.events import Event, EventLog
+from repro.obs.exposition import ExpositionError, parse_prometheus, render_prometheus
+from repro.obs.memory import (
+    MemoryStats,
+    estimate_nbytes,
+    handle_table_bytes,
+    peak_rss_bytes,
+)
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+    merge_snapshots,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "log_buckets",
+    "merge_snapshots",
+    "LATENCY_BUCKETS",
+    "BYTES_BUCKETS",
+    "COUNT_BUCKETS",
+    "render_prometheus",
+    "parse_prometheus",
+    "ExpositionError",
+    "Event",
+    "EventLog",
+    "MemoryStats",
+    "peak_rss_bytes",
+    "estimate_nbytes",
+    "handle_table_bytes",
+]

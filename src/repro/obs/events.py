@@ -1,0 +1,94 @@
+"""Structured JSON event log with monotonic timestamps.
+
+A thin, thread-safe append-only log for discrete runtime events (execution
+started, flush batched, cache evicted) that do not fit the
+counter/gauge/histogram model.  Every event carries a ``perf_counter``
+monotonic stamp -- the same clock the tracing layer uses -- plus a
+wall-clock epoch stamp for correlating across processes, a name, and
+arbitrary JSON-serializable fields.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Event", "EventLog"]
+
+
+class Event:
+    """One structured event: name, monotonic + epoch stamps, free-form fields."""
+
+    __slots__ = ("name", "t_mono", "t_epoch", "fields")
+
+    def __init__(self, name: str, t_mono: float, t_epoch: float, fields: Dict[str, Any]) -> None:
+        self.name = name
+        self.t_mono = t_mono
+        self.t_epoch = t_epoch
+        self.fields = fields
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "t_mono": self.t_mono,
+            "t_epoch": self.t_epoch,
+            **self.fields,
+        }
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r}, t_mono={self.t_mono:.6f}, {self.fields!r})"
+
+
+class EventLog:
+    """Thread-safe append-only event log, bounded at ``capacity`` events.
+
+    When full, the oldest events are dropped (and counted in
+    :attr:`dropped`) so a long-running service cannot grow without bound.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._events: List[Event] = []
+
+    def emit(self, name: str, **fields: Any) -> Event:
+        """Append an event stamped now; returns it."""
+        event = Event(name, time.perf_counter(), time.time(), fields)
+        with self._lock:
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                excess = len(self._events) - self.capacity
+                del self._events[:excess]
+                self.dropped += excess
+        return event
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        with self._lock:
+            return iter(list(self._events))
+
+    def events(self, name: Optional[str] = None) -> List[Event]:
+        """All events, oldest first, optionally filtered by name."""
+        with self._lock:
+            snapshot = list(self._events)
+        if name is None:
+            return snapshot
+        return [e for e in snapshot if e.name == name]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [e.as_dict() for e in self.events()]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dicts(), indent=indent, sort_keys=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()

@@ -1,0 +1,305 @@
+"""Prometheus text exposition: render registry snapshots, strictly parse them.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot
+<repro.obs.metrics.MetricsRegistry.snapshot>` dict into the Prometheus text
+exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers per
+family, one sample line per labelled series, and for histograms the
+cumulative ``_bucket{le=...}`` series ending at ``le="+Inf"`` plus ``_sum``
+and ``_count``.
+
+:func:`parse_prometheus` is the strict inverse used by the CI
+``metrics-smoke`` job: it validates header ordering, metric/label name
+syntax, label escaping, float formatting, histogram bucket cumulativity and
+the ``+Inf``-equals-``_count`` invariant, and raises :class:`ExpositionError`
+with a line number on the first violation.  Run as a module it checks a
+file::
+
+    python -m repro.obs.exposition /tmp/metrics.prom
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["render_prometheus", "parse_prometheus", "ExpositionError"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One sample line: name, optional {label="value",...} block, value.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+class ExpositionError(ValueError):
+    """A violation of the Prometheus text format (carries the line number)."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    out = []
+    it = iter(range(len(value)))
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: List[List[str]], extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(k, v) for k, v in labels]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a registry snapshot as Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family["kind"]
+        help_text = family.get("help") or name
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in family["series"]:
+            labels = entry.get("labels", [])
+            if kind == "histogram":
+                bounds = family.get("buckets") or []
+                cumulative = 0
+                counts = entry["counts"]
+                for bound, count in zip(bounds, counts):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket{_labels_text(labels, ('le', _fmt(bound)))} "
+                        f"{cumulative}"
+                    )
+                cumulative += counts[len(bounds)] if len(counts) > len(bounds) else 0
+                lines.append(
+                    f"{name}_bucket{_labels_text(labels, ('le', '+Inf'))} {cumulative}"
+                )
+                lines.append(f"{name}_sum{_labels_text(labels)} {_fmt(entry['sum'])}")
+                lines.append(f"{name}_count{_labels_text(labels)} {entry['count']}")
+            else:
+                lines.append(f"{name}{_labels_text(labels)} {_fmt(entry['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_value(lineno: int, text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(lineno, f"unparseable sample value {text!r}") from None
+
+
+def _parse_labels(lineno: int, body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        match = _LABEL_PAIR_RE.match(body, pos)
+        if match is None:
+            raise ExpositionError(lineno, f"malformed label block at {body[pos:]!r}")
+        key = match.group("key")
+        if key in labels:
+            raise ExpositionError(lineno, f"duplicate label {key!r}")
+        labels[key] = _unescape_label(match.group("value"))
+        pos = match.end()
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Strictly parse Prometheus text exposition into families of samples.
+
+    Returns ``{name: {"kind", "help", "samples": [(sample_name, labels,
+    value), ...]}}``.  Raises :class:`ExpositionError` on the first format
+    violation: a sample before its headers, HELP/TYPE out of order or
+    duplicated, invalid names or label syntax, non-cumulative histogram
+    buckets, a missing ``+Inf`` bucket, or ``+Inf`` disagreeing with
+    ``_count``.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    helps: Dict[str, str] = {}
+    current: Optional[str] = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Arbitrary comments are legal; ignore them.
+                if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                    raise ExpositionError(lineno, f"truncated {parts[1]} line")
+                continue
+            _, directive, name = parts[:3]
+            rest = parts[3] if len(parts) == 4 else ""
+            if not _NAME_RE.match(name):
+                raise ExpositionError(lineno, f"invalid metric name {name!r}")
+            if directive == "HELP":
+                if name in helps:
+                    raise ExpositionError(lineno, f"duplicate HELP for {name!r}")
+                if name in families:
+                    raise ExpositionError(lineno, f"HELP for {name!r} after its TYPE")
+                helps[name] = rest
+            else:  # TYPE
+                if rest not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ExpositionError(lineno, f"unknown metric type {rest!r}")
+                if name in families:
+                    raise ExpositionError(lineno, f"duplicate TYPE for {name!r}")
+                families[name] = {
+                    "kind": rest,
+                    "help": helps.get(name, ""),
+                    "samples": [],
+                }
+                current = name
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionError(lineno, f"unparseable sample line {line!r}")
+        sample_name = match.group("name")
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+                base = sample_name[: -len(suffix)]
+                break
+        family = families.get(base)
+        if family is None:
+            raise ExpositionError(
+                lineno, f"sample {sample_name!r} before its # TYPE header"
+            )
+        if base != current:
+            raise ExpositionError(
+                lineno,
+                f"sample {sample_name!r} interleaved outside its family block",
+            )
+        if base != sample_name and family["kind"] != "histogram":
+            raise ExpositionError(
+                lineno,
+                f"suffix sample {sample_name!r} on non-histogram family {base!r}",
+            )
+        labels = _parse_labels(lineno, match.group("labels") or "")
+        value = _parse_value(lineno, match.group("value"))
+        family["samples"].append((sample_name, labels, value))
+
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Dict[str, Dict[str, Any]]) -> None:
+    for name, family in families.items():
+        if family["kind"] != "histogram":
+            continue
+        # Group bucket/sum/count samples per label set (excluding 'le').
+        buckets: Dict[Tuple, List[Tuple[float, float]]] = {}
+        counts: Dict[Tuple, float] = {}
+        sums: Dict[Tuple, float] = {}
+        for sample_name, labels, value in family["samples"]:
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if sample_name == f"{name}_bucket":
+                if "le" not in labels:
+                    raise ExpositionError(0, f"{name}_bucket sample without le label")
+                le = _parse_value(0, labels["le"])
+                buckets.setdefault(key, []).append((le, value))
+            elif sample_name == f"{name}_count":
+                counts[key] = value
+            elif sample_name == f"{name}_sum":
+                sums[key] = value
+            else:
+                raise ExpositionError(
+                    0, f"histogram {name!r} has stray sample {sample_name!r}"
+                )
+        for key, series in buckets.items():
+            les = [le for le, _ in series]
+            if les != sorted(les):
+                raise ExpositionError(0, f"histogram {name!r}: le bounds not ascending")
+            values = [v for _, v in series]
+            if values != sorted(values):
+                raise ExpositionError(
+                    0, f"histogram {name!r}: bucket counts not cumulative"
+                )
+            if not les or les[-1] != math.inf:
+                raise ExpositionError(0, f"histogram {name!r}: missing +Inf bucket")
+            if key not in counts:
+                raise ExpositionError(0, f"histogram {name!r}: missing _count sample")
+            if key not in sums:
+                raise ExpositionError(0, f"histogram {name!r}: missing _sum sample")
+            if values[-1] != counts[key]:
+                raise ExpositionError(
+                    0,
+                    f"histogram {name!r}: +Inf bucket {values[-1]} != _count {counts[key]}",
+                )
+
+
+def main(argv=None) -> int:
+    """Strict format check of an exposition file (the CI metrics-smoke step)."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="strictly validate a Prometheus text exposition file"
+    )
+    parser.add_argument("path", help="exposition file to check")
+    args = parser.parse_args(argv)
+    with open(args.path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        families = parse_prometheus(text)
+    except ExpositionError as exc:
+        print(f"{args.path}: INVALID: {exc}", file=sys.stderr)
+        return 1
+    nsamples = sum(len(f["samples"]) for f in families.values())
+    print(f"{args.path}: ok ({len(families)} families, {nsamples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

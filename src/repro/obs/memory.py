@@ -1,0 +1,141 @@
+"""Memory observability: peak-RSS sampling and handle-table byte accounting.
+
+Two views of a run's memory, mirroring the logical-vs-physical split the
+comm accounting uses:
+
+* :func:`peak_rss_bytes` -- the OS-reported resident-set high-water of the
+  calling process (``getrusage``; on Linux ``ru_maxrss`` is kilobytes).
+  Monotone over a process lifetime, so per-run deltas need a baseline
+  sample before the run.
+* :func:`handle_table_bytes` -- the task graph's own ledger: the *logical*
+  size every :class:`~repro.runtime.data.DataHandle` declares (``nbytes``,
+  the model the comm planner uses) against the *measured* size of the
+  values actually bound (``estimate_nbytes`` on the payloads).  The gap
+  between the two is exactly what ROADMAP item 2 (zero-copy data plane)
+  needs to prove its savings.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "peak_rss_bytes",
+    "estimate_nbytes",
+    "iter_graph_handles",
+    "handle_table_bytes",
+    "MemoryStats",
+]
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident-set size of this process in bytes, or None if unknown.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize to
+    bytes.  The value is a process-lifetime high-water mark.
+    """
+    if _resource is None:
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux container
+        return int(peak)
+    return int(peak) * 1024
+
+
+def estimate_nbytes(value: Any, _depth: int = 0) -> int:
+    """Measured byte size of a bound value (arrays exactly, containers recursively).
+
+    NumPy arrays report ``arr.nbytes``; tuples/lists/dicts recurse over
+    their elements (bounded depth, so a pathological object cannot hang the
+    sampler); anything else falls back to ``sys.getsizeof``.
+    """
+    if value is None:
+        return 0
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, (int, float)):
+        return int(nbytes)
+    if _depth >= 4:
+        return sys.getsizeof(value)
+    if isinstance(value, (tuple, list)):
+        return sum(estimate_nbytes(v, _depth + 1) for v in value)
+    if isinstance(value, dict):
+        return sum(estimate_nbytes(v, _depth + 1) for v in value.values())
+    return sys.getsizeof(value)
+
+
+@dataclass
+class MemoryStats:
+    """Memory accounting for one execution, attached as ``ExecutionReport.memory``."""
+
+    #: Peak RSS of the parent process after the run, bytes (None if unknown).
+    peak_rss_bytes: Optional[int] = None
+    #: Peak RSS per child rank, bytes (distributed/process backends).
+    rank_peak_rss_bytes: Dict[int, int] = field(default_factory=dict)
+    #: Number of handles in the graph's handle table.
+    num_handles: int = 0
+    #: Number of handles with a value actually bound after the run.
+    num_bound: int = 0
+    #: Sum of declared ``handle.nbytes`` over all handles (the model).
+    logical_bytes: int = 0
+    #: Sum of :func:`estimate_nbytes` over bound values (what is resident).
+    measured_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "rank_peak_rss_bytes": dict(self.rank_peak_rss_bytes),
+            "num_handles": self.num_handles,
+            "num_bound": self.num_bound,
+            "logical_bytes": self.logical_bytes,
+            "measured_bytes": self.measured_bytes,
+        }
+
+    def __repr__(self) -> str:
+        rss = f"{self.peak_rss_bytes / 2**20:.1f}MiB" if self.peak_rss_bytes else "?"
+        return (
+            f"MemoryStats(peak_rss={rss}, handles={self.num_bound}/{self.num_handles}"
+            f" bound, logical={self.logical_bytes}B, measured={self.measured_bytes}B)"
+        )
+
+
+def iter_graph_handles(graph: Any):
+    """Unique :class:`DataHandle` objects referenced by a task graph's accesses."""
+    seen = set()
+    for task in getattr(graph, "tasks", ()):
+        for access in getattr(task, "accesses", ()):
+            handle = access.handle
+            if handle.hid in seen:
+                continue
+            seen.add(handle.hid)
+            yield handle
+
+
+def handle_table_bytes(graph: Any) -> MemoryStats:
+    """Walk a task graph's handle table and account logical vs measured bytes.
+
+    The handle table is derived from the tasks' access lists (every handle a
+    task reads or writes, deduplicated by ``hid``).  Handles whose declared
+    ``nbytes`` is unset count 0 logical bytes; unbound handles count 0
+    measured bytes.
+    """
+    stats = MemoryStats(peak_rss_bytes=peak_rss_bytes())
+    for handle in iter_graph_handles(graph):
+        stats.num_handles += 1
+        declared = getattr(handle, "nbytes", None)
+        if isinstance(declared, (int, float)):
+            stats.logical_bytes += int(declared)
+        if getattr(handle, "bound", False):
+            stats.num_bound += 1
+            try:
+                value = handle.get_value()
+            except Exception:
+                continue
+            stats.measured_bytes += estimate_nbytes(value)
+    return stats

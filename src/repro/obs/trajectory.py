@@ -1,0 +1,240 @@
+"""The benchmark-trajectory gate: compare bench artifacts, bound overheads.
+
+The library behind ``benchmarks/check_speedup_trajectory.py`` (the CI gate)
+and the ``repro benchreport`` renderer: loads ``BENCH_runtime.json``-shaped
+artifacts, matches speedup rows between a freshly measured artifact and the
+committed trajectory, and produces a structured :class:`GateResult` instead
+of printing directly -- the CLI wrapper prints, the report renders.
+
+Rows match on ``(section, format, backend, fusion)``; only the concurrent
+backends (:data:`GATED_BACKENDS`) gate, since that is the trajectory the
+north star tracks.  Absolute speedups are machine- and size-dependent, so
+the check is deliberately lenient: a current row must reach ``tolerance``
+(default 0.5) of the stored speedup when both runs measured the same problem
+size *on the same core count*, and the looser ``cross_size_tolerance``
+(default 0.25) when either differs -- the machine stamp
+(:func:`machine_stamp`, written by ``bench_utils.record_bench`` since PR 8)
+is read backfill-tolerantly, so pre-stamp artifacts compare exactly as
+before.  Missing baselines, sections or rows are reported but never fail
+the check -- the gate only ever compares what both artifacts measured.
+
+When the current artifact carries a ``trace_overhead`` section, every
+recorded overhead fraction in :data:`OVERHEAD_FIELDS` is additionally gated
+against ``max_trace_overhead``: plain tracing (``overhead_fraction``) and
+tracing combined with the metrics registry
+(``metered_overhead_fraction``) must both stay cheap enough to leave the
+timings they explain unperturbed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Tuple
+
+__all__ = [
+    "SECTIONS",
+    "GATED_BACKENDS",
+    "OVERHEAD_FIELDS",
+    "GateResult",
+    "load_artifact",
+    "machine_stamp",
+    "speedup_rows",
+    "check_trajectory",
+]
+
+#: Sections carrying speedup rows, with the per-row key fields.
+SECTIONS = ("parallel_speedup", "compress_scaling")
+
+#: Backends whose speedup trajectory gates the check.
+GATED_BACKENDS = ("thread", "parallel", "process")
+
+#: Overhead fractions gated in the ``trace_overhead`` section:
+#: ``(field, label)`` pairs.  ``overhead_fraction`` is measured tracing
+#: alone; ``metered_overhead_fraction`` is tracing plus the metrics registry
+#: (the combined observability cost).
+OVERHEAD_FIELDS = (
+    ("overhead_fraction", "traced"),
+    ("metered_overhead_fraction", "traced+metered"),
+)
+
+
+def load_artifact(path: Path) -> Dict[str, Any]:
+    """Load one ``BENCH_runtime.json``-shaped artifact (a JSON object)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a JSON object, got {type(data).__name__}")
+    return data
+
+
+def machine_stamp(section: Mapping[str, Any]) -> Dict[str, Any]:
+    """The section's machine stamp (git SHA, hostname, cpu_count, recorded_at).
+
+    Backfill-tolerant: artifacts recorded before ``record_bench`` stamped the
+    machine return ``{}``, and every consumer must treat absent keys as
+    unknown (compare leniently, render as ``-``).
+    """
+    stamp = section.get("machine")
+    return dict(stamp) if isinstance(stamp, Mapping) else {}
+
+
+def speedup_rows(section: Mapping[str, Any]) -> Iterator[Tuple[Tuple, float, int]]:
+    """Yield ``(key, speedup, n)`` per gated row of one benchmark section."""
+    n = int(section.get("n", 0))
+    for row in section.get("rows", ()):
+        backend = row.get("backend")
+        if backend not in GATED_BACKENDS or "speedup" not in row:
+            continue
+        key = (row.get("format"), backend, bool(row.get("fusion", False)))
+        yield key, float(row["speedup"]), int(row.get("n", n))
+
+
+@dataclass
+class GateResult:
+    """Outcome of one trajectory check: log lines, failures, compare count."""
+
+    lines: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def log(self, line: str) -> None:
+        self.lines.append(line)
+
+    def fail(self, line: str) -> None:
+        self.failures.append(line)
+
+    def summary(self) -> str:
+        if self.failures:
+            head = f"{len(self.failures)} benchmark gate failure(s):"
+            return "\n".join([head] + [f"  {line}" for line in self.failures])
+        if not self.compared:
+            return "no comparable speedup rows between the two artifacts"
+        return f"all {self.compared} compared speedups within tolerance"
+
+
+def _check_speedups(
+    result: GateResult,
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    *,
+    tolerance: float,
+    cross_size_tolerance: float,
+) -> None:
+    for name in SECTIONS:
+        cur_section = current.get(name)
+        base_section = baseline.get(name)
+        if not isinstance(cur_section, dict) or not isinstance(base_section, dict):
+            result.log(f"section {name!r}: missing on one side, skipped")
+            continue
+        # Different core counts measure different trajectories (the
+        # single-core-container caveat of ROADMAP item 1): fall back to the
+        # lenient cross tolerance, as for a size mismatch.  Unknown stamps
+        # (pre-stamp artifacts) compare at full strictness, as before.
+        cur_cpus = machine_stamp(cur_section).get("cpu_count")
+        base_cpus = machine_stamp(base_section).get("cpu_count")
+        same_machine_class = (
+            cur_cpus is None or base_cpus is None or cur_cpus == base_cpus
+        )
+        base_rows = {key: (s, n) for key, s, n in speedup_rows(base_section)}
+        for key, cur_speedup, cur_n in speedup_rows(cur_section):
+            if key not in base_rows:
+                continue
+            base_speedup, base_n = base_rows[key]
+            if base_speedup <= 0:
+                continue
+            comparable = cur_n == base_n and same_machine_class
+            tol = tolerance if comparable else cross_size_tolerance
+            floor = tol * base_speedup
+            result.compared += 1
+            verdict = "ok" if cur_speedup >= floor else "REGRESSED"
+            cpus_note = (
+                "" if same_machine_class else f", cpus {base_cpus}->{cur_cpus}"
+            )
+            result.log(
+                f"{name} {key}: current {cur_speedup:.2f}x (n={cur_n}) vs "
+                f"stored {base_speedup:.2f}x (n={base_n}{cpus_note}), "
+                f"floor {floor:.2f}x -> {verdict}"
+            )
+            if cur_speedup < floor:
+                fmt, backend, fusion = key
+                result.fail(
+                    f"{name}: format={fmt} backend={backend} fusion={fusion} "
+                    f"n={cur_n}: current {cur_speedup:.2f}x < floor {floor:.2f}x "
+                    f"(stored {base_speedup:.2f}x at n={base_n}, "
+                    f"short by {(floor - cur_speedup) / floor * 100:.0f}%)"
+                )
+
+
+def _check_overheads(
+    result: GateResult, current: Mapping[str, Any], max_overhead: float
+) -> None:
+    section = current.get("trace_overhead")
+    if not isinstance(section, dict):
+        result.log("section 'trace_overhead': not in the current artifact, skipped")
+        return
+    checked = False
+    for fraction_key, label in OVERHEAD_FIELDS:
+        fraction = section.get(fraction_key)
+        if not isinstance(fraction, (int, float)):
+            continue
+        checked = True
+        best_key = "traced_best" if label == "traced" else "metered_best"
+        verdict = "ok" if fraction <= max_overhead else "TOO EXPENSIVE"
+        result.log(
+            f"trace_overhead[{label}]: measured {fraction * 100:+.2f}% "
+            f"(untraced {section.get('untraced_best', float('nan')):.4f}s vs "
+            f"{label} {section.get(best_key, float('nan')):.4f}s, "
+            f"n={section.get('n')}, best of {section.get('repeats')}) "
+            f"<= limit {max_overhead * 100:.1f}% -> {verdict}"
+        )
+        if fraction > max_overhead:
+            result.fail(
+                f"trace_overhead[{label}]: {fraction * 100:+.2f}% exceeds the "
+                f"{max_overhead * 100:.1f}% limit "
+                f"(untraced {section.get('untraced_best')}s, "
+                f"{label} {section.get(best_key)}s)"
+            )
+    if not checked:
+        result.log("section 'trace_overhead': no overhead fraction recorded, skipped")
+
+
+def check_trajectory(
+    current_path: Path,
+    baseline_path: Path,
+    *,
+    tolerance: float = 0.5,
+    cross_size_tolerance: float = 0.25,
+    max_trace_overhead: float = 0.03,
+) -> GateResult:
+    """Compare a fresh artifact against the committed trajectory.
+
+    Returns a :class:`GateResult`; callers decide how to print it (the CLI
+    wrapper echoes ``lines`` then ``summary()``; ``repro benchreport`` folds
+    the deltas into its tables).
+    """
+    result = GateResult()
+    current = load_artifact(Path(current_path))
+    baseline_path = Path(baseline_path)
+    if not baseline_path.exists():
+        result.log(
+            f"no committed baseline at {baseline_path}; skipping speedup comparison"
+        )
+        baseline: Dict[str, Any] = {}
+    else:
+        baseline = load_artifact(baseline_path)
+    _check_speedups(
+        result, current, baseline,
+        tolerance=tolerance, cross_size_tolerance=cross_size_tolerance,
+    )
+    _check_overheads(result, current, max_trace_overhead)
+    return result

@@ -80,6 +80,11 @@ class ExecutionPolicy:
         of every runtime execution; the trace rides on the backend report
         (``report.trace``) and on :attr:`DTDRuntime.last_trace`.  Ignored by
         ``"off"`` (no task graph is recorded).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` accumulating task
+        counters, latency histograms and memory gauges across every runtime
+        execution under this policy (see :mod:`repro.obs.runtime_metrics` for
+        the metric vocabulary).  Like ``trace``, ignored by ``"off"``.
     """
 
     backend: str = "off"
@@ -90,6 +95,7 @@ class ExecutionPolicy:
     fusion: Optional[bool] = None
     batch_slots: Optional[int] = None
     trace: bool = False
+    metrics: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -120,6 +126,7 @@ class ExecutionPolicy:
         fusion: Optional[bool] = None,
         batch_slots: Optional[int] = None,
         trace: bool = False,
+        metrics: Optional[Any] = None,
     ) -> "ExecutionPolicy":
         """Normalize a facade-style ``use_runtime`` argument into a policy.
 
@@ -142,6 +149,7 @@ class ExecutionPolicy:
             fusion=fusion,
             batch_slots=batch_slots,
             trace=trace,
+            metrics=metrics,
         )
 
     @property
@@ -178,9 +186,13 @@ class ExecutionPolicy:
         sequential backends record in their own mode.
         """
         if self.backend in ("parallel", "process", "distributed"):
-            return DTDRuntime(execution="deferred", trace=self.trace)
+            return DTDRuntime(
+                execution="deferred", trace=self.trace, metrics=self.metrics
+            )
         if self.backend in ("immediate", "deferred"):
-            return DTDRuntime(execution=self.backend, trace=self.trace)
+            return DTDRuntime(
+                execution=self.backend, trace=self.trace, metrics=self.metrics
+            )
         raise ValueError("backend 'off' does not record a task graph")
 
     def resolve_distribution(self, max_level: int) -> DistributionStrategy:
@@ -222,6 +234,8 @@ class ExecutionPolicy:
             # bodies have not run yet, so turning tracing on here still
             # captures every span (immediate bodies recorded their own).
             runtime.trace = True
+        if self.metrics is not None and runtime.metrics is None:
+            runtime.metrics = self.metrics
         if self.backend == "distributed":
             if runtime.num_tasks == 0:
                 return None

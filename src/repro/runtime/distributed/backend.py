@@ -81,6 +81,10 @@ class DistributedReport:
     trace:
         Measured :class:`~repro.runtime.tracing.ExecutionTrace` merging all
         ranks onto one clock-aligned timeline (``trace=True`` runs only).
+    memory:
+        :class:`~repro.obs.memory.MemoryStats` with the parent's peak RSS,
+        every rank's peak RSS and the handle-table byte accounting (metrics
+        runs only).
     """
 
     nodes: int
@@ -94,6 +98,7 @@ class DistributedReport:
     per_rank: Dict[int, Dict[str, float]] = field(default_factory=dict)
     wall_time: float = 0.0
     trace: Any = None
+    memory: Any = None
 
     @property
     def ok(self) -> bool:
@@ -160,6 +165,7 @@ def _worker_main(
     report_queue: Any,
     collect: Optional[Callable[[], Any]],
     trace: bool = False,
+    metrics: bool = False,
 ) -> None:
     """Event loop of one worker process (runs in a forked child).
 
@@ -168,8 +174,13 @@ def _worker_main(
     raw tuples back in :class:`WorkerResult` -- all stamps are absolute
     ``perf_counter`` values on the parent's clock (fork shares
     ``CLOCK_MONOTONIC``).
+
+    With ``metrics`` the same stamps additionally feed a rank-local
+    :class:`~repro.obs.metrics.MetricsRegistry`, whose snapshot ships back
+    in ``result.metrics`` for the parent to merge.
     """
     t0 = time.perf_counter()
+    stamp = trace or metrics
     result = WorkerResult(rank=rank)
     succ, pred = graph.adjacency()
     local = [t.tid for t in graph.tasks if proc_of[t.tid] == rank]
@@ -180,19 +191,21 @@ def _worker_main(
     heapq.heapify(ready)
     inbox = inboxes[rank]
     ready_at: Dict[int, float] = {}
-    if trace:
+    ready_hw = len(ready)
+    if stamp:
         for _, tid in ready:
             ready_at[tid] = t0
 
     def apply_message(msg: DataMessage) -> None:
         # Install the remote values, then release the dependency: receipt of
         # the data *is* the producer's completion notification.
-        tr0 = time.perf_counter() if trace else 0.0
+        nonlocal ready_hw
+        tr0 = time.perf_counter() if stamp else 0.0
         handles = graph.edge_data.get(msg.edge, [])
         for handle, value in zip(handles, pickle.loads(msg.payload)):
             if value is not None:
                 handle.set_value(value)
-        if trace:
+        if stamp:
             result.comm_spans.append(
                 ("recv", msg.src, rank, msg.edge, len(msg.payload),
                  tr0, time.perf_counter())
@@ -201,8 +214,9 @@ def _worker_main(
         remaining[consumer] -= 1
         if remaining[consumer] == 0:
             heapq.heappush(ready, (-priorities.get(consumer, 0.0), consumer))
-            if trace:
+            if stamp:
                 ready_at[consumer] = time.perf_counter()
+                ready_hw = max(ready_hw, len(ready))
 
     try:
         while len(result.executed) < len(local):
@@ -220,7 +234,7 @@ def _worker_main(
                 continue
             _, tid = heapq.heappop(ready)
             task = graph.task(tid)
-            t_start = time.perf_counter() if trace else 0.0
+            t_start = time.perf_counter() if stamp else 0.0
             try:
                 task.run()
             except BaseException as exc:
@@ -228,9 +242,9 @@ def _worker_main(
                     rank, tid, task.name, repr(exc), traceback.format_exc()
                 )
                 break
-            t_end = time.perf_counter() if trace else 0.0
+            t_end = time.perf_counter() if stamp else 0.0
             result.executed.append(tid)
-            if trace:
+            if stamp:
                 result.spans.append((tid, ready_at.get(tid, t0), t_start, t_end))
             comm_round = 0.0
             for nxt in succ.get(tid, []):
@@ -239,17 +253,18 @@ def _worker_main(
                     remaining[nxt] -= 1
                     if remaining[nxt] == 0:
                         heapq.heappush(ready, (-priorities.get(nxt, 0.0), nxt))
-                        if trace:
+                        if stamp:
                             ready_at[nxt] = time.perf_counter()
+                            ready_hw = max(ready_hw, len(ready))
                 else:
                     handles = graph.edge_data.get((tid, nxt), [])
-                    ts0 = time.perf_counter() if trace else 0.0
+                    ts0 = time.perf_counter() if stamp else 0.0
                     values = tuple(h.get_value() if h.bound else None for h in handles)
                     # Serialize once: the pickled payload both crosses the
                     # queue and yields the measured byte count.
                     payload = pickle.dumps(values, pickle.HIGHEST_PROTOCOL)
                     inboxes[dst].put(DataMessage(edge=(tid, nxt), src=rank, dst=dst, payload=payload))
-                    if trace:
+                    if stamp:
                         ts1 = time.perf_counter()
                         comm_round += ts1 - ts0
                         result.comm_spans.append(
@@ -265,7 +280,7 @@ def _worker_main(
                             payload_nbytes=len(payload),
                         )
                     )
-            if trace:
+            if stamp:
                 # Post-task bookkeeping (dependency release, scheduling),
                 # minus the timed communication it contained.
                 result.overhead += (time.perf_counter() - t_end) - comm_round
@@ -274,6 +289,32 @@ def _worker_main(
     except BaseException as exc:  # protocol/serialization failure, not a task body
         if result.error is None:
             result.error = RemoteTaskError(rank, -1, "<runtime>", repr(exc), traceback.format_exc())
+    if metrics:
+        # Rank-local registry, shipped home as a snapshot and merged by the
+        # parent -- recorded even on the error path, so a failed execution
+        # still accounts the tasks and messages that did happen.
+        try:
+            from repro.obs.metrics import MetricsRegistry
+            from repro.obs.runtime_metrics import record_queue_depth, record_rank_execution
+
+            registry = MetricsRegistry()
+            record_rank_execution(
+                registry,
+                backend="distributed",
+                rank=rank,
+                graph=graph,
+                spans=result.spans,
+                comm_events=result.events,
+                comm_spans=result.comm_spans,
+                overhead=result.overhead,
+            )
+            record_queue_depth(registry, "distributed", ready_hw)
+            result.metrics = registry.snapshot()
+        except BaseException as exc:  # never let accounting kill the report
+            if result.error is None:
+                result.error = RemoteTaskError(
+                    rank, -1, "<metrics>", repr(exc), traceback.format_exc()
+                )
     result.wall_time = time.perf_counter() - t0
     report_queue.put(result)
 
@@ -287,6 +328,7 @@ def execute_graph_distributed(
     timeout: Optional[float] = None,
     raise_on_error: bool = True,
     trace: bool = False,
+    metrics=None,
 ) -> DistributedReport:
     """Execute all task bodies of ``graph`` across ``nodes`` worker processes.
 
@@ -319,6 +361,16 @@ def execute_graph_distributed(
         Record per-rank task spans and timed communication actions and merge
         them into one clock-aligned
         :class:`~repro.runtime.tracing.ExecutionTrace` on ``report.trace``.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  Each rank
+        records its task and comm metrics (message counts, logical bytes
+        from the declared handle sizes, measured pickled payload bytes,
+        per-edge transfer histograms) into a rank-local registry whose
+        snapshot ships back in its :class:`WorkerResult`; the parent merges
+        every snapshot into ``metrics``, adds the execution-level counters
+        and memory gauges, and fills ``report.memory``.  The registry's byte
+        counters reconcile with ``report.ledger`` by construction (both are
+        fed from the same :class:`CommEvent` rows).
 
     Returns
     -------
@@ -333,6 +385,13 @@ def execute_graph_distributed(
     t0 = time.perf_counter()
     report = DistributedReport(nodes=nodes, num_tasks=graph.num_tasks)
     if graph.num_tasks == 0:
+        if metrics is not None:
+            from repro.obs.memory import handle_table_bytes
+            from repro.obs.runtime_metrics import record_memory, record_report
+
+            record_report(metrics, "distributed", report)
+            report.memory = handle_table_bytes(graph)
+            record_memory(metrics, "distributed", report.memory)
         return report
     # Fail fast on graphs no scheduler could drain -- otherwise the workers
     # would block on their inboxes forever.
@@ -353,7 +412,8 @@ def execute_graph_distributed(
     workers = [
         ctx.Process(
             target=_worker_main,
-            args=(rank, graph, proc_of, priorities, inboxes, report_queue, collect, trace),
+            args=(rank, graph, proc_of, priorities, inboxes, report_queue, collect,
+                  trace, metrics is not None),
             name=f"dtd-rank{rank}",
             daemon=True,
         )
@@ -442,6 +502,30 @@ def execute_graph_distributed(
         settled = set(report.executed) | set(report.errors)
         report.cancelled = [t.tid for t in graph.tasks if t.tid not in settled]
     report.wall_time = time.perf_counter() - t0
+
+    if metrics is not None:
+        from repro.obs.memory import handle_table_bytes
+        from repro.obs.runtime_metrics import record_memory, record_report
+
+        # Fold every rank's registry snapshot into the caller's registry
+        # (rank-side: executed counters, per-kind latency, comm counters and
+        # histograms, rank RSS), then add what only the parent knows: the
+        # execution-level counters and the handle-table/memory gauges.
+        for rank in sorted(results):
+            snapshot = results[rank].metrics
+            if snapshot:
+                metrics.merge(snapshot)
+        # Ranks already counted their own completed tasks in their snapshots.
+        record_report(metrics, "distributed", report, include_executed=False)
+        memory = handle_table_bytes(graph)
+        for rank in sorted(results):
+            rank_rss = metrics.value(
+                "repro_peak_rss_bytes", backend="distributed", rank=str(rank)
+            )
+            if rank_rss:
+                memory.rank_peak_rss_bytes[rank] = int(rank_rss)
+        record_memory(metrics, "distributed", memory)
+        report.memory = memory
 
     if trace:
         from repro.runtime.tracing import CommSpan, ExecutionTrace, build_spans

@@ -52,6 +52,11 @@ class WorkerResult:
     :class:`~repro.runtime.tracing.ExecutionTrace` by the parent.
     ``overhead`` is the worker's measured bookkeeping time (dependency
     release, scheduling) outside task bodies and communication.
+
+    When the execution carries a metrics registry, ``metrics`` is the rank's
+    local :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (a plain
+    picklable dict) -- the same shuttle pattern as the trace stamps; the
+    parent merges every rank's snapshot into the caller's registry.
     """
 
     rank: int
@@ -63,6 +68,7 @@ class WorkerResult:
     spans: List[Tuple[int, float, float, float]] = field(default_factory=list)
     comm_spans: List[Tuple] = field(default_factory=list)
     overhead: float = 0.0
+    metrics: Any = None
 
 
 class RemoteTaskError(RuntimeError):

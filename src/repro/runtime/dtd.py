@@ -55,13 +55,23 @@ class DTDRuntime:
         stamped at DTD level; the parallel/process/distributed backends
         receive the flag and attach their own traces.  The most recent trace
         is available as :attr:`last_trace`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` accumulating
+        task counters, per-kind latency histograms and memory gauges across
+        every execution of this runtime.  Sequential runs record at DTD
+        level (from the same stamps tracing uses); the backend runners
+        receive the registry and record their own metrics (the distributed
+        backend merges per-rank registry snapshots into it).
     """
 
-    def __init__(self, execution: str = "immediate", *, trace: bool = False) -> None:
+    def __init__(
+        self, execution: str = "immediate", *, trace: bool = False, metrics=None
+    ) -> None:
         if execution not in ("immediate", "deferred", "symbolic"):
             raise ValueError(f"unknown execution mode {execution!r}")
         self.execution = execution
         self.trace = bool(trace)
+        self.metrics = metrics
         self.graph = TaskGraph()
         self._next_tid = 0
         self._last_writer: Dict[int, int] = {}
@@ -71,6 +81,9 @@ class DTDRuntime:
         self._failed: Optional[BaseException] = None
         #: Raw sequential span tuples (immediate bodies / run()), absolute stamps.
         self._span_log: List[tuple] = []
+        #: Span-log prefix already folded into the metrics registry (so
+        #: repeated run() calls never double-count a task).
+        self._metrics_upto = 0
         #: Report of the most recent :meth:`run_distributed` call (or None).
         self.last_distributed_report = None
         #: Report of the most recent :meth:`run_parallel` call (or None).
@@ -165,7 +178,7 @@ class DTDRuntime:
                 self._readers_since_write[hid] = []
 
         if self.execution == "immediate" and task.func is not None:
-            if self.trace:
+            if self.trace or self.metrics is not None:
                 queue_t = time.perf_counter()
                 task.run()
                 self._span_log.append(
@@ -243,7 +256,7 @@ class DTDRuntime:
             ) from self._failed
         for task in self.graph.tasks:
             if task.tid not in self._executed and task.func is not None:
-                if self.trace:
+                if self.trace or self.metrics is not None:
                     queue_t = time.perf_counter()
                     task.run()
                     self._span_log.append(
@@ -255,6 +268,14 @@ class DTDRuntime:
                 self._executed.add(task.tid)
         if self.trace and self._span_log:
             self.assemble_trace()
+        if self.metrics is not None:
+            from repro.obs.runtime_metrics import record_sequential_run
+
+            record_sequential_run(
+                self.metrics, self.execution, self.graph,
+                self._span_log[self._metrics_upto:],
+            )
+            self._metrics_upto = len(self._span_log)
 
     def assemble_trace(self):
         """Build the :class:`~repro.runtime.tracing.ExecutionTrace` of the
@@ -314,7 +335,8 @@ class DTDRuntime:
             )
         try:
             report = execute_graph(
-                self.graph, n_workers=n_workers, timeout=timeout, trace=self.trace
+                self.graph, n_workers=n_workers, timeout=timeout,
+                trace=self.trace, metrics=self.metrics,
             )
         except BaseException as exc:
             partial = getattr(exc, "execution_report", None)
@@ -386,7 +408,7 @@ class DTDRuntime:
         try:
             report = execute_graph_distributed(
                 self.graph, nodes=nodes, strategy=strategy, collect=collect,
-                timeout=timeout, trace=self.trace,
+                timeout=timeout, trace=self.trace, metrics=self.metrics,
             )
         except BaseException as exc:
             partial = getattr(exc, "execution_report", None)
@@ -442,7 +464,7 @@ class DTDRuntime:
         try:
             report = execute_graph_processes(
                 self.graph, n_workers=n_workers, collect=collect,
-                timeout=timeout, trace=self.trace,
+                timeout=timeout, trace=self.trace, metrics=self.metrics,
             )
         except BaseException as exc:
             partial = getattr(exc, "execution_report", None)

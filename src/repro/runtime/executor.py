@@ -29,6 +29,7 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+import pickle
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -66,6 +67,10 @@ class ExecutionReport:
     trace:
         Measured :class:`~repro.runtime.tracing.ExecutionTrace` when the
         execution ran with ``trace=True`` (None otherwise).
+    memory:
+        :class:`~repro.obs.memory.MemoryStats` (peak RSS + handle-table
+        logical/measured bytes) when the execution ran with a metrics
+        registry (None otherwise).
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class ExecutionReport:
         self.wall_time: float = 0.0
         self.fragments: List = []
         self.trace = None
+        self.memory = None
 
     @property
     def ok(self) -> bool:
@@ -113,6 +119,7 @@ def execute_graph(
     priorities: Optional[Mapping[int, float]] = None,
     raise_on_error: bool = True,
     trace: bool = False,
+    metrics=None,
 ) -> ExecutionReport:
     """Execute all task bodies of ``graph`` with ``n_workers`` threads.
 
@@ -145,6 +152,15 @@ def execute_graph(
         (per-task spans, per-worker dispatch overhead and wait time) onto
         ``report.trace``.  The workers only append stamp tuples while tasks
         run; span objects are built after the graph drains.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When given,
+        the execution records task counters, per-kind latency and
+        queue-delay histograms, scheduler overhead, the ready-queue high
+        water and memory gauges into it (metric names in
+        :mod:`repro.obs.runtime_metrics`), and ``report.memory`` is filled.
+        The same stamps feed the trace and the histograms, so the two
+        surfaces always agree; ``report.trace`` is still only attached for
+        ``trace=True``.
 
     Returns
     -------
@@ -152,6 +168,9 @@ def execute_graph(
         ``report.ok`` is True when every task ran without raising.
     """
     t0 = time.perf_counter()
+    # Metrics ride on the same stamps tracing uses: enabling either turns
+    # stamping on, and the histograms are derived from the built spans.
+    stamp = trace or metrics is not None
     succ, pred = graph.adjacency()
     remaining = {t.tid: len(pred.get(t.tid, [])) for t in graph.tasks}
     # Report the worker count that will actually be spawned, not the request.
@@ -163,6 +182,12 @@ def execute_graph(
     )
     if graph.num_tasks == 0:
         report.wall_time = time.perf_counter() - t0
+        if metrics is not None:
+            from repro.obs.runtime_metrics import record_execution_metrics
+
+            report.memory = record_execution_metrics(
+                metrics, backend="parallel", report=report, graph=graph
+            )
         return report
 
     # Fail fast on graphs the scheduler could never drain -- otherwise the
@@ -181,14 +206,14 @@ def execute_graph(
     heapq.heapify(ready)
     started: set = set()
     cancelled_set: set = set()
-    state = {"inflight": 0, "stop": False, "timed_out": False}
+    state = {"inflight": 0, "stop": False, "timed_out": False, "ready_hw": len(ready)}
     # Tracing state: per-worker raw stamp tuples and measured dispatch
     # overhead, plus the ready-time of every dispatched task (guarded by
     # `cond`, like the heap it annotates).
     ready_at: Dict[int, float] = {}
     span_logs: List[List[tuple]] = [[] for _ in range(actual_workers)]
     overhead_log: List[float] = [0.0] * actual_workers
-    if trace:
+    if stamp:
         for _, tid in ready:
             ready_at[tid] = t0
 
@@ -212,11 +237,11 @@ def execute_graph(
             # Dispatch: everything inside the condition block that is not
             # cond.wait counts as measured runtime overhead; the wait itself
             # is the worker's idle time.
-            tb0 = time.perf_counter() if trace else 0.0
+            tb0 = time.perf_counter() if stamp else 0.0
             idle_round = 0.0
             with cond:
                 while not ready and not state["stop"]:
-                    if trace:
+                    if stamp:
                         tw0 = time.perf_counter()
                         cond.wait()
                         idle_round += time.perf_counter() - tw0
@@ -230,14 +255,14 @@ def execute_graph(
                 state["inflight"] += 1
             task = graph.task(tid)
             error: Optional[BaseException] = None
-            if trace:
+            if stamp:
                 t_start = time.perf_counter()
                 overhead += (t_start - tb0) - idle_round
             try:
                 task.run()
             except BaseException as exc:  # propagate through the report
                 error = exc
-            if trace:
+            if stamp:
                 t_end = time.perf_counter()
             with cond:
                 state["inflight"] -= 1
@@ -246,25 +271,27 @@ def execute_graph(
                     _cancel_unstarted()
                 else:
                     report.executed.append(tid)
-                    if trace:
+                    if stamp:
                         spans.append(
                             (tid, task.name, task.kind, task.phase, widx, 0,
                              ready_at.get(tid, t0), t_start, t_end)
                         )
                     if not state["stop"]:
-                        now = time.perf_counter() if trace else 0.0
+                        now = time.perf_counter() if stamp else 0.0
                         for nxt in succ.get(tid, []):
                             remaining[nxt] -= 1
                             if remaining[nxt] == 0:
                                 heapq.heappush(ready, (-priorities.get(nxt, 0.0), nxt))
-                                if trace:
+                                if stamp:
                                     ready_at[nxt] = now
+                        if stamp and len(ready) > state["ready_hw"]:
+                            state["ready_hw"] = len(ready)
                         if ready:
                             cond.notify_all()
                 if _settled() == graph.num_tasks and state["inflight"] == 0:
                     state["stop"] = True
                     cond.notify_all()
-            if trace:
+            if stamp:
                 overhead += time.perf_counter() - t_end
 
     threads = [
@@ -291,7 +318,7 @@ def execute_graph(
             thread.join()
         report.timed_out = state["timed_out"]
         report.wall_time = time.perf_counter() - t0
-        if trace:
+        if stamp:
             from repro.runtime.tracing import ExecutionTrace, build_spans
 
             tr = ExecutionTrace(
@@ -303,7 +330,19 @@ def execute_graph(
                 [item for log in span_logs for item in log], t0
             )
             tr.worker_overhead = {w: o for w, o in enumerate(overhead_log)}
-            report.trace = tr
+            if trace:
+                report.trace = tr
+            if metrics is not None:
+                from repro.obs.runtime_metrics import record_execution_metrics
+
+                report.memory = record_execution_metrics(
+                    metrics,
+                    backend="parallel",
+                    report=report,
+                    trace=tr,
+                    graph=graph,
+                    queue_high_water=state["ready_hw"],
+                )
 
     if raise_on_error:
         # A task error outranks a concurrent timeout: TimeoutError means
@@ -337,29 +376,35 @@ _POOL_STATE: Dict[str, Any] = {}
 def _pool_run_task(tid: int, inject: Dict[int, Any]) -> tuple:
     """Run one task inside a pool worker.
 
-    Returns ``(written_values, span)`` where ``span`` is None untraced, or the
-    raw stamp tuple ``(pid, install_t0, install_t1, run_t0, run_t1, gather_t1)``
-    -- absolute ``perf_counter`` stamps on the parent's clock (fork shares
-    ``CLOCK_MONOTONIC``), split into handle-install (recv), task body
-    (compute) and written-value gather (send) intervals.
+    Returns ``(written_values, span, phys_nbytes)`` where ``span`` is None
+    unstamped, or the raw stamp tuple ``(pid, install_t0, install_t1, run_t0,
+    run_t1, gather_t1)`` -- absolute ``perf_counter`` stamps on the parent's
+    clock (fork shares ``CLOCK_MONOTONIC``), split into handle-install
+    (recv), task body (compute) and written-value gather (send) intervals.
+    ``phys_nbytes`` is the measured pickled size of the written values (what
+    actually crosses the fork boundary back to the parent), or None when the
+    execution carries no metrics registry.
     """
-    trace = _POOL_STATE.get("trace", False)
-    t_in0 = time.perf_counter() if trace else 0.0
+    stamp = _POOL_STATE.get("trace", False)
+    t_in0 = time.perf_counter() if stamp else 0.0
     graph = _POOL_STATE["graph"]
     by_hid = _POOL_STATE["by_hid"]
     for hid, value in inject.items():
         by_hid[hid].set_value(value)
     task = graph.task(tid)
-    t_run0 = time.perf_counter() if trace else 0.0
+    t_run0 = time.perf_counter() if stamp else 0.0
     task.run()
-    t_run1 = time.perf_counter() if trace else 0.0
+    t_run1 = time.perf_counter() if stamp else 0.0
     out: Dict[int, Any] = {}
     for handle in task.write_handles:
         if handle.bound:
             out[handle.hid] = handle.get_value()
-    if not trace:
-        return out, None
-    return out, (os.getpid(), t_in0, t_run0, t_run0, t_run1, time.perf_counter())
+    phys = None
+    if _POOL_STATE.get("measure", False) and out:
+        phys = len(pickle.dumps(out, pickle.HIGHEST_PROTOCOL))
+    if not stamp:
+        return out, None, phys
+    return out, (os.getpid(), t_in0, t_run0, t_run0, t_run1, time.perf_counter()), phys
 
 
 def _pool_collect(_slot: int) -> Any:
@@ -408,6 +453,7 @@ def execute_graph_processes(
     collect: Optional[Callable[[], Any]] = None,
     raise_on_error: bool = True,
     trace: bool = False,
+    metrics=None,
 ) -> ExecutionReport:
     """Execute all task bodies of ``graph`` on ``n_workers`` forked processes.
 
@@ -435,10 +481,18 @@ def execute_graph_processes(
     is measured as ``scheduler_overhead``.  Fork shares ``CLOCK_MONOTONIC``,
     so child stamps merge directly onto the parent's timeline in
     ``report.trace``.
+
+    With a ``metrics`` registry the execution additionally records task
+    counters and latency histograms (derived from the same stamps) plus the
+    handle-shuttle traffic as comm metrics: every inject (parent -> pool)
+    and every gather (pool -> parent) counts one message, with *logical*
+    bytes from the declared handle sizes and *physical* bytes from the
+    measured pickled payloads.  ``report.memory`` is filled.
     """
     if "fork" not in multiprocessing.get_all_start_methods():
         raise RuntimeError("the process backend requires fork (POSIX)")
     t0 = time.perf_counter()
+    stamp = trace or metrics is not None
     succ, pred = graph.adjacency()
     remaining = {t.tid: len(pred.get(t.tid, [])) for t in graph.tasks}
     actual_workers = max(1, min(n_workers, graph.num_tasks)) if graph.num_tasks else 0
@@ -449,6 +503,12 @@ def execute_graph_processes(
     )
     if graph.num_tasks == 0:
         report.wall_time = time.perf_counter() - t0
+        if metrics is not None:
+            from repro.obs.runtime_metrics import record_execution_metrics
+
+            report.memory = record_execution_metrics(
+                metrics, backend="process", report=report, graph=graph
+            )
         return report
 
     graph.validate_drainable()
@@ -478,15 +538,23 @@ def execute_graph_processes(
     submit_at: Dict[int, float] = {}
     child_spans: List[tuple] = []   # (tid, pid, in0, in1, run0, run1, out1)
     sched_overhead = 0.0
+    # Metrics state: handle-shuttle messages as (src, dst, logical, physical)
+    # byte tuples, recorded after the run, and the ready-queue high water.
+    shuttle_msgs: List[tuple] = []
+    ready_hw = len(ready)
 
     _POOL_STATE["graph"] = graph
     _POOL_STATE["by_hid"] = by_hid
     _POOL_STATE["collect"] = collect
-    _POOL_STATE["trace"] = trace
+    _POOL_STATE["trace"] = stamp
+    _POOL_STATE["measure"] = metrics is not None
     _POOL_STATE["barrier"] = ctx.Barrier(actual_workers) if collect is not None else None
     pool = ProcessPoolExecutor(max_workers=actual_workers, mp_context=ctx)
     try:
         def submit_ready() -> None:
+            nonlocal ready_hw
+            if stamp and len(ready) > ready_hw:
+                ready_hw = len(ready)
             while ready:
                 _, tid = heapq.heappop(ready)
                 task = graph.task(tid)
@@ -496,8 +564,15 @@ def execute_graph_processes(
                     if h.bound and h.hid in dirty
                 }
                 started.add(tid)
-                if trace:
+                if stamp:
                     submit_at[tid] = time.perf_counter()
+                if metrics is not None and inject:
+                    logical = sum(
+                        h.nbytes for h in task.read_handles
+                        if h.bound and h.hid in inject
+                    )
+                    physical = len(pickle.dumps(inject, pickle.HIGHEST_PROTOCOL))
+                    shuttle_msgs.append(("parent", "pool", logical, physical))
                 futures[pool.submit(_pool_run_task, tid, inject)] = tid
 
         submit_ready()
@@ -508,11 +583,11 @@ def execute_graph_processes(
             if not done:
                 report.timed_out = True
                 break
-            ts0 = time.perf_counter() if trace else 0.0
+            ts0 = time.perf_counter() if stamp else 0.0
             for fut in done:
                 tid = futures.pop(fut)
                 try:
-                    writes, span = fut.result()
+                    writes, span, phys = fut.result()
                 except BaseException as exc:
                     report.errors[tid] = exc
                     stop = True
@@ -523,6 +598,9 @@ def execute_graph_processes(
                 report.executed.append(tid)
                 if span is not None:
                     child_spans.append((tid,) + span)
+                if phys is not None:
+                    logical = sum(by_hid[hid].nbytes for hid in writes)
+                    shuttle_msgs.append(("pool", "parent", logical, phys))
                 if not stop:
                     for nxt in succ.get(tid, []):
                         remaining[nxt] -= 1
@@ -530,7 +608,7 @@ def execute_graph_processes(
                             heapq.heappush(ready, (-priorities.get(nxt, 0.0), nxt))
             if not stop:
                 submit_ready()
-            if trace:
+            if stamp:
                 sched_overhead += time.perf_counter() - ts0
 
         if report.timed_out or report.errors:
@@ -542,7 +620,7 @@ def execute_graph_processes(
                     del futures[fut]
             for fut, tid in futures.items():
                 try:
-                    writes, span = fut.result()
+                    writes, span, phys = fut.result()
                 except BaseException as exc:
                     report.errors.setdefault(tid, exc)
                 else:
@@ -552,6 +630,9 @@ def execute_graph_processes(
                     report.executed.append(tid)
                     if span is not None:
                         child_spans.append((tid,) + span)
+                    if phys is not None:
+                        logical = sum(by_hid[hid].nbytes for hid in writes)
+                        shuttle_msgs.append(("pool", "parent", logical, phys))
             futures.clear()
             for task in graph.tasks:
                 if task.tid not in started:
@@ -569,7 +650,7 @@ def execute_graph_processes(
         pool.shutdown(wait=True)
         _POOL_STATE.clear()
         report.wall_time = time.perf_counter() - t0
-        if trace:
+        if stamp:
             from repro.runtime.tracing import CommSpan, ExecutionTrace, build_spans
 
             tr = ExecutionTrace(
@@ -604,7 +685,28 @@ def execute_graph_processes(
                         start_t=t_run1 - t0, end_t=t_out1 - t0,
                     ))
             tr.spans = build_spans(raw, t0)
-            report.trace = tr
+            if trace:
+                report.trace = tr
+            if metrics is not None:
+                from repro.obs.runtime_metrics import (
+                    record_comm_message,
+                    record_execution_metrics,
+                )
+
+                report.memory = record_execution_metrics(
+                    metrics,
+                    backend="process",
+                    report=report,
+                    trace=tr,
+                    graph=graph,
+                    queue_high_water=ready_hw,
+                )
+                for src, dst, logical, physical in shuttle_msgs:
+                    record_comm_message(
+                        metrics, "process",
+                        src=src, dst=dst,
+                        logical_bytes=logical, physical_bytes=physical,
+                    )
 
     if raise_on_error:
         if report.errors:

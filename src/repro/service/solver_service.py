@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -30,6 +30,7 @@ import numpy as np
 from repro.api import StructuredSolver
 from repro.core.rhs import validate_rhs
 from repro.distribution.strategies import DistributionStrategy
+from repro.obs.metrics import COUNT_BUCKETS, Histogram, MetricsRegistry
 from repro.pipeline.registry import get_format
 
 __all__ = [
@@ -124,52 +125,69 @@ class SolveTicket:
 _BUCKET_BOUNDS: Tuple[float, ...] = tuple(10.0 ** (k / 2.0) for k in range(-8, 5))
 
 
-@dataclass
 class LatencyHistogram:
     """Half-decade log-bucketed latency histogram (seconds).
 
     Buckets span 100 microseconds to 100 seconds with two buckets per decade
     (plus an overflow bucket), enough resolution to tell a cache-hit batch
     from a factorize-on-miss batch at a fixed, tiny memory cost.
+
+    A view over one :class:`repro.obs.metrics.Histogram` series: the counts
+    live in the service's :class:`~repro.obs.metrics.MetricsRegistry` (family
+    ``repro_service_batch_seconds``), and this class only preserves the
+    pre-registry API (``observe`` / ``quantile`` / ``summary`` and the
+    ``counts`` / ``count`` / ``total`` / ``min`` / ``max`` attributes) --
+    the latency a Prometheus scrape reports and the one
+    :meth:`SolverService.metrics` reports are the same numbers by
+    construction.
     """
 
-    counts: List[int] = field(default_factory=lambda: [0] * (len(_BUCKET_BOUNDS) + 1))
-    count: int = 0
-    total: float = 0.0
-    min: float = float("inf")
-    max: float = 0.0
+    __slots__ = ("_hist",)
+
+    def __init__(self, hist: Optional[Histogram] = None) -> None:
+        if hist is None:  # standalone use (tests); normally backed by a registry
+            hist = MetricsRegistry().histogram(
+                _BATCH_SECONDS[0], _BATCH_SECONDS[1], buckets=_BUCKET_BOUNDS
+            )
+        self._hist = hist
 
     def observe(self, seconds: float) -> None:
-        idx = 0
-        while idx < len(_BUCKET_BOUNDS) and seconds > _BUCKET_BOUNDS[idx]:
-            idx += 1
-        self.counts[idx] += 1
-        self.count += 1
-        self.total += seconds
-        self.min = min(self.min, seconds)
-        self.max = max(self.max, seconds)
+        self._hist.observe(seconds)
+
+    @property
+    def counts(self) -> List[int]:
+        return list(self._hist.counts)
+
+    @property
+    def count(self) -> int:
+        return self._hist.count
+
+    @property
+    def total(self) -> float:
+        return self._hist.sum
+
+    @property
+    def min(self) -> float:
+        return self._hist.min if self._hist.count else float("inf")
+
+    @property
+    def max(self) -> float:
+        return self._hist.max if self._hist.count else 0.0
 
     def quantile(self, q: float) -> float:
         """Upper bound of the bucket holding the ``q``-quantile observation."""
-        if self.count == 0:
-            return 0.0
-        target = q * self.count
-        seen = 0
-        for idx, n in enumerate(self.counts):
-            seen += n
-            if seen >= target and n:
-                return _BUCKET_BOUNDS[min(idx, len(_BUCKET_BOUNDS) - 1)]
-        return self.max
+        return self._hist.quantile(q)
 
     def summary(self) -> Dict[str, Any]:
         """JSON-serializable snapshot (count/total/mean/min/max/p50/p95 + buckets)."""
+        counts = self.counts
         buckets = {
             f"le_{_BUCKET_BOUNDS[i]:.4g}s": n
-            for i, n in enumerate(self.counts[:-1])
+            for i, n in enumerate(counts[:-1])
             if n
         }
-        if self.counts[-1]:
-            buckets["overflow"] = self.counts[-1]
+        if counts[-1]:
+            buckets["overflow"] = counts[-1]
         return {
             "count": self.count,
             "total": self.total,
@@ -182,34 +200,118 @@ class LatencyHistogram:
         }
 
 
-@dataclass
-class ServiceStats:
-    """Counters accumulated over the lifetime of one :class:`SolverService`."""
+#: ServiceStats counter attribute -> (metric name, help text).
+_STAT_COUNTERS: Dict[str, Tuple[str, str]] = {
+    "requests": ("repro_service_requests_total", "Tickets submitted"),
+    "solves": ("repro_service_solves_total", "Right-hand-side columns solved"),
+    "batches": ("repro_service_batches_total", "Batched graph solves executed"),
+    "cache_hits": ("repro_service_cache_hits_total", "Factorization cache hits"),
+    "cache_misses": ("repro_service_cache_misses_total", "Factorization cache misses"),
+    "evictions": (
+        "repro_service_evictions_total",
+        "Factorizations evicted from the LRU cache",
+    ),
+    "compress_tasks": (
+        "repro_service_compress_tasks_total",
+        "Compression graph tasks recorded (cache misses only)",
+    ),
+    "factor_tasks": (
+        "repro_service_factor_tasks_total",
+        "Factorization graph tasks recorded (cache misses only)",
+    ),
+}
 
-    requests: int = 0          #: tickets submitted
-    solves: int = 0            #: right-hand-side columns solved
-    batches: int = 0           #: batched graph solves executed
-    cache_hits: int = 0
-    cache_misses: int = 0
-    evictions: int = 0
-    factor_seconds: float = 0.0  #: wall time spent building + factorizing
-    solve_seconds: float = 0.0   #: wall time spent in batched solves
-    compress_tasks: int = 0    #: compression graph tasks executed (cache misses only)
-    factor_tasks: int = 0      #: factorization graph tasks executed (cache misses only)
-    compress_seconds: float = 0.0   #: stage timer: wall time building compressed matrices
-    factorize_seconds: float = 0.0  #: stage timer: wall time inside ULV factorizations
-    #: Per-factorization-key batch-solve latency histograms
-    #: (key label -> :class:`LatencyHistogram`).
-    latency: Dict[str, LatencyHistogram] = field(default_factory=dict)
+#: ServiceStats stage-timer attribute -> ``stage`` label value.
+_STAT_STAGES: Dict[str, str] = {
+    "compress_seconds": "compress",
+    "factorize_seconds": "factorize",
+    "factor_seconds": "factor",
+    "solve_seconds": "solve",
+}
+
+_STAGE_SECONDS = ("repro_service_stage_seconds_total", "Wall seconds per service stage")
+_BATCH_SECONDS = (
+    "repro_service_batch_seconds",
+    "Batched-solve wall seconds by factorization key",
+)
+_BATCH_RHS = (
+    "repro_service_batch_rhs",
+    "Right-hand-side columns per batched solve",
+)
+_QUEUE_DEPTH = ("repro_service_queue_depth", "Queued-ticket high-water mark")
+
+
+class ServiceStats:
+    """Counters accumulated over the lifetime of one :class:`SolverService`.
+
+    A *view* over the service's :class:`~repro.obs.metrics.MetricsRegistry`:
+    the attribute surface of the pre-registry dataclass is preserved
+    (including augmented assignment, ``stats.cache_hits += 1``), but every
+    counter, stage timer and latency histogram reads and writes registry
+    series (``repro_service_*``), so :meth:`SolverService.metrics` and the
+    Prometheus exposition can never disagree -- one source of truth.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Per-factorization-key batch-solve latency views
+        #: (key label -> :class:`LatencyHistogram`).
+        self.latency: Dict[str, LatencyHistogram] = {}
+        # Touch every series up front so the exposition reports zeros for a
+        # fresh service instead of omitting the families.
+        for name, help_text in _STAT_COUNTERS.values():
+            self.registry.counter(name, help_text)
+        for stage in _STAT_STAGES.values():
+            self.registry.counter(*_STAGE_SECONDS, stage=stage)
 
     @property
     def solves_per_sec(self) -> float:
         """Solved RHS columns per second of solve-phase wall time."""
-        return self.solves / self.solve_seconds if self.solve_seconds > 0 else 0.0
+        solve_seconds = self.solve_seconds
+        return self.solves / solve_seconds if solve_seconds > 0 else 0.0
 
     def observe_latency(self, label: str, seconds: float) -> None:
         """Record one batched-solve latency under ``label``."""
-        self.latency.setdefault(label, LatencyHistogram()).observe(seconds)
+        view = self.latency.get(label)
+        if view is None:
+            hist = self.registry.histogram(
+                *_BATCH_SECONDS, buckets=_BUCKET_BOUNDS, key=label
+            )
+            view = self.latency[label] = LatencyHistogram(hist)
+        view.observe(seconds)
+
+
+def _counter_view(attr: str) -> property:
+    name, help_text = _STAT_COUNTERS[attr]
+
+    def _get(self: ServiceStats) -> int:
+        return int(self.registry.value(name))
+
+    def _set(self: ServiceStats, new: float) -> None:
+        counter = self.registry.counter(name, help_text)
+        counter.inc(new - counter.value)
+
+    return property(_get, _set, doc=help_text)
+
+
+def _stage_view(attr: str) -> property:
+    stage = _STAT_STAGES[attr]
+
+    def _get(self: ServiceStats) -> float:
+        return self.registry.value(_STAGE_SECONDS[0], stage=stage)
+
+    def _set(self: ServiceStats, new: float) -> None:
+        counter = self.registry.counter(*_STAGE_SECONDS, stage=stage)
+        counter.inc(new - counter.value)
+
+    return property(_get, _set, doc=f"Stage timer: wall seconds in {stage!r}")
+
+
+for _attr in _STAT_COUNTERS:
+    setattr(ServiceStats, _attr, _counter_view(_attr))
+for _attr in _STAT_STAGES:
+    setattr(ServiceStats, _attr, _stage_view(_attr))
+del _attr
 
 
 class SolverService:
@@ -253,6 +355,14 @@ class SolverService:
         for every task-graph factorization and batched solve this service
         runs; :meth:`metrics` then includes the most recent solve trace's
         summary.  Ignored by ``backend="reference"`` (no task graph).
+    metrics:
+        Optional caller-owned :class:`~repro.obs.metrics.MetricsRegistry` the
+        service records into (``None``: the service creates its own,
+        :attr:`registry`).  The registry holds *both* the service-level
+        ``repro_service_*`` series backing :attr:`stats` / :meth:`metrics`
+        *and* the runtime-level ``repro_*`` task/comm/memory series of every
+        task-graph compression, factorization and batched solve the service
+        runs; render it with :meth:`render_prometheus`.
     """
 
     def __init__(
@@ -268,6 +378,7 @@ class SolverService:
         compress_runtime: Union[bool, str] = False,
         fusion: Optional[bool] = None,
         trace: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if backend not in _BACKEND_TO_RUNTIME:
             raise ValueError(
@@ -292,7 +403,9 @@ class SolverService:
         self.compress_runtime = compress_runtime
         self.fusion = fusion
         self.trace = bool(trace)
-        self.stats = ServiceStats()
+        #: The service's metrics registry (service-level + runtime-level series).
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ServiceStats(self.registry)
         self._cache: "OrderedDict[FactorKey, StructuredSolver]" = OrderedDict()
         self._queue: List[SolveTicket] = []
         #: Measured trace of the most recent batched solve (``trace=True`` only).
@@ -317,6 +430,7 @@ class SolverService:
             compress_distribution=self.distribution,
             compress_fusion=self.fusion,
             compress_trace=self.trace and self.compress_runtime is not False,
+            compress_metrics=self.registry,
             **dict(key.params),
         )
         t1 = time.perf_counter()
@@ -335,6 +449,7 @@ class SolverService:
                 distribution=self.distribution,
                 fusion=self.fusion,
                 trace=self.trace,
+                metrics=self.registry,
             )
         t2 = time.perf_counter()
         self.stats.factorize_seconds += t2 - t1
@@ -379,6 +494,7 @@ class SolverService:
         ticket = SolveTicket(key, bm, single)
         self._queue.append(ticket)
         self.stats.requests += 1
+        self.registry.gauge(*_QUEUE_DEPTH, mode="max").set_max(len(self._queue))
         return ticket
 
     @property
@@ -430,6 +546,7 @@ class SolverService:
                 panel_size=self.panel_size,
                 fusion=self.fusion,
                 trace=self.trace,
+                metrics=self.registry,
             )
         try:
             for key, tickets in by_key.items():
@@ -442,6 +559,9 @@ class SolverService:
                 self.stats.observe_latency(key.label, elapsed)
                 self.stats.batches += 1
                 self.stats.solves += batch.shape[1]
+                self.registry.histogram(
+                    *_BATCH_RHS, buckets=COUNT_BUCKETS
+                ).observe(batch.shape[1])
                 if self.trace and solver.solve_runtime is not None:
                     self.last_solve_trace = solver.solve_runtime.last_trace
                 start = 0
@@ -487,6 +607,10 @@ class SolverService:
         histogram summaries under ``latency``, and -- when the service was
         created with ``trace=True`` -- the most recent solve trace's
         breakdown summary under ``last_solve_trace``.
+
+        Every number here is read from the same :attr:`registry` series the
+        Prometheus exposition renders (:meth:`render_prometheus`); there is
+        no parallel bookkeeping path.
         """
         stats = self.stats
         snapshot: Dict[str, Any] = {
@@ -514,6 +638,15 @@ class SolverService:
         if self.last_solve_trace is not None:
             snapshot["last_solve_trace"] = self.last_solve_trace.summary()
         return snapshot
+
+    def render_prometheus(self) -> str:
+        """The service's :attr:`registry` in Prometheus text exposition format.
+
+        Includes the ``repro_service_*`` serving metrics backing
+        :meth:`metrics` and the ``repro_*`` runtime task/comm/memory metrics
+        of every task-graph execution the service ran.
+        """
+        return self.registry.render_prometheus()
 
     def __repr__(self) -> str:
         return (
