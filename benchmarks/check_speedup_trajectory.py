@@ -3,9 +3,10 @@
 Thin CLI over :mod:`repro.obs.trajectory`: compares a freshly measured
 benchmark artifact (written by the benchmark suite under
 ``REPRO_BENCH_JSON``) against the committed ``benchmarks/BENCH_runtime.json``
-and fails when a parallel/process speedup regressed past the tolerance, or
-when a recorded observability overhead fraction (traced, traced+metered)
-exceeds ``--max-trace-overhead``.  Used by the ``speedup-smoke`` /
+and fails when a parallel/process speedup or a concurrent-backend solve
+throughput (``solve_throughput`` rows, solves/sec) regressed past the
+tolerance, or when a recorded observability overhead fraction (traced,
+traced+metered) exceeds ``--max-trace-overhead``.  Used by the ``speedup-smoke`` /
 ``trace-smoke`` / ``metrics-smoke`` CI jobs::
 
     REPRO_BENCH_JSON=/tmp/bench-current.json PYTHONPATH=src \

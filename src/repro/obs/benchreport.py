@@ -23,7 +23,12 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.obs.trajectory import load_artifact, machine_stamp, speedup_rows
+from repro.obs.trajectory import (
+    load_artifact,
+    machine_stamp,
+    speedup_rows,
+    throughput_rows,
+)
 
 __all__ = ["sparkline", "render_markdown", "render_html", "main"]
 
@@ -161,28 +166,44 @@ def _overhead_section(out: List[str], current: Mapping[str, Any]) -> None:
     out.append("")
 
 
-def _throughput_section(out: List[str], current: Mapping[str, Any]) -> None:
+def _throughput_section(
+    out: List[str], current: Mapping[str, Any], baseline: Mapping[str, Any]
+) -> None:
     section = current.get("solve_throughput")
     if not isinstance(section, dict):
         return
+    base_section = baseline.get("solve_throughput")
+    base_rows: Dict[Any, float] = {}
+    if isinstance(base_section, dict):
+        base_rows = {key: s for key, s, _n in throughput_rows(base_section)}
     out.append("## Serving throughput")
     stamp = _stamp_line(section)
     if stamp:
         out.append(stamp)
     out.append("")
-    rows = [
-        [
+    rows = []
+    for row in section.get("rows", ()):
+        # Same row key as the gate: only the concurrent backends carry a
+        # baseline entry, so serial rows render "-" in the delta column.
+        key = (
+            row.get("format"),
+            row.get("backend"),
+            int(row.get("n_workers", 1)),
+            int(row.get("batch_size", 1)),
+        )
+        solves = row.get("solves_per_sec")
+        rows.append([
             str(row.get("backend", "-")),
             str(row.get("batch_size", "-")),
             str(row.get("requests", "-")),
-            f"{row['solves_per_sec']:.1f}"
-            if isinstance(row.get("solves_per_sec"), (int, float)) else "-",
+            f"{solves:.1f}" if isinstance(solves, (int, float)) else "-",
             _fmt_seconds(row.get("wall_seconds")),
-        ]
-        for row in section.get("rows", ())
-    ]
+            _fmt_delta(solves, base_rows.get(key))
+            if isinstance(solves, (int, float)) else "-",
+        ])
     out.extend(_table(
-        ["backend", "batch", "requests", "solves/s", "wall s"], rows
+        ["backend", "batch", "requests", "solves/s", "wall s", "vs baseline"],
+        rows,
     ))
     out.append("")
 
@@ -204,7 +225,7 @@ def render_markdown(
         samples_key="wall_samples",
     )
     _overhead_section(out, current)
-    _throughput_section(out, current)
+    _throughput_section(out, current, baseline)
     rendered = {
         "parallel_speedup", "compress_scaling", "trace_overhead",
         "solve_throughput",

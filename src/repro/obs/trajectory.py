@@ -6,11 +6,13 @@ artifacts, matches speedup rows between a freshly measured artifact and the
 committed trajectory, and produces a structured :class:`GateResult` instead
 of printing directly -- the CLI wrapper prints, the report renders.
 
-Rows match on ``(section, format, backend, fusion)``; only the concurrent
-backends (:data:`GATED_BACKENDS`) gate, since that is the trajectory the
-north star tracks.  Absolute speedups are machine- and size-dependent, so
+Speedup rows match on ``(section, format, backend, fusion)`` and throughput
+rows (:data:`THROUGHPUT_SECTION`, gated on ``solves_per_sec``) on
+``(format, backend, n_workers, batch_size)``; only the concurrent backends
+(:data:`GATED_BACKENDS`) gate, since that is the trajectory the
+north star tracks.  Absolute numbers are machine- and size-dependent, so
 the check is deliberately lenient: a current row must reach ``tolerance``
-(default 0.5) of the stored speedup when both runs measured the same problem
+(default 0.5) of the stored value when both runs measured the same problem
 size *on the same core count*, and the looser ``cross_size_tolerance``
 (default 0.25) when either differs -- the machine stamp
 (:func:`machine_stamp`, written by ``bench_utils.record_bench`` since PR 8)
@@ -35,17 +37,22 @@ from typing import Any, Dict, Iterator, List, Mapping, Tuple
 
 __all__ = [
     "SECTIONS",
+    "THROUGHPUT_SECTION",
     "GATED_BACKENDS",
     "OVERHEAD_FIELDS",
     "GateResult",
     "load_artifact",
     "machine_stamp",
     "speedup_rows",
+    "throughput_rows",
     "check_trajectory",
 ]
 
 #: Sections carrying speedup rows, with the per-row key fields.
 SECTIONS = ("parallel_speedup", "compress_scaling")
+
+#: Section carrying batched-solve throughput rows, gated on ``solves_per_sec``.
+THROUGHPUT_SECTION = "solve_throughput"
 
 #: Backends whose speedup trajectory gates the check.
 GATED_BACKENDS = ("thread", "parallel", "process")
@@ -91,6 +98,22 @@ def speedup_rows(section: Mapping[str, Any]) -> Iterator[Tuple[Tuple, float, int
         yield key, float(row["speedup"]), int(row.get("n", n))
 
 
+def throughput_rows(section: Mapping[str, Any]) -> Iterator[Tuple[Tuple, float, int]]:
+    """Yield ``(key, solves_per_sec, n)`` per gated row of ``solve_throughput``."""
+    n = int(section.get("n", 0))
+    for row in section.get("rows", ()):
+        backend = row.get("backend")
+        if backend not in GATED_BACKENDS or "solves_per_sec" not in row:
+            continue
+        key = (
+            row.get("format"),
+            backend,
+            int(row.get("n_workers", 1)),
+            int(row.get("batch_size", 1)),
+        )
+        yield key, float(row["solves_per_sec"]), int(row.get("n", n))
+
+
 @dataclass
 class GateResult:
     """Outcome of one trajectory check: log lines, failures, compare count."""
@@ -122,6 +145,55 @@ class GateResult:
         return f"all {self.compared} compared speedups within tolerance"
 
 
+def _gate_section(
+    result: GateResult,
+    name: str,
+    cur_section: Mapping[str, Any],
+    base_section: Mapping[str, Any],
+    rows_fn,
+    unit: str,
+    *,
+    tolerance: float,
+    cross_size_tolerance: float,
+) -> None:
+    # Different core counts measure different trajectories (the
+    # single-core-container caveat of ROADMAP item 1): fall back to the
+    # lenient cross tolerance, as for a size mismatch.  Unknown stamps
+    # (pre-stamp artifacts) compare at full strictness, as before.
+    cur_cpus = machine_stamp(cur_section).get("cpu_count")
+    base_cpus = machine_stamp(base_section).get("cpu_count")
+    same_machine_class = (
+        cur_cpus is None or base_cpus is None or cur_cpus == base_cpus
+    )
+    base_rows = {key: (s, n) for key, s, n in rows_fn(base_section)}
+    for key, cur_value, cur_n in rows_fn(cur_section):
+        if key not in base_rows:
+            continue
+        base_value, base_n = base_rows[key]
+        if base_value <= 0:
+            continue
+        comparable = cur_n == base_n and same_machine_class
+        tol = tolerance if comparable else cross_size_tolerance
+        floor = tol * base_value
+        result.compared += 1
+        verdict = "ok" if cur_value >= floor else "REGRESSED"
+        cpus_note = (
+            "" if same_machine_class else f", cpus {base_cpus}->{cur_cpus}"
+        )
+        result.log(
+            f"{name} {key}: current {cur_value:.2f}{unit} (n={cur_n}) vs "
+            f"stored {base_value:.2f}{unit} (n={base_n}{cpus_note}), "
+            f"floor {floor:.2f}{unit} -> {verdict}"
+        )
+        if cur_value < floor:
+            result.fail(
+                f"{name}: {key}: "
+                f"n={cur_n}: current {cur_value:.2f}{unit} < floor "
+                f"{floor:.2f}{unit} (stored {base_value:.2f}{unit} at "
+                f"n={base_n}, short by {(floor - cur_value) / floor * 100:.0f}%)"
+            )
+
+
 def _check_speedups(
     result: GateResult,
     current: Mapping[str, Any],
@@ -130,49 +202,18 @@ def _check_speedups(
     tolerance: float,
     cross_size_tolerance: float,
 ) -> None:
-    for name in SECTIONS:
+    gated = [(name, speedup_rows, "x") for name in SECTIONS]
+    gated.append((THROUGHPUT_SECTION, throughput_rows, "/s"))
+    for name, rows_fn, unit in gated:
         cur_section = current.get(name)
         base_section = baseline.get(name)
         if not isinstance(cur_section, dict) or not isinstance(base_section, dict):
             result.log(f"section {name!r}: missing on one side, skipped")
             continue
-        # Different core counts measure different trajectories (the
-        # single-core-container caveat of ROADMAP item 1): fall back to the
-        # lenient cross tolerance, as for a size mismatch.  Unknown stamps
-        # (pre-stamp artifacts) compare at full strictness, as before.
-        cur_cpus = machine_stamp(cur_section).get("cpu_count")
-        base_cpus = machine_stamp(base_section).get("cpu_count")
-        same_machine_class = (
-            cur_cpus is None or base_cpus is None or cur_cpus == base_cpus
+        _gate_section(
+            result, name, cur_section, base_section, rows_fn, unit,
+            tolerance=tolerance, cross_size_tolerance=cross_size_tolerance,
         )
-        base_rows = {key: (s, n) for key, s, n in speedup_rows(base_section)}
-        for key, cur_speedup, cur_n in speedup_rows(cur_section):
-            if key not in base_rows:
-                continue
-            base_speedup, base_n = base_rows[key]
-            if base_speedup <= 0:
-                continue
-            comparable = cur_n == base_n and same_machine_class
-            tol = tolerance if comparable else cross_size_tolerance
-            floor = tol * base_speedup
-            result.compared += 1
-            verdict = "ok" if cur_speedup >= floor else "REGRESSED"
-            cpus_note = (
-                "" if same_machine_class else f", cpus {base_cpus}->{cur_cpus}"
-            )
-            result.log(
-                f"{name} {key}: current {cur_speedup:.2f}x (n={cur_n}) vs "
-                f"stored {base_speedup:.2f}x (n={base_n}{cpus_note}), "
-                f"floor {floor:.2f}x -> {verdict}"
-            )
-            if cur_speedup < floor:
-                fmt, backend, fusion = key
-                result.fail(
-                    f"{name}: format={fmt} backend={backend} fusion={fusion} "
-                    f"n={cur_n}: current {cur_speedup:.2f}x < floor {floor:.2f}x "
-                    f"(stored {base_speedup:.2f}x at n={base_n}, "
-                    f"short by {(floor - cur_speedup) / floor * 100:.0f}%)"
-                )
 
 
 def _check_overheads(

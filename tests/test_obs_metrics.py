@@ -582,6 +582,46 @@ class TestTrajectoryGate:
         result = check_trajectory(cur, tmp_path / "nope.json")
         assert result.ok and result.compared == 0
 
+    @staticmethod
+    def _throughput_section(solves_per_sec, backend="parallel", n=1024):
+        return {
+            "n": n,
+            "rows": [{
+                "format": "hss", "backend": backend,
+                "n_workers": 4, "batch_size": 4,
+                "solves_per_sec": solves_per_sec,
+            }],
+        }
+
+    def test_solve_throughput_gated(self, tmp_path):
+        # a >50% throughput drop on a concurrent backend fails the gate
+        cur = _artifact(tmp_path, "cur.json", {
+            "solve_throughput": self._throughput_section(101.0),
+        })
+        base = _artifact(tmp_path, "base.json", {
+            "solve_throughput": self._throughput_section(230.0),
+        })
+        result = check_trajectory(cur, base)
+        assert not result.ok and result.compared == 1
+        assert any("solve_throughput" in f for f in result.failures)
+        # within tolerance passes
+        cur2 = _artifact(tmp_path, "cur2.json", {
+            "solve_throughput": self._throughput_section(200.0),
+        })
+        assert check_trajectory(cur2, base).ok
+
+    def test_solve_throughput_serial_backends_ungated(self, tmp_path):
+        # reference/sequential rows never gate: absolute single-thread
+        # throughput is not part of the concurrency trajectory
+        cur = _artifact(tmp_path, "cur.json", {
+            "solve_throughput": self._throughput_section(10.0, backend="reference"),
+        })
+        base = _artifact(tmp_path, "base.json", {
+            "solve_throughput": self._throughput_section(230.0, backend="reference"),
+        })
+        result = check_trajectory(cur, base)
+        assert result.ok and result.compared == 0
+
 
 # ---------------------------------------------------------------------------
 # benchreport renderer
