@@ -5,9 +5,12 @@ benchmark artifact (written by the benchmark suite under
 ``REPRO_BENCH_JSON``) against the committed ``benchmarks/BENCH_runtime.json``
 and fails when a parallel/process speedup or a concurrent-backend solve
 throughput (``solve_throughput`` rows, solves/sec) regressed past the
-tolerance, or when a recorded observability overhead fraction (traced,
-traced+metered) exceeds ``--max-trace-overhead``.  Used by the ``speedup-smoke`` /
-``trace-smoke`` / ``metrics-smoke`` CI jobs::
+tolerance, when a recorded observability overhead fraction (traced,
+traced+metered) exceeds ``--max-trace-overhead``, or when the zero-copy
+data plane's wire-byte savings over the pickle plane
+(``distributed_weak_scaling`` per-plane rows) drop below
+``--min-comm-savings``.  Used by the ``speedup-smoke`` /
+``trace-smoke`` / ``metrics-smoke`` / ``distributed-smoke`` CI jobs::
 
     REPRO_BENCH_JSON=/tmp/bench-current.json PYTHONPATH=src \
         python -m pytest benchmarks/test_compress_scaling.py \
@@ -71,6 +74,13 @@ def main(argv=None) -> int:
         help="largest tolerated observability overhead fraction (applies to "
         "both the traced and the traced+metered measurements)",
     )
+    parser.add_argument(
+        "--min-comm-savings",
+        type=float,
+        default=10.0,
+        help="floor on the zero-copy data plane's physical-byte savings "
+        "factor over the pickle plane (distributed_weak_scaling rows)",
+    )
     args = parser.parse_args(argv)
     result = check_trajectory(
         args.current,
@@ -78,6 +88,7 @@ def main(argv=None) -> int:
         tolerance=args.tolerance,
         cross_size_tolerance=args.cross_size_tolerance,
         max_trace_overhead=args.max_trace_overhead,
+        min_comm_savings=args.min_comm_savings,
     )
     for line in result.lines:
         print(line)

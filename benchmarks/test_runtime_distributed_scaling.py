@@ -6,11 +6,15 @@ driven by a task runtime.  This benchmark runs the weak-scaling sweep of
 same recorded task graph executes on the real multi-process backend (forked
 workers, owner-computes placement, explicit transfers) and is replayed
 through the discrete-event machine simulator, under both the row-cyclic and
-the block-cyclic distribution.
+the block-cyclic distribution, and under both distributed data planes
+(zero-copy ``"shm"`` vs legacy ``"pickle"``).
 
 Wall times depend on the host, so they are reported (and recorded in
 ``BENCH_runtime.json``); the assertions cover correctness of the accounting:
-measured communication volume must equal the static model of the graph.
+measured *logical* communication volume must equal the static model of the
+graph on every plane, and the shm plane's *physical* (wire) bytes must stay
+at least :data:`MIN_COMM_SAVINGS` times below the pickle plane's -- the
+factor ``benchmarks/check_speedup_trajectory.py`` gates in CI.
 """
 
 import os
@@ -20,6 +24,7 @@ import pytest
 from bench_utils import full_scale, print_table, record_bench
 
 from repro.experiments.distributed_weak_scaling import (
+    comm_plane_savings,
     format_distributed_weak_scaling,
     run_distributed_weak_scaling,
 )
@@ -30,6 +35,11 @@ pytestmark = pytest.mark.skipif(
 
 BASE_N = 1024 if full_scale() else 256
 NODE_COUNTS = (1, 2, 4)
+DATA_PLANES = ("shm", "pickle")
+
+#: Wire-byte advantage the zero-copy plane must keep over the pickle plane
+#: (matches the default of ``check_speedup_trajectory.py --min-comm-savings``).
+MIN_COMM_SAVINGS = 10.0
 
 
 def _run():
@@ -39,6 +49,7 @@ def _run():
         leaf_size=64,
         max_rank=24,
         distributions=("row", "block"),
+        data_planes=DATA_PLANES,
     )
 
 
@@ -65,20 +76,40 @@ def test_distributed_weak_scaling(benchmark):
                     "measured_messages": r.measured_messages,
                     "measured_bytes": r.measured_bytes,
                     "modeled_bytes": r.modeled_bytes,
+                    "data_plane": r.data_plane,
+                    "physical_bytes": r.physical_bytes,
+                    "mapped_bytes": r.mapped_bytes,
                 }
                 for r in rows
             ],
         },
     )
 
-    assert len(rows) == 2 * len(NODE_COUNTS)
+    assert len(rows) == 2 * len(NODE_COUNTS) * len(DATA_PLANES)
     for row in rows:
         assert row.measured_seconds > 0
         assert row.simulated_makespan > 0
-        # the measured transfers must match the graph's static communication model
+        # the measured *logical* transfers must match the graph's static
+        # communication model on every data plane
         assert row.comm_bytes_match
         if row.nodes == 1:
             assert row.measured_messages == 0
     # more processes must not reduce the communication volume to zero
     multi = [r for r in rows if r.nodes > 1]
     assert any(r.measured_bytes > 0 for r in multi)
+    # the zero-copy plane keeps array bytes off the wire: shm segments carry
+    # them instead, and every multi-node configuration must clear the savings
+    # floor the CI trajectory gate enforces
+    for row in multi:
+        if row.data_plane == "shm":
+            assert row.mapped_bytes > 0
+            assert row.physical_bytes < row.measured_bytes
+    savings = comm_plane_savings(rows)
+    assert set(savings) == {
+        (r.distribution, r.nodes) for r in multi
+    }
+    for key, factor in savings.items():
+        assert factor >= MIN_COMM_SAVINGS, (
+            f"{key}: zero-copy wire savings {factor:.1f}x below "
+            f"{MIN_COMM_SAVINGS}x"
+        )

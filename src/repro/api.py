@@ -273,6 +273,7 @@ class StructuredSolver:
         fusion: Optional[bool] = None,
         trace: bool = False,
         metrics: Optional[Any] = None,
+        data_plane: Optional[str] = None,
         force: bool = False,
     ) -> Any:
         """Compute (and cache) the ULV factorization of the compressed matrix.
@@ -317,6 +318,10 @@ class StructuredSolver:
         metrics:
             Optional :class:`~repro.obs.metrics.MetricsRegistry` accumulating
             task/comm/memory metrics of the runtime factorization.
+        data_plane:
+            Wire representation of cross-process edges for
+            ``use_runtime="distributed"``: ``"shm"`` (zero-copy shared-memory
+            segments, the default) or ``"pickle"`` (full pickled payloads).
         force:
             Re-factorize even when a factor is already cached.
         """
@@ -328,6 +333,7 @@ class StructuredSolver:
             fusion=fusion,
             trace=trace,
             metrics=metrics,
+            data_plane=data_plane,
         )
         if force:
             self.factor = None
@@ -355,6 +361,7 @@ class StructuredSolver:
         fusion: Optional[bool] = None,
         trace: bool = False,
         metrics: Optional[Any] = None,
+        data_plane: Optional[str] = None,
     ) -> np.ndarray:
         """Solve ``A x = b`` (factorizes on first use).
 
@@ -390,6 +397,10 @@ class StructuredSolver:
         metrics:
             Optional :class:`~repro.obs.metrics.MetricsRegistry` accumulating
             task/comm/memory metrics of the task-graph solve.
+        data_plane:
+            Wire representation of cross-process edges for
+            ``use_runtime="distributed"`` (``"shm"`` or ``"pickle"``), as in
+            :meth:`factorize`.
         """
         policy = ExecutionPolicy.resolve(
             use_runtime,
@@ -400,6 +411,7 @@ class StructuredSolver:
             fusion=fusion,
             trace=trace,
             metrics=metrics,
+            data_plane=data_plane,
         )
         if not policy.uses_runtime and (panel_size is not None or distribution is not None):
             raise ValueError(

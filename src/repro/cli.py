@@ -226,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="row",
         help="data-distribution strategy for the runtime paths",
     )
+    p.add_argument(
+        "--data-plane",
+        choices=("shm", "pickle"),
+        default=None,
+        help="wire representation of cross-process edges for --runtime "
+        "distributed: shm = zero-copy shared-memory segments (default), "
+        "pickle = full pickled payloads (bit-identical, more bytes moved)",
+    )
     p.add_argument("--seed", type=int, default=0, help="RNG seed for the right-hand side")
     p.add_argument(
         "--nrhs",
@@ -283,6 +291,14 @@ def build_parser() -> argparse.ArgumentParser:
         dest="distributions",
         choices=distribution_choices,
         help="distribution strategy (repeatable; default: row and block)",
+    )
+    p.add_argument(
+        "--data-plane",
+        action="append",
+        dest="data_planes",
+        choices=("shm", "pickle"),
+        help="data plane to measure (repeatable; default: shm and pickle, "
+        "so the report shows the zero-copy byte savings)",
     )
 
     p = sub.add_parser(
@@ -547,6 +563,7 @@ def _run_solve(args: argparse.Namespace) -> str:
         n_workers=args.workers,
         distribution=distribution,
         fusion=exec_fusion,
+        data_plane=args.data_plane,
     )
     t_factor = time.perf_counter() - t0
 
@@ -561,6 +578,7 @@ def _run_solve(args: argparse.Namespace) -> str:
         n_workers=args.workers,
         distribution=distribution,
         fusion=exec_fusion,
+        data_plane=args.data_plane,
     )
     t_solve = time.perf_counter() - t0
     residual = np.linalg.norm(solver.matvec(x) - b) / np.linalg.norm(b)
@@ -578,6 +596,8 @@ def _run_solve(args: argparse.Namespace) -> str:
         runtime_detail = f" workers={args.workers}"
     elif args.runtime == "distributed":
         runtime_detail = f" nodes={args.nodes} distribution={args.distribution}"
+        if args.data_plane:
+            runtime_detail += f" data_plane={args.data_plane}"
     if args.fusion != "auto":
         runtime_detail += f" fusion={args.fusion}"
     if args.refine:
@@ -812,6 +832,7 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
                 leaf_size=args.leaf_size,
                 max_rank=args.max_rank,
                 distributions=tuple(args.distributions) if args.distributions else ("row", "block"),
+                data_planes=tuple(args.data_planes) if args.data_planes else ("shm", "pickle"),
             )
         )
     elif args.command == "servebench":

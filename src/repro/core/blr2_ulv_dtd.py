@@ -36,6 +36,7 @@ def blr2_ulv_factorize_dtd(
     execute: bool = True,
     execution: Optional[str] = None,
     n_workers: int = 4,
+    data_plane: Optional[str] = None,
 ) -> Tuple[BLR2ULVFactor, DTDRuntime]:
     """Factorize an SPD BLR2 matrix through the DTD runtime.
 
@@ -55,7 +56,8 @@ def blr2_ulv_factorize_dtd(
         the measured communication ledger.
     """
     policy, runtime = resolve_policy(
-        runtime, execution, nodes=nodes, distribution=distribution, n_workers=n_workers
+        runtime, execution, nodes=nodes, distribution=distribution,
+        n_workers=n_workers, data_plane=data_plane,
     )
     builder = LeafULVFactorizeBuilder(
         blr2, BLR2ULVFactor(blr2=blr2), policy=policy, runtime=runtime

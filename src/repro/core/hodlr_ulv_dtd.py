@@ -34,6 +34,7 @@ def hodlr_ulv_factorize_dtd(
     execute: bool = True,
     execution: Optional[str] = None,
     n_workers: int = 4,
+    data_plane: Optional[str] = None,
     system: Optional[HODLRLeafSystem] = None,
 ) -> Tuple[HODLRULVFactor, DTDRuntime]:
     """Factorize a symmetric SPD HODLR matrix through the DTD runtime.
@@ -48,7 +49,8 @@ def hodlr_ulv_factorize_dtd(
     graph has been executed.
     """
     policy, runtime = resolve_policy(
-        runtime, execution, nodes=nodes, distribution=distribution, n_workers=n_workers
+        runtime, execution, nodes=nodes, distribution=distribution,
+        n_workers=n_workers, data_plane=data_plane,
     )
     if system is None:
         system = HODLRLeafSystem(hodlr)

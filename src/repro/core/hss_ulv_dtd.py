@@ -54,6 +54,7 @@ def hss_ulv_factorize_dtd(
     execute: bool = True,
     execution: Optional[str] = None,
     n_workers: int = 4,
+    data_plane: Optional[str] = None,
 ) -> Tuple[HSSULVFactor, DTDRuntime]:
     """Factorize ``hss`` through the DTD runtime (HATRIX-DTD).
 
@@ -88,6 +89,10 @@ def hss_ulv_factorize_dtd(
         accounted data transfers).  All modes produce bit-identical factors.
     n_workers:
         Thread count for ``execution="parallel"``.
+    data_plane:
+        Wire representation for ``execution="distributed"``: ``"shm"``
+        (zero-copy shared-memory segments, the default) or ``"pickle"``
+        (full pickled payloads).  Both planes are bit-identical.
 
     Returns
     -------
@@ -97,7 +102,8 @@ def hss_ulv_factorize_dtd(
         holds the measured communication ledger.
     """
     policy, runtime = resolve_policy(
-        runtime, execution, nodes=nodes, distribution=distribution, n_workers=n_workers
+        runtime, execution, nodes=nodes, distribution=distribution,
+        n_workers=n_workers, data_plane=data_plane,
     )
     builder = HSSULVFactorizeBuilder(hss, policy=policy, runtime=runtime)
     if execute:

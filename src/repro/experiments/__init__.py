@@ -33,6 +33,7 @@ from repro.experiments.parallel_speedup import (
 )
 from repro.experiments.distributed_weak_scaling import (
     DistributedWeakScalingRow,
+    comm_plane_savings,
     format_distributed_weak_scaling,
     run_distributed_weak_scaling,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "DistributedWeakScalingRow",
     "run_distributed_weak_scaling",
     "format_distributed_weak_scaling",
+    "comm_plane_savings",
     "KERNEL_RANKS",
     "WeakScalingPoint",
     "build_problem",

@@ -11,7 +11,11 @@ recorded task graph is both
 so the measured makespan and communication volume can be cross-validated
 against the model.  Each configuration runs under every requested distribution
 strategy (row-cyclic vs block-cyclic), exposing how placement alone changes
-the communication volume of an identical DAG.
+the communication volume of an identical DAG, and under every requested data
+plane (zero-copy ``"shm"`` vs legacy ``"pickle"``), exposing the physical
+byte savings of the shared-memory plane on an identical transfer plan: the
+*logical* volume of a row is invariant across planes, the *physical* (wire)
+bytes collapse to descriptor size under ``"shm"``.
 
 Used by ``python -m repro weakscale`` and
 ``benchmarks/test_runtime_distributed_scaling.py``.
@@ -21,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.hss_ulv_dtd import hss_ulv_factorize_dtd
 from repro.distribution.strategies import strategy_by_name
@@ -36,12 +40,13 @@ __all__ = [
     "DistributedWeakScalingRow",
     "run_distributed_weak_scaling",
     "format_distributed_weak_scaling",
+    "comm_plane_savings",
 ]
 
 
 @dataclass
 class DistributedWeakScalingRow:
-    """One (strategy, node-count) configuration: measured vs modelled."""
+    """One (strategy, node-count, data-plane) configuration: measured vs modelled."""
 
     distribution: str
     nodes: int
@@ -52,10 +57,17 @@ class DistributedWeakScalingRow:
     measured_messages: int
     measured_bytes: int
     modeled_bytes: float
+    data_plane: str = "shm"
+    physical_bytes: int = 0
+    mapped_bytes: int = 0
 
     @property
     def comm_bytes_match(self) -> bool:
-        """Measured transfer volume agrees with the graph's static model."""
+        """Measured *logical* volume agrees with the graph's static model.
+
+        Holds on every data plane: the plane changes the wire representation
+        (``physical_bytes``), never the modelled volume (``measured_bytes``).
+        """
         return abs(self.measured_bytes - self.modeled_bytes) < 0.5
 
 
@@ -67,13 +79,16 @@ def run_distributed_weak_scaling(
     leaf_size: int = 64,
     max_rank: int = 24,
     distributions: Sequence[str] = ("row", "block"),
+    data_planes: Sequence[str] = ("shm", "pickle"),
     machine: Optional[MachineConfig] = None,
 ) -> List[DistributedWeakScalingRow]:
     """Run the weak-scaling sweep on the real backend and the simulator.
 
     ``machine`` defaults to a one-core-per-node laptop preset so the simulated
     topology matches the real backend (one single-threaded worker process per
-    node).
+    node).  Each (distribution, nodes) configuration builds its HSS matrix
+    once and factorizes once per requested data plane, so the per-plane rows
+    differ only in the wire representation of an identical transfer plan.
     """
     rows: List[DistributedWeakScalingRow] = []
     for dist_name in distributions:
@@ -84,32 +99,60 @@ def run_distributed_weak_scaling(
             hss = build_hss(kmat, leaf_size=leaf_size, max_rank=max_rank)
             strategy = strategy_by_name(dist_name, nodes, max_level=hss.max_level)
 
-            t0 = time.perf_counter()
-            _, rt = hss_ulv_factorize_dtd(
-                hss, execution="distributed", nodes=nodes, distribution=strategy
-            )
-            measured = time.perf_counter() - t0
-            report = rt.last_distributed_report
-
-            mach = machine if machine is not None else laptop_like(nodes, cores_per_node=1)
-            sim = simulate(
-                rt.graph, mach.with_nodes(nodes), policy="async", distribution=strategy
-            )
-
-            rows.append(
-                DistributedWeakScalingRow(
-                    distribution=dist_name,
-                    nodes=nodes,
-                    n=n,
-                    num_tasks=rt.num_tasks,
-                    measured_seconds=measured,
-                    simulated_makespan=sim.makespan,
-                    measured_messages=report.ledger.num_messages,
-                    measured_bytes=report.ledger.total_bytes,
-                    modeled_bytes=rt.graph.communication_bytes(),
+            for plane in data_planes:
+                t0 = time.perf_counter()
+                _, rt = hss_ulv_factorize_dtd(
+                    hss, execution="distributed", nodes=nodes,
+                    distribution=strategy, data_plane=plane,
                 )
-            )
+                measured = time.perf_counter() - t0
+                report = rt.last_distributed_report
+
+                mach = machine if machine is not None else laptop_like(nodes, cores_per_node=1)
+                sim = simulate(
+                    rt.graph, mach.with_nodes(nodes), policy="async", distribution=strategy
+                )
+
+                rows.append(
+                    DistributedWeakScalingRow(
+                        distribution=dist_name,
+                        nodes=nodes,
+                        n=n,
+                        num_tasks=rt.num_tasks,
+                        measured_seconds=measured,
+                        simulated_makespan=sim.makespan,
+                        measured_messages=report.ledger.num_messages,
+                        measured_bytes=report.ledger.total_bytes,
+                        modeled_bytes=rt.graph.communication_bytes(),
+                        data_plane=report.data_plane,
+                        physical_bytes=report.ledger.total_payload_bytes,
+                        mapped_bytes=report.ledger.total_mapped_bytes,
+                    )
+                )
     return rows
+
+
+def comm_plane_savings(
+    rows: Sequence[DistributedWeakScalingRow],
+) -> Dict[Tuple[str, int], float]:
+    """Physical-byte savings factor of the shm plane per (distribution, nodes).
+
+    ``pickle_physical / shm_physical`` for every multi-node configuration
+    measured under both planes -- the quantity the trajectory gate asserts
+    stays >= its floor.  Single-node rows (no transfers) are skipped.
+    """
+    physical: Dict[Tuple[str, int, str], int] = {}
+    for r in rows:
+        physical[(r.distribution, r.nodes, r.data_plane)] = r.physical_bytes
+    savings: Dict[Tuple[str, int], float] = {}
+    for (dist, nodes, plane), nbytes in physical.items():
+        if plane != "shm" or nodes <= 1:
+            continue
+        pickle_bytes = physical.get((dist, nodes, "pickle"))
+        if pickle_bytes is None:
+            continue
+        savings[(dist, nodes)] = pickle_bytes / max(nbytes, 1)
+    return savings
 
 
 def format_distributed_weak_scaling(rows: List[DistributedWeakScalingRow]) -> str:
@@ -117,19 +160,27 @@ def format_distributed_weak_scaling(rows: List[DistributedWeakScalingRow]) -> st
     if not rows:
         return "no weak-scaling configurations ran (check --max-nodes / node_counts)"
     lines = [
-        f"{'dist':<6} {'nodes':>5} {'N':>7} {'tasks':>6} {'measured [s]':>12} "
-        f"{'simulated [s]':>13} {'msgs':>5} {'comm [B]':>10} {'model [B]':>10}"
+        f"{'dist':<6} {'nodes':>5} {'N':>7} {'plane':<6} {'tasks':>6} "
+        f"{'measured [s]':>12} {'simulated [s]':>13} {'msgs':>5} "
+        f"{'comm [B]':>10} {'wire [B]':>10} {'shm [B]':>10}"
     ]
     for r in rows:
         lines.append(
-            f"{r.distribution:<6} {r.nodes:>5} {r.n:>7} {r.num_tasks:>6} "
-            f"{r.measured_seconds:>12.3f} {r.simulated_makespan:>13.3e} "
-            f"{r.measured_messages:>5} {r.measured_bytes:>10} {r.modeled_bytes:>10.0f}"
+            f"{r.distribution:<6} {r.nodes:>5} {r.n:>7} {r.data_plane:<6} "
+            f"{r.num_tasks:>6} {r.measured_seconds:>12.3f} "
+            f"{r.simulated_makespan:>13.3e} {r.measured_messages:>5} "
+            f"{r.measured_bytes:>10} {r.physical_bytes:>10} {r.mapped_bytes:>10}"
         )
     mismatched = [r for r in rows if not r.comm_bytes_match]
     lines.append(
-        "communication volume: measured == static model"
+        "communication volume: measured == static model (all planes)"
         if not mismatched
         else f"WARNING: {len(mismatched)} row(s) disagree with the static comm model"
     )
+    savings = comm_plane_savings(rows)
+    for (dist, nodes), factor in sorted(savings.items()):
+        lines.append(
+            f"zero-copy wire savings {dist}/{nodes} nodes: {factor:.1f}x "
+            "(pickle physical / shm physical)"
+        )
     return "\n".join(lines)

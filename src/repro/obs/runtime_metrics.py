@@ -10,7 +10,10 @@ Counters
     ``repro_comm_logical_bytes_total`` (the comm *model*: declared
     ``handle.nbytes``, what :class:`~repro.runtime.distributed.comm.CommLedger`
     calls ``total_bytes``), ``repro_comm_physical_bytes_total`` (measured
-    pickled payload bytes, the ledger's ``total_payload_bytes``).
+    wire bytes through the queues, the ledger's ``total_payload_bytes``),
+    ``repro_comm_mapped_bytes_total`` (bytes moved through shared-memory
+    segments by the zero-copy data plane, the ledger's
+    ``total_mapped_bytes``; 0 on the pickle plane).
 Histograms
     ``repro_execution_seconds{backend}``, ``repro_task_seconds{backend,kind}``,
     ``repro_queue_delay_seconds{backend}``,
@@ -69,7 +72,8 @@ _H = {
     "sched_overhead": ("repro_scheduler_overhead_seconds", "Runtime-system seconds per execution (dispatch, bookkeeping, result shuttling)"),
     "comm_msgs": ("repro_comm_messages_total", "Inter-process messages carried"),
     "comm_logical": ("repro_comm_logical_bytes_total", "Modelled message bytes (declared handle sizes)"),
-    "comm_physical": ("repro_comm_physical_bytes_total", "Measured message bytes (pickled payloads)"),
+    "comm_physical": ("repro_comm_physical_bytes_total", "Measured wire bytes (serialized message payloads)"),
+    "comm_mapped": ("repro_comm_mapped_bytes_total", "Bytes moved through shared-memory segments (zero-copy data plane)"),
     "comm_seconds": ("repro_comm_seconds", "Seconds spent in communication actions"),
     "comm_transfer": ("repro_comm_transfer_bytes", "Physical bytes per message by directed process pair"),
     "queue_depth": ("repro_queue_depth", "Ready-queue high-water mark"),
@@ -152,11 +156,20 @@ def record_comm_message(
     dst: Any,
     logical_bytes: int,
     physical_bytes: int,
+    mapped_bytes: int = 0,
 ) -> None:
-    """Account one inter-process message: counters + per-edge size histogram."""
+    """Account one inter-process message: counters + per-edge size histogram.
+
+    ``physical_bytes`` is what crossed the queue (a full pickled payload, or
+    just a descriptor list on the shm plane); ``mapped_bytes`` is what moved
+    through shared-memory segments instead.  The transfer histogram observes
+    the wire size -- the cost the queue actually paid.
+    """
     registry.counter(*_H["comm_msgs"], backend=backend).inc()
     registry.counter(*_H["comm_logical"], backend=backend).inc(logical_bytes)
     registry.counter(*_H["comm_physical"], backend=backend).inc(physical_bytes)
+    if mapped_bytes:
+        registry.counter(*_H["comm_mapped"], backend=backend).inc(mapped_bytes)
     registry.histogram(
         *_H["comm_transfer"], buckets=BYTES_BUCKETS,
         backend=backend, src=str(src), dst=str(dst),
@@ -166,9 +179,10 @@ def record_comm_message(
 def record_comm_events(registry: MetricsRegistry, backend: str, events: Iterable[Any]) -> None:
     """Account CommEvents (the ledger's rows) as messages.
 
-    Uses each event's ``nbytes`` (model) and ``payload_nbytes`` (measured),
-    so the registry's byte counters reconcile with
-    :attr:`CommLedger.total_bytes` / ``total_payload_bytes`` by construction.
+    Uses each event's ``nbytes`` (model), ``payload_nbytes`` (measured wire)
+    and ``mapped_nbytes`` (shared-memory), so the registry's byte counters
+    reconcile with :attr:`CommLedger.total_bytes` / ``total_payload_bytes`` /
+    ``total_mapped_bytes`` by construction.
     """
     for event in events:
         record_comm_message(
@@ -178,6 +192,7 @@ def record_comm_events(registry: MetricsRegistry, backend: str, events: Iterable
             dst=event.dst,
             logical_bytes=int(event.nbytes),
             physical_bytes=int(event.payload_nbytes),
+            mapped_bytes=int(getattr(event, "mapped_nbytes", 0)),
         )
 
 

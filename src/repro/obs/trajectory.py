@@ -26,6 +26,15 @@ against ``max_trace_overhead``: plain tracing (``overhead_fraction``) and
 tracing combined with the metrics registry
 (``metered_overhead_fraction``) must both stay cheap enough to leave the
 timings they explain unperturbed.
+
+When the current artifact carries per-data-plane rows in
+:data:`COMM_SECTION` (``distributed_weak_scaling``, recorded since the
+zero-copy shared-memory data plane landed), the physical-byte trajectory is
+gated too: every multi-node configuration measured under both planes must
+keep a ``min_comm_savings`` (default 10x) wire-byte advantage for the shm
+plane, and matching shm rows must not regress past a small slack over the
+committed baseline.  Pre-plane artifacts carry no ``data_plane`` field and
+skip the gate entirely.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Tuple
 __all__ = [
     "SECTIONS",
     "THROUGHPUT_SECTION",
+    "COMM_SECTION",
     "GATED_BACKENDS",
     "OVERHEAD_FIELDS",
     "GateResult",
@@ -45,6 +55,7 @@ __all__ = [
     "machine_stamp",
     "speedup_rows",
     "throughput_rows",
+    "comm_plane_rows",
     "check_trajectory",
 ]
 
@@ -53,6 +64,10 @@ SECTIONS = ("parallel_speedup", "compress_scaling")
 
 #: Section carrying batched-solve throughput rows, gated on ``solves_per_sec``.
 THROUGHPUT_SECTION = "solve_throughput"
+
+#: Section carrying per-data-plane physical-byte rows of the distributed
+#: weak-scaling bench, gated on the zero-copy savings factor.
+COMM_SECTION = "distributed_weak_scaling"
 
 #: Backends whose speedup trajectory gates the check.
 GATED_BACKENDS = ("thread", "parallel", "process")
@@ -112,6 +127,109 @@ def throughput_rows(section: Mapping[str, Any]) -> Iterator[Tuple[Tuple, float, 
             int(row.get("batch_size", 1)),
         )
         yield key, float(row["solves_per_sec"]), int(row.get("n", n))
+
+
+def comm_plane_rows(
+    section: Mapping[str, Any],
+) -> Dict[Tuple[str, int, str], Tuple[int, int]]:
+    """``(distribution, nodes, data_plane) -> (physical_bytes, n)`` per row.
+
+    Backfill-tolerant: rows recorded before the zero-copy data plane existed
+    carry neither ``data_plane`` nor ``physical_bytes`` and are skipped, so
+    pre-plane artifacts simply contribute no comm-gate comparisons.
+    """
+    out: Dict[Tuple[str, int, str], Tuple[int, int]] = {}
+    for row in section.get("rows", ()):
+        if "data_plane" not in row or "physical_bytes" not in row:
+            continue
+        key = (
+            str(row.get("distribution")),
+            int(row.get("nodes", 0)),
+            str(row["data_plane"]),
+        )
+        out[key] = (int(row["physical_bytes"]), int(row.get("n", 0)))
+    return out
+
+
+def _check_comm_plane(
+    result: GateResult,
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    min_savings: float,
+) -> None:
+    """Gate the zero-copy data plane's physical-byte trajectory.
+
+    Two checks, both on :data:`COMM_SECTION` rows:
+
+    * **in-artifact savings floor** -- for every multi-node configuration the
+      current artifact measured under both planes, ``pickle physical bytes /
+      shm physical bytes`` must reach ``min_savings`` (the shm plane ships
+      descriptors, not array bytes, so the factor collapses if payloads leak
+      back onto the wire);
+    * **cross-artifact regression** -- for matching (distribution, nodes)
+      shm rows at the same problem size, the current wire bytes must not grow
+      past a small slack over the stored baseline (byte counts are
+      deterministic, unlike timings, so the slack only absorbs descriptor
+      -encoding drift).
+    """
+    section = current.get(COMM_SECTION)
+    if not isinstance(section, dict):
+        result.log(f"section {COMM_SECTION!r}: not in the current artifact, skipped")
+        return
+    cur = comm_plane_rows(section)
+    if not cur:
+        result.log(
+            f"section {COMM_SECTION!r}: no per-plane rows recorded "
+            "(pre-zero-copy artifact), skipped"
+        )
+        return
+
+    for (dist, nodes, plane), (shm_bytes, n) in sorted(cur.items()):
+        if plane != "shm" or nodes <= 1:
+            continue
+        pickled = cur.get((dist, nodes, "pickle"))
+        if pickled is None:
+            continue
+        pickle_bytes, _ = pickled
+        factor = pickle_bytes / max(shm_bytes, 1)
+        result.compared += 1
+        verdict = "ok" if factor >= min_savings else "REGRESSED"
+        result.log(
+            f"{COMM_SECTION} ({dist!r}, {nodes} nodes, n={n}): zero-copy wire "
+            f"savings {factor:.1f}x (pickle {pickle_bytes}B / shm {shm_bytes}B) "
+            f">= floor {min_savings:.1f}x -> {verdict}"
+        )
+        if factor < min_savings:
+            result.fail(
+                f"{COMM_SECTION}: ({dist!r}, {nodes} nodes): zero-copy savings "
+                f"{factor:.1f}x below the {min_savings:.1f}x floor "
+                f"(pickle {pickle_bytes}B vs shm {shm_bytes}B)"
+            )
+
+    base_section = baseline.get(COMM_SECTION)
+    base = comm_plane_rows(base_section) if isinstance(base_section, dict) else {}
+    slack = 1.1
+    for key, (cur_bytes, cur_n) in sorted(cur.items()):
+        dist, nodes, plane = key
+        if plane != "shm" or nodes <= 1 or key not in base:
+            continue
+        base_bytes, base_n = base[key]
+        if cur_n != base_n or base_bytes <= 0:
+            continue
+        ceiling = slack * base_bytes
+        result.compared += 1
+        verdict = "ok" if cur_bytes <= ceiling else "REGRESSED"
+        result.log(
+            f"{COMM_SECTION} ({dist!r}, {nodes} nodes, n={cur_n}): shm wire "
+            f"{cur_bytes}B vs stored {base_bytes}B, ceiling {ceiling:.0f}B "
+            f"-> {verdict}"
+        )
+        if cur_bytes > ceiling:
+            result.fail(
+                f"{COMM_SECTION}: ({dist!r}, {nodes} nodes): shm wire bytes "
+                f"grew {cur_bytes}B > {ceiling:.0f}B "
+                f"(stored {base_bytes}B at n={base_n})"
+            )
 
 
 @dataclass
@@ -256,12 +374,15 @@ def check_trajectory(
     tolerance: float = 0.5,
     cross_size_tolerance: float = 0.25,
     max_trace_overhead: float = 0.03,
+    min_comm_savings: float = 10.0,
 ) -> GateResult:
     """Compare a fresh artifact against the committed trajectory.
 
     Returns a :class:`GateResult`; callers decide how to print it (the CLI
     wrapper echoes ``lines`` then ``summary()``; ``repro benchreport`` folds
-    the deltas into its tables).
+    the deltas into its tables).  ``min_comm_savings`` is the floor on the
+    zero-copy data plane's physical-byte savings factor over the pickle
+    plane (see :func:`comm_plane_rows`).
     """
     result = GateResult()
     current = load_artifact(Path(current_path))
@@ -278,4 +399,5 @@ def check_trajectory(
         tolerance=tolerance, cross_size_tolerance=cross_size_tolerance,
     )
     _check_overheads(result, current, max_trace_overhead)
+    _check_comm_plane(result, current, baseline, min_comm_savings)
     return result

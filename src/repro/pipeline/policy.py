@@ -85,6 +85,12 @@ class ExecutionPolicy:
         counters, latency histograms and memory gauges across every runtime
         execution under this policy (see :mod:`repro.obs.runtime_metrics` for
         the metric vocabulary).  Like ``trace``, ignored by ``"off"``.
+    data_plane:
+        Wire representation of cross-process edges on the ``distributed``
+        backend: ``"shm"`` (zero-copy shared-memory segments, the default) or
+        ``"pickle"`` (full pickled payloads); None defers to the backend's
+        resolution (``REPRO_DATA_PLANE`` or the default).  Ignored by every
+        other backend.
     """
 
     backend: str = "off"
@@ -96,12 +102,17 @@ class ExecutionPolicy:
     batch_slots: Optional[int] = None
     trace: bool = False
     metrics: Optional[Any] = None
+    data_plane: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
+        if self.data_plane is not None:
+            from repro.runtime.distributed.blockstore import resolve_data_plane
+
+            resolve_data_plane(self.data_plane)  # validate eagerly
         if self.fusion is not None and not self.fusion and self.backend == "process":
             raise ValueError(
                 "the process backend requires fusion; per-leaf task chains pass "
@@ -127,6 +138,7 @@ class ExecutionPolicy:
         batch_slots: Optional[int] = None,
         trace: bool = False,
         metrics: Optional[Any] = None,
+        data_plane: Optional[str] = None,
     ) -> "ExecutionPolicy":
         """Normalize a facade-style ``use_runtime`` argument into a policy.
 
@@ -150,6 +162,7 @@ class ExecutionPolicy:
             batch_slots=batch_slots,
             trace=trace,
             metrics=metrics,
+            data_plane=data_plane,
         )
 
     @property
@@ -240,7 +253,8 @@ class ExecutionPolicy:
             if runtime.num_tasks == 0:
                 return None
             report = runtime.run_distributed(
-                nodes=self.nodes, strategy=strategy, collect=collect, timeout=timeout
+                nodes=self.nodes, strategy=strategy, collect=collect,
+                timeout=timeout, data_plane=self.data_plane,
             )
             if merge is not None:
                 for fragment in report.fragments:
@@ -270,6 +284,7 @@ def resolve_policy(
     distribution: Optional[Union[str, DistributionStrategy]] = None,
     n_workers: int = 4,
     panel_size: Optional[int] = None,
+    data_plane: Optional[str] = None,
 ) -> tuple:
     """Resolve the legacy ``runtime`` / ``execution`` driver arguments.
 
@@ -296,5 +311,6 @@ def resolve_policy(
         n_workers=n_workers,
         distribution=distribution,
         panel_size=panel_size,
+        data_plane=data_plane,
     )
     return policy, runtime

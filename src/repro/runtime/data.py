@@ -38,9 +38,13 @@ class DataHandle:
     getter / setter:
         Optional value accessors bound by the task-graph builders
         (:meth:`bind` / :meth:`bind_item`).  The distributed backend uses them
-        to serialize the handle's current value out of the producer's process
-        and install it in a consumer's process; they are inherited by forked
-        workers and never cross a process boundary themselves.
+        to move the handle's current value out of the producer's process and
+        install it in a consumer's process; they are inherited by forked
+        workers and never cross a process boundary themselves.  Under the
+        zero-copy ``"shm"`` data plane, :meth:`set_value` on the consumer
+        receives a writable ndarray *view* over a shared-memory segment
+        rather than a deserialized copy -- bit-identical to the producer's
+        array, but its ``.base`` keeps the mapping alive.
     """
 
     name: str

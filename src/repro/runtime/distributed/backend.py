@@ -11,15 +11,35 @@ highest critical-path priority first, mirroring the thread executor's
 list-scheduling heuristic.
 
 Data movement is explicit: every dependency edge whose endpoints live on
-different processes becomes exactly one message carrying the serialized
-values of the edge's handles (:mod:`repro.runtime.distributed.comm` plans and
-accounts these).  Receipt of the message releases the dependency *and*
-installs the remote value into the consumer's address space -- PaRSEC's
-data-flow semantics, where data availability and dependency release are one
-event.  Because every process discovers the whole graph (each worker walks
-the full task list to find its local tasks and compute priorities), the
-backend reproduces the DTD discovery behaviour the paper identifies as the
-scaling limiter (Sec. 5.3.3).
+different processes becomes exactly one message
+(:mod:`repro.runtime.distributed.comm` plans and accounts these).  What the
+message carries depends on the **data plane**:
+
+* ``"shm"`` (default) -- the zero-copy plane.  The producer writes each
+  ndarray payload into a ``multiprocessing.shared_memory`` segment through
+  the per-run :class:`~repro.runtime.distributed.blockstore.BlockStore` and
+  the message carries metadata only (segment name, dtype, shape); the
+  consumer installs the value as a zero-copy view over the mapped segment.
+  Non-array values fall back to inline pickle inside the same message.
+* ``"pickle"`` -- the legacy plane: the message payload is the pickled tuple
+  of handle values.
+
+Either way, receipt of the message releases the dependency *and* installs the
+remote value into the consumer's address space -- PaRSEC's data-flow
+semantics, where data availability and dependency release are one event; the
+planes are bit-identical and differ only in which bytes cross the queue
+(``payload_nbytes``, the wire) versus shared memory (``mapped_nbytes``).
+Transfers overlap with compute: sends are posted without blocking the task
+loop, receives are drained opportunistically between tasks, and an idle
+worker parks in a *blocking* ``Queue.get`` (no sleep-polling) until data
+arrives.  The parent likewise blocks in ``multiprocessing.connection.wait``
+on the report queue and every live worker's sentinel, so worker results and
+worker deaths both wake it immediately.
+
+Because every process discovers the whole graph (each worker walks the full
+task list to find its local tasks and compute priorities), the backend
+reproduces the DTD discovery behaviour the paper identifies as the scaling
+limiter (Sec. 5.3.3).
 
 Results are gathered through per-worker ``collect`` callbacks: after a worker
 drains its local tasks it serializes a *fragment* of the results it produced
@@ -36,9 +56,16 @@ import queue as queue_mod
 import time
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _mp_wait
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.runtime.dag import TaskGraph
+from repro.runtime.distributed.blockstore import (
+    BlockStore,
+    decode_payload,
+    encode_payload,
+    resolve_data_plane,
+)
 from repro.runtime.distributed.comm import CommEvent, CommLedger
 from repro.runtime.distributed.protocol import DataMessage, RemoteTaskError, WorkerResult
 
@@ -49,9 +76,6 @@ __all__ = [
     "resolve_owners",
 ]
 
-_WORKER_POLL_SECONDS = 0.05
-_PARENT_POLL_SECONDS = 0.2
-
 
 @dataclass
 class DistributedReport:
@@ -61,6 +85,9 @@ class DistributedReport:
     ----------
     nodes:
         Number of worker processes.
+    data_plane:
+        The wire representation the run used: ``"shm"`` (descriptor messages
+        + shared-memory segments) or ``"pickle"`` (full pickled payloads).
     executed:
         Task ids that completed, grouped by ascending worker rank (each
         rank's ids in its local completion order).
@@ -71,7 +98,14 @@ class DistributedReport:
     timed_out:
         True when the parent's overall ``timeout`` expired.
     ledger:
-        Communication ledger aggregating every inter-process message.
+        Communication ledger aggregating every inter-process message
+        (logical ``total_bytes``, wire ``total_payload_bytes``, shared-memory
+        ``total_mapped_bytes``).
+    segments_swept:
+        Shared-memory segments the parent's cleanup sweep had to unlink after
+        the run -- always 0 for a clean execution (each segment's single
+        consumer unlinks it on install); positive only on error/timeout/
+        cancellation paths where transfers were orphaned in flight.
     fragments:
         Per-worker result fragments returned by the ``collect`` callback.
     per_rank:
@@ -89,11 +123,13 @@ class DistributedReport:
 
     nodes: int
     num_tasks: int
+    data_plane: str = "shm"
     executed: List[int] = field(default_factory=list)
     errors: Dict[int, RemoteTaskError] = field(default_factory=dict)
     cancelled: List[int] = field(default_factory=list)
     timed_out: bool = False
     ledger: CommLedger = field(default_factory=CommLedger)
+    segments_swept: int = 0
     fragments: List[Any] = field(default_factory=list)
     per_rank: Dict[int, Dict[str, float]] = field(default_factory=dict)
     wall_time: float = 0.0
@@ -114,6 +150,7 @@ class DistributedReport:
         # counts and the timeout flag, not just the happy-path statistics.
         return (
             f"DistributedReport(nodes={self.nodes}, tasks={self.num_tasks}, "
+            f"data_plane={self.data_plane!r}, "
             f"executed={len(self.executed)}, errors={len(self.errors)}, "
             f"cancelled={len(self.cancelled)}, timed_out={self.timed_out}, "
             f"messages={self.ledger.num_messages}, "
@@ -147,7 +184,9 @@ def measured_vs_planned_comm(graph: TaskGraph, report: "DistributedReport", node
     by the owners recorded on the graph's handles.  The single definition of
     "the ledger matches the plan" shared by the graph builders, the test
     harness and the scaling experiments -- a correct execution measures
-    exactly what the plan predicts.
+    exactly what the plan predicts.  The model bytes are the declared handle
+    sizes, so the equality holds on *both* data planes (the plane changes
+    only the physical representation, never the logical volume).
     """
     from repro.runtime.distributed.comm import expected_comm
 
@@ -164,16 +203,26 @@ def _worker_main(
     inboxes: List[Any],
     report_queue: Any,
     collect: Optional[Callable[[], Any]],
+    store: Optional[BlockStore] = None,
     trace: bool = False,
     metrics: bool = False,
 ) -> None:
     """Event loop of one worker process (runs in a forked child).
 
-    With ``trace`` the worker stamps every task body, every serialize+send
-    and deserialize+install interval, and its bookkeeping time, shipping the
+    ``store`` selects the data plane: a :class:`BlockStore` exports array
+    payloads into shared-memory segments and ships descriptors (the shm
+    plane); ``None`` pickles the full values into the message (the legacy
+    plane).  When idle with no ready task, the worker blocks in
+    ``inbox.get()`` -- the next event can only be a data arrival, and the
+    parent supervises liveness through the process sentinel, so there is
+    nothing to poll for.
+
+    With ``trace`` the worker stamps every task body, every export+send
+    and receive+install interval, and its bookkeeping time, shipping the
     raw tuples back in :class:`WorkerResult` -- all stamps are absolute
     ``perf_counter`` values on the parent's clock (fork shares
-    ``CLOCK_MONOTONIC``).
+    ``CLOCK_MONOTONIC``).  Comm-span byte counts are wire + mapped bytes
+    (the data the action actually moved, on either plane).
 
     With ``metrics`` the same stamps additionally feed a rank-local
     :class:`~repro.obs.metrics.MetricsRegistry`, whose snapshot ships back
@@ -198,16 +247,23 @@ def _worker_main(
 
     def apply_message(msg: DataMessage) -> None:
         # Install the remote values, then release the dependency: receipt of
-        # the data *is* the producer's completion notification.
+        # the data *is* the producer's completion notification.  On the shm
+        # plane the install attaches the producer's segments and binds
+        # zero-copy views; the bytes never cross the queue.
         nonlocal ready_hw
         tr0 = time.perf_counter() if stamp else 0.0
         handles = graph.edge_data.get(msg.edge, [])
-        for handle, value in zip(handles, pickle.loads(msg.payload)):
+        if store is not None:
+            values, mapped_in = store.install(decode_payload(msg.payload))
+        else:
+            values = pickle.loads(msg.payload)
+            mapped_in = 0
+        for handle, value in zip(handles, values):
             if value is not None:
                 handle.set_value(value)
         if stamp:
             result.comm_spans.append(
-                ("recv", msg.src, rank, msg.edge, len(msg.payload),
+                ("recv", msg.src, rank, msg.edge, len(msg.payload) + mapped_in,
                  tr0, time.perf_counter())
             )
         consumer = msg.edge[1]
@@ -227,10 +283,11 @@ def _worker_main(
                 except queue_mod.Empty:
                     break
             if not ready:
-                try:
-                    apply_message(inbox.get(timeout=_WORKER_POLL_SECONDS))
-                except queue_mod.Empty:
-                    pass
+                # Nothing runnable: block until data arrives (dependency
+                # release *is* data receipt, so there is no other event to
+                # wait for).  No timeout -- the parent owns liveness: it
+                # wakes on any worker death and terminates the rest.
+                apply_message(inbox.get())
                 continue
             _, tid = heapq.heappop(ready)
             task = graph.task(tid)
@@ -260,15 +317,25 @@ def _worker_main(
                     handles = graph.edge_data.get((tid, nxt), [])
                     ts0 = time.perf_counter() if stamp else 0.0
                     values = tuple(h.get_value() if h.bound else None for h in handles)
-                    # Serialize once: the pickled payload both crosses the
-                    # queue and yields the measured byte count.
-                    payload = pickle.dumps(values, pickle.HIGHEST_PROTOCOL)
-                    inboxes[dst].put(DataMessage(edge=(tid, nxt), src=rank, dst=dst, payload=payload))
+                    if store is not None:
+                        # Export array payloads into shared memory; only the
+                        # descriptor list crosses the queue.
+                        descriptors, mapped = store.export((tid, nxt), values)
+                        payload = encode_payload(descriptors)
+                    else:
+                        # Serialize once: the pickled payload both crosses
+                        # the queue and yields the measured byte count.
+                        payload = pickle.dumps(values, pickle.HIGHEST_PROTOCOL)
+                        mapped = 0
+                    inboxes[dst].put(
+                        DataMessage(edge=(tid, nxt), src=rank, dst=dst, payload=payload)
+                    )
                     if stamp:
                         ts1 = time.perf_counter()
                         comm_round += ts1 - ts0
                         result.comm_spans.append(
-                            ("send", rank, dst, (tid, nxt), len(payload), ts0, ts1)
+                            ("send", rank, dst, (tid, nxt), len(payload) + mapped,
+                             ts0, ts1)
                         )
                     result.events.append(
                         CommEvent(
@@ -278,6 +345,7 @@ def _worker_main(
                             handles=tuple(h.name for h in handles),
                             nbytes=int(sum(h.nbytes for h in handles)),
                             payload_nbytes=len(payload),
+                            mapped_nbytes=mapped,
                         )
                     )
             if stamp:
@@ -329,6 +397,7 @@ def execute_graph_distributed(
     raise_on_error: bool = True,
     trace: bool = False,
     metrics=None,
+    data_plane: Optional[str] = None,
 ) -> DistributedReport:
     """Execute all task bodies of ``graph`` across ``nodes`` worker processes.
 
@@ -364,13 +433,19 @@ def execute_graph_distributed(
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`.  Each rank
         records its task and comm metrics (message counts, logical bytes
-        from the declared handle sizes, measured pickled payload bytes,
-        per-edge transfer histograms) into a rank-local registry whose
-        snapshot ships back in its :class:`WorkerResult`; the parent merges
-        every snapshot into ``metrics``, adds the execution-level counters
-        and memory gauges, and fills ``report.memory``.  The registry's byte
-        counters reconcile with ``report.ledger`` by construction (both are
-        fed from the same :class:`CommEvent` rows).
+        from the declared handle sizes, measured wire bytes, shared-memory
+        mapped bytes, per-edge transfer histograms) into a rank-local
+        registry whose snapshot ships back in its :class:`WorkerResult`; the
+        parent merges every snapshot into ``metrics``, adds the
+        execution-level counters and memory gauges, and fills
+        ``report.memory``.  The registry's byte counters reconcile with
+        ``report.ledger`` by construction (both are fed from the same
+        :class:`CommEvent` rows).
+    data_plane:
+        ``"shm"`` (zero-copy shared-memory segments + descriptor messages,
+        the default), ``"pickle"`` (full pickled payloads), or None to read
+        ``REPRO_DATA_PLANE`` and fall back to the default.  Both planes are
+        bit-identical; they differ only in physical byte movement.
 
     Returns
     -------
@@ -382,8 +457,9 @@ def execute_graph_distributed(
 
     if nodes <= 0:
         raise ValueError("nodes must be positive")
+    plane = resolve_data_plane(data_plane)
     t0 = time.perf_counter()
-    report = DistributedReport(nodes=nodes, num_tasks=graph.num_tasks)
+    report = DistributedReport(nodes=nodes, num_tasks=graph.num_tasks, data_plane=plane)
     if graph.num_tasks == 0:
         if metrics is not None:
             from repro.obs.memory import handle_table_bytes
@@ -407,13 +483,16 @@ def execute_graph_distributed(
             "(POSIX only); use the thread executor on this platform"
         ) from exc
 
+    # The store is created before the fork so every worker shares the run id
+    # (its only cross-process state -- attachment maps are process-local).
+    store = BlockStore() if plane == "shm" else None
     inboxes = [ctx.Queue() for _ in range(nodes)]
     report_queue = ctx.Queue()
     workers = [
         ctx.Process(
             target=_worker_main,
             args=(rank, graph, proc_of, priorities, inboxes, report_queue, collect,
-                  trace, metrics is not None),
+                  store, trace, metrics is not None),
             name=f"dtd-rank{rank}",
             daemon=True,
         )
@@ -424,30 +503,43 @@ def execute_graph_distributed(
 
     deadline = None if timeout is None else t0 + timeout
     results: Dict[int, WorkerResult] = {}
+    # The fork-context Queue is pipe-backed; waiting on its reader alongside
+    # the live workers' sentinels replaces the old fixed-interval poll: the
+    # parent wakes the moment a result lands *or* a worker dies.
+    reader = report_queue._reader
     try:
         while len(results) < nodes:
             now = time.perf_counter()
             if deadline is not None and now >= deadline:
                 report.timed_out = True
                 break
-            poll = _PARENT_POLL_SECONDS
-            if deadline is not None:
-                poll = max(min(poll, deadline - now), 0.01)
-            try:
-                res: WorkerResult = report_queue.get(timeout=poll)
-            except queue_mod.Empty:
-                # A worker that died without reporting (segfault in a BLAS
-                # kernel, OOM kill, os._exit) would otherwise hang this loop
-                # and every peer waiting on its data forever.
+            pending = [workers[r].sentinel for r in range(nodes) if r not in results]
+            budget = None if deadline is None else max(deadline - now, 0.0)
+            fired = _mp_wait([reader] + pending, timeout=budget)
+            if not fired:
+                report.timed_out = True
+                break
+            res: Optional[WorkerResult] = None
+            if reader in fired:
+                try:
+                    res = report_queue.get(timeout=1.0)
+                except queue_mod.Empty:
+                    res = None
+            if res is None:
+                # Only sentinels fired: a worker exited.  A worker that died
+                # without reporting (segfault in a BLAS kernel, OOM kill,
+                # os._exit) would otherwise hang this loop and every peer
+                # waiting on its data forever.
                 dead = [
-                    r for r in range(nodes) if r not in results and not workers[r].is_alive()
+                    r for r in range(nodes)
+                    if r not in results and not workers[r].is_alive()
                 ]
-                if not dead:
-                    continue
                 try:
                     # Its final report may still be in flight in the queue.
                     res = report_queue.get(timeout=0.5)
                 except queue_mod.Empty:
+                    if not dead:
+                        continue
                     rank = dead[0]
                     res = WorkerResult(
                         rank=rank,
@@ -483,6 +575,16 @@ def execute_graph_distributed(
                 w.join(timeout=5.0)
         for q in inboxes:
             q.cancel_join_thread()
+        if store is not None:
+            # Segment-lifecycle backstop: unlink anything a terminated or
+            # errored run left behind (the candidate names are a pure
+            # function of the run id and the static transfer plan, so this
+            # finds every possible orphan, even from a worker killed
+            # mid-send).  A clean run sweeps nothing.
+            try:
+                report.segments_swept = store.sweep(graph, proc_of)
+            except BaseException:  # pragma: no cover - cleanup must not mask
+                pass
 
     for rank in sorted(results):
         res = results[rank]

@@ -1,0 +1,293 @@
+"""Shared-memory block store: the zero-copy data plane of the distributed backend.
+
+The pickle data plane serializes every handle value into the message payload,
+so each cross-process edge copies its array bytes twice (producer pickle,
+consumer unpickle) and pushes them through a ``multiprocessing`` queue.  The
+block store moves ndarray payloads through POSIX shared memory instead:
+
+* the **producer** copies each eligible array once into a freshly created
+  ``multiprocessing.shared_memory`` segment and ships only a :class:`BlockRef`
+  descriptor (segment name, dtype, shape, order, byte count) over the queue;
+* the **consumer** attaches the segment, immediately *unlinks* the name (each
+  segment has exactly one consumer, and a POSIX unlink leaves existing
+  mappings valid), and installs the value as a zero-copy ``ndarray`` view over
+  the mapped buffer.
+
+Receipt of the descriptor message still releases the dependency and installs
+the value -- PaRSEC's data-flow semantics are unchanged; only the bytes that
+cross the process boundary collapse from the full payload to a descriptor.
+Values that are not plain numeric ndarrays (``None`` placeholders of unbound
+handles, factor dataclasses, scalars, object/structured arrays, zero-size
+arrays) fall back to inline pickle (protocol 5) inside the same descriptor
+list, so any edge can mix both representations.
+
+Segment lifecycle is airtight by construction: the single consumer unlinks on
+install, and :meth:`BlockStore.sweep` lets the parent enumerate every segment
+name the run *could* have created (the names are deterministic functions of
+the run id and the static transfer plan) and unlink leftovers after an error,
+timeout or cancellation -- even when the producing worker was terminated
+mid-send.  Because the producer's create and the consumer's attach both
+register the name with the fork family's shared ``resource_tracker`` (a set,
+so the double registration is idempotent) and the unlink unregisters it, a
+clean run leaves the tracker empty: no "leaked shared_memory" warnings.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.runtime.dag import TaskGraph
+from repro.runtime.distributed.comm import plan_transfers
+
+__all__ = [
+    "DATA_PLANES",
+    "DEFAULT_DATA_PLANE",
+    "SEGMENT_PREFIX",
+    "BlockRef",
+    "BlockStore",
+    "resolve_data_plane",
+    "encode_payload",
+    "decode_payload",
+]
+
+#: The two wire representations of a cross-process edge: ``"shm"`` ships
+#: descriptors + shared-memory segments (zero-copy install), ``"pickle"``
+#: ships the fully pickled values (the legacy plane, kept as the measuring
+#: stick and as the fallback on hosts without POSIX shared memory).
+DATA_PLANES = ("shm", "pickle")
+
+DEFAULT_DATA_PLANE = "shm"
+
+#: Every segment name starts with this prefix, so tests (and the CI
+#: leaked-segment check) can spot stray ``/dev/shm`` entries of this project.
+SEGMENT_PREFIX = "rps"
+
+
+def resolve_data_plane(data_plane: Optional[str]) -> str:
+    """Normalize a ``data_plane`` argument (None reads ``REPRO_DATA_PLANE``)."""
+    import os
+
+    plane = data_plane or os.environ.get("REPRO_DATA_PLANE") or DEFAULT_DATA_PLANE
+    if plane not in DATA_PLANES:
+        raise ValueError(
+            f"unknown data plane {plane!r}; expected one of {DATA_PLANES}"
+        )
+    return plane
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """Descriptor of one array payload living in a shared-memory segment."""
+
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+    order: str  # "C" or "F"
+    nbytes: int
+
+
+#: One edge payload on the wire: per handle either a :class:`BlockRef`
+#: (array in shared memory) or the inline pickled bytes of the value.
+Descriptor = Union[BlockRef, bytes]
+
+
+def encode_payload(descriptors: Sequence[Descriptor]) -> bytes:
+    """Serialize a descriptor list into the message payload bytes.
+
+    ``len(encode_payload(...))`` is the *physical* wire size of the message:
+    with the shm plane every transferred array contributes only its
+    :class:`BlockRef` here, never its bytes.
+    """
+    return pickle.dumps(tuple(descriptors), protocol=5)
+
+
+def decode_payload(payload: bytes) -> Tuple[Descriptor, ...]:
+    return pickle.loads(payload)
+
+
+def _exportable(value: Any) -> bool:
+    """True when ``value`` moves through a segment instead of inline pickle.
+
+    Exactly ``np.ndarray`` (subclasses would lose their type through the raw
+    buffer), a plain numeric dtype (object/structured dtypes are not
+    flat-buffer representable) and at least one byte (zero-size segments are
+    not creatable).
+    """
+    return (
+        type(value) is np.ndarray
+        and value.dtype.kind in "biufc"
+        and value.nbytes > 0
+    )
+
+
+class BlockStore:
+    """Per-run handle table of shared-memory segments.
+
+    One instance is created by the parent before forking and inherited by
+    every worker; only the ``run_id`` matters at fork time (the attachment
+    maps are process-local).  Segment names are deterministic:
+    ``rps<run_id>-<producer_tid>-<consumer_tid>-<index>`` -- a pure function
+    of the run and the edge, which is what makes :meth:`sweep` able to find
+    every possible leftover from the static transfer plan alone.
+    """
+
+    def __init__(self, run_id: Optional[str] = None) -> None:
+        self.run_id = run_id if run_id is not None else secrets.token_hex(4)
+        # Under the fork start method nothing else starts the resource
+        # tracker, so without this each *worker* would lazily spawn its own
+        # on first segment create/attach -- and a producer-side tracker never
+        # sees the consumer's unregister, warning about "leaked" segments at
+        # shutdown.  Starting it here (the store is built pre-fork) makes
+        # every child inherit the one shared tracker, where the register/
+        # register/unregister sequence of each segment nets to zero.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        # Segments this process attached (consumer side), kept open so the
+        # installed zero-copy views stay valid for the rest of the run.
+        self._attached: Dict[str, shared_memory.SharedMemory] = {}
+        self._refs: Dict[str, int] = {}
+
+    def segment_name(self, edge: Tuple[int, int], index: int) -> str:
+        return f"{SEGMENT_PREFIX}{self.run_id}-{edge[0]}-{edge[1]}-{index}"
+
+    # -- producer side -------------------------------------------------------
+    def export(
+        self, edge: Tuple[int, int], values: Sequence[Any]
+    ) -> Tuple[List[Descriptor], int]:
+        """Write the edge's values out; returns ``(descriptors, mapped_bytes)``.
+
+        Eligible arrays are copied once into a fresh segment each;
+        ``mapped_bytes`` is their total size (the bytes that move through
+        shared memory rather than the queue).  Everything else is pickled
+        inline with protocol 5.
+        """
+        descriptors: List[Descriptor] = []
+        mapped = 0
+        for index, value in enumerate(values):
+            if _exportable(value):
+                descriptors.append(
+                    self._write_segment(self.segment_name(edge, index), value)
+                )
+                mapped += int(value.nbytes)
+            else:
+                descriptors.append(pickle.dumps(value, protocol=5))
+        return descriptors, mapped
+
+    @staticmethod
+    def _write_segment(name: str, value: np.ndarray) -> BlockRef:
+        order = "F" if value.flags.f_contiguous and not value.flags.c_contiguous else "C"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=value.nbytes)
+        try:
+            dst = np.ndarray(value.shape, dtype=value.dtype, buffer=seg.buf, order=order)
+            np.copyto(dst, value, casting="no")
+            del dst  # the view must not outlive seg.buf
+        finally:
+            # Drop the producer's mapping; the *name* stays alive for the
+            # consumer (the consumer unlinks it on install).
+            seg.close()
+        return BlockRef(
+            segment=name,
+            dtype=value.dtype.str,
+            shape=tuple(value.shape),
+            order=order,
+            nbytes=int(value.nbytes),
+        )
+
+    # -- consumer side -------------------------------------------------------
+    def install(self, descriptors: Sequence[Descriptor]) -> Tuple[Tuple[Any, ...], int]:
+        """Materialize a received descriptor list; ``(values, mapped_bytes)``.
+
+        Array descriptors come back as writable zero-copy views over the
+        mapped segment; inline descriptors are unpickled.  The segment is
+        unlinked on first attach -- each segment has exactly one consumer, so
+        nobody else will ever open the name again and the mapping (hence the
+        view) stays valid until this process exits.
+        """
+        values: List[Any] = []
+        mapped = 0
+        for ref in descriptors:
+            if isinstance(ref, BlockRef):
+                values.append(self._attach_view(ref))
+                mapped += ref.nbytes
+            else:
+                values.append(pickle.loads(ref))
+        return tuple(values), mapped
+
+    def _attach_view(self, ref: BlockRef) -> np.ndarray:
+        seg = self._attached.get(ref.segment)
+        if seg is None:
+            seg = shared_memory.SharedMemory(name=ref.segment)
+            seg.unlink()  # single-consumer protocol: reclaim the name now
+            self._attached[ref.segment] = seg
+            self._refs[ref.segment] = 0
+        self._refs[ref.segment] += 1
+        return np.ndarray(
+            ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf, order=ref.order
+        )
+
+    def release(self, segment: str) -> None:
+        """Drop one reference; the mapping is closed when the count hits zero.
+
+        Only safe once every view over the segment has been deleted -- the
+        worker loop never calls this (installed views live in the builders'
+        stores until the process exits and the kernel unmaps everything);
+        it exists for callers that manage view lifetimes explicitly.
+        """
+        if segment not in self._refs:
+            return
+        self._refs[segment] -= 1
+        if self._refs[segment] <= 0:
+            seg = self._attached.pop(segment)
+            del self._refs[segment]
+            try:
+                seg.close()
+            except BufferError:  # a view still references the buffer
+                pass
+
+    def close(self) -> None:
+        """Best-effort unmap of every attached segment (views permitting)."""
+        for segment in list(self._attached):
+            self._refs[segment] = 0
+            seg = self._attached.pop(segment)
+            self._refs.pop(segment, None)
+            try:
+                seg.close()
+            except BufferError:
+                pass
+
+    # -- parent-side cleanup backstop ---------------------------------------
+    def sweep(self, graph: TaskGraph, proc_of: Mapping[int, int]) -> int:
+        """Unlink every leftover segment this run could have created.
+
+        Enumerates the candidate names from the static transfer plan (the
+        only edges any worker ever exports) and unlinks whichever still
+        exist -- segments orphaned because a consumer died, timed out or was
+        cancelled before installing them.  Returns the number removed.
+        Idempotent and safe concurrently with nothing running: a normally
+        consumed segment is already unlinked and is simply skipped.
+        """
+        removed = 0
+        for transfer in plan_transfers(graph, proc_of):
+            for index in range(len(transfer.handles)):
+                name = self.segment_name(transfer.edge, index)
+                try:
+                    seg = shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:
+                    continue
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover - lost race
+                    pass
+                try:
+                    seg.close()
+                except BufferError:  # pragma: no cover - no views exist here
+                    pass
+                removed += 1
+        return removed

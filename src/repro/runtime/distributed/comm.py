@@ -41,8 +41,16 @@ class CommEvent:
         Model size of the message: the sum of ``handle.nbytes`` of the carried
         handles (what the machine model and the simulator charge).
     payload_nbytes:
-        Actual serialized payload size in bytes (0 for symbolic graphs whose
-        handles carry no values).
+        Measured wire size in bytes -- what actually crossed the queue.
+        Always positive for a sent message: even a metadata-only transfer
+        (the shm data plane) or an edge whose handles carry no values (an
+        unbound-handle graph) serializes a real payload, and its true size
+        is recorded so ``repro_comm_physical_bytes_total`` reconciles with
+        the ledger in every mode.
+    mapped_nbytes:
+        Bytes that moved through shared-memory segments instead of the queue
+        (the zero-copy data plane); 0 on the pickle plane.  Wire + mapped is
+        the total data made visible to the consumer.
     """
 
     src: int
@@ -51,6 +59,7 @@ class CommEvent:
     handles: Tuple[str, ...]
     nbytes: int
     payload_nbytes: int = 0
+    mapped_nbytes: int = 0
 
 
 @dataclass
@@ -77,8 +86,13 @@ class CommLedger:
 
     @property
     def total_payload_bytes(self) -> int:
-        """Actual serialized bytes moved over the process boundaries."""
+        """Measured wire bytes moved through the queues (physical bytes)."""
         return sum(e.payload_nbytes for e in self.events)
+
+    @property
+    def total_mapped_bytes(self) -> int:
+        """Bytes moved through shared-memory segments (zero-copy data plane)."""
+        return sum(e.mapped_nbytes for e in self.events)
 
     def by_pair(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
         """Per ``(src, dst)`` pair: ``(message_count, model_bytes)``."""
@@ -94,6 +108,7 @@ class CommLedger:
             "messages": self.num_messages,
             "bytes": self.total_bytes,
             "payload_bytes": self.total_payload_bytes,
+            "mapped_bytes": self.total_mapped_bytes,
             "by_pair": {f"{s}->{d}": list(v) for (s, d), v in sorted(self.by_pair().items())},
         }
 

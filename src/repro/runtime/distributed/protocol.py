@@ -2,10 +2,14 @@
 
 Workers exchange two message kinds over ``multiprocessing`` queues:
 
-* :class:`DataMessage` -- worker-to-worker: the serialized values of the
-  handles on one cross-process dependency edge.  Receipt of the message *is*
-  the completion notification for the remote producer (PaRSEC's data-flow
-  semantics: data availability and dependency release are the same event).
+* :class:`DataMessage` -- worker-to-worker: the payload of one cross-process
+  dependency edge.  On the shm data plane the payload is a pickled list of
+  :class:`~repro.runtime.distributed.blockstore.BlockRef` descriptors (array
+  bytes travel through shared-memory segments, metadata only crosses the
+  queue); on the pickle plane it is the pickled tuple of handle values.
+  Either way, receipt of the message *is* the completion notification for
+  the remote producer (PaRSEC's data-flow semantics: data availability and
+  dependency release are the same event).
 * :class:`WorkerResult` -- worker-to-parent: the final report of one worker
   process (executed tasks, recorded communication events, the collected
   result fragment, and the first error if any).
@@ -27,11 +31,13 @@ __all__ = ["DataMessage", "WorkerResult", "RemoteTaskError"]
 
 @dataclass
 class DataMessage:
-    """Values of one dependency edge's handles, sent producer -> consumer.
+    """Payload of one dependency edge, sent producer -> consumer.
 
-    ``payload`` is the pickled tuple of handle values: serializing once in the
-    sender both produces the bytes that cross the queue and yields the
-    measured payload size for the communication ledger.
+    ``payload`` is what crosses the queue: on the shm plane the encoded
+    descriptor list (:func:`~repro.runtime.distributed.blockstore.encode_payload`),
+    on the pickle plane the pickled tuple of handle values.  Serializing once
+    in the sender both produces the wire bytes and yields the measured
+    ``payload_nbytes`` for the communication ledger.
     """
 
     edge: Tuple[int, int]

@@ -374,6 +374,7 @@ class DTDRuntime:
         strategy=None,
         collect=None,
         timeout: Optional[float] = None,
+        data_plane: Optional[str] = None,
     ):
         """Execute the recorded graph across ``nodes`` forked worker processes.
 
@@ -382,8 +383,10 @@ class DTDRuntime:
         ``fork``, runs only the tasks placed on it by owner-computes over the
         handle owners (optionally reassigned through ``strategy``), and ships
         written handle values to remote consumers as explicit, accounted
-        messages.  ``collect`` is the per-worker result-gathering callback
-        (see :func:`repro.runtime.distributed.execute_graph_distributed`).
+        messages.  ``collect`` is the per-worker result-gathering callback and
+        ``data_plane`` selects the wire representation (``"shm"`` zero-copy
+        shared-memory segments or ``"pickle"`` full payloads -- see
+        :func:`repro.runtime.distributed.execute_graph_distributed`).
 
         Only valid on a fully deferred graph.  Any failure -- a remote task
         error or a timeout -- poisons the runtime: the partially computed
@@ -409,6 +412,7 @@ class DTDRuntime:
             report = execute_graph_distributed(
                 self.graph, nodes=nodes, strategy=strategy, collect=collect,
                 timeout=timeout, trace=self.trace, metrics=self.metrics,
+                data_plane=data_plane,
             )
         except BaseException as exc:
             partial = getattr(exc, "execution_report", None)

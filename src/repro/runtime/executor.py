@@ -373,23 +373,53 @@ def execute_graph(
 _POOL_STATE: Dict[str, Any] = {}
 
 
-def _pool_run_task(tid: int, inject: Dict[int, Any]) -> tuple:
+def _pack_oob(obj: Any) -> tuple:
+    """Serialize for the pool channel: protocol 5 with out-of-band buffers.
+
+    Returns ``(payload, buffers)``: the pickle stream without any array bytes
+    in it, plus each array's flat bytes as a writable ``bytearray``.  The
+    pool's own (protocol-4) channel pickler cannot ship ``PickleBuffer``
+    views, so each buffer is flattened to a ``bytearray`` -- the one copy the
+    shuttle makes per direction; :func:`_unpack_oob` then reconstructs every
+    array as a zero-copy (writable) view over its received buffer instead of
+    copying it back out of a pickle stream.
+    """
+    pickle_buffers: List[pickle.PickleBuffer] = []
+    payload = pickle.dumps(obj, protocol=5, buffer_callback=pickle_buffers.append)
+    return payload, [bytearray(b.raw()) for b in pickle_buffers]
+
+
+def _unpack_oob(packed: tuple) -> Any:
+    payload, buffers = packed
+    return pickle.loads(payload, buffers=buffers)
+
+
+def _oob_nbytes(packed: tuple) -> int:
+    """Physical bytes of a packed message (stream + out-of-band buffers)."""
+    payload, buffers = packed
+    return len(payload) + sum(len(b) for b in buffers)
+
+
+def _pool_run_task(tid: int, packed_inject: tuple) -> tuple:
     """Run one task inside a pool worker.
 
-    Returns ``(written_values, span, phys_nbytes)`` where ``span`` is None
-    unstamped, or the raw stamp tuple ``(pid, install_t0, install_t1, run_t0,
-    run_t1, gather_t1)`` -- absolute ``perf_counter`` stamps on the parent's
-    clock (fork shares ``CLOCK_MONOTONIC``), split into handle-install
-    (recv), task body (compute) and written-value gather (send) intervals.
-    ``phys_nbytes`` is the measured pickled size of the written values (what
-    actually crosses the fork boundary back to the parent), or None when the
-    execution carries no metrics registry.
+    ``packed_inject`` is the :func:`_pack_oob` form of the ``hid -> value``
+    dict of bound read handles the parent injects.  Returns
+    ``(packed_writes, span, phys_nbytes)``: the written values in the same
+    packed form, ``span`` None unstamped or the raw stamp tuple ``(pid,
+    install_t0, install_t1, run_t0, run_t1, gather_t1)`` -- absolute
+    ``perf_counter`` stamps on the parent's clock (fork shares
+    ``CLOCK_MONOTONIC``), split into handle-install (recv), task body
+    (compute) and written-value gather (send) intervals -- and
+    ``phys_nbytes`` the measured physical size of the written values (free
+    from the packed form; None when the execution carries no metrics
+    registry).
     """
     stamp = _POOL_STATE.get("trace", False)
     t_in0 = time.perf_counter() if stamp else 0.0
     graph = _POOL_STATE["graph"]
     by_hid = _POOL_STATE["by_hid"]
-    for hid, value in inject.items():
+    for hid, value in _unpack_oob(packed_inject).items():
         by_hid[hid].set_value(value)
     task = graph.task(tid)
     t_run0 = time.perf_counter() if stamp else 0.0
@@ -399,12 +429,13 @@ def _pool_run_task(tid: int, inject: Dict[int, Any]) -> tuple:
     for handle in task.write_handles:
         if handle.bound:
             out[handle.hid] = handle.get_value()
+    packed_out = _pack_oob(out)
     phys = None
     if _POOL_STATE.get("measure", False) and out:
-        phys = len(pickle.dumps(out, pickle.HIGHEST_PROTOCOL))
+        phys = _oob_nbytes(packed_out)
     if not stamp:
-        return out, None, phys
-    return out, (os.getpid(), t_in0, t_run0, t_run0, t_run1, time.perf_counter()), phys
+        return packed_out, None, phys
+    return packed_out, (os.getpid(), t_in0, t_run0, t_run0, t_run1, time.perf_counter()), phys
 
 
 def _pool_collect(_slot: int) -> Any:
@@ -486,8 +517,11 @@ def execute_graph_processes(
     counters and latency histograms (derived from the same stamps) plus the
     handle-shuttle traffic as comm metrics: every inject (parent -> pool)
     and every gather (pool -> parent) counts one message, with *logical*
-    bytes from the declared handle sizes and *physical* bytes from the
-    measured pickled payloads.  ``report.memory`` is filled.
+    bytes from the declared handle sizes and *physical* bytes measured from
+    the serialized payloads (protocol 5 with out-of-band buffers: array
+    bytes travel as flat buffers beside a tiny pickle stream, and the
+    receiving side reconstructs each array as a zero-copy view over its
+    buffer).  ``report.memory`` is filled.
     """
     if "fork" not in multiprocessing.get_all_start_methods():
         raise RuntimeError("the process backend requires fork (POSIX)")
@@ -563,6 +597,7 @@ def execute_graph_processes(
                     for h in task.read_handles
                     if h.bound and h.hid in dirty
                 }
+                packed = _pack_oob(inject)
                 started.add(tid)
                 if stamp:
                     submit_at[tid] = time.perf_counter()
@@ -571,9 +606,8 @@ def execute_graph_processes(
                         h.nbytes for h in task.read_handles
                         if h.bound and h.hid in inject
                     )
-                    physical = len(pickle.dumps(inject, pickle.HIGHEST_PROTOCOL))
-                    shuttle_msgs.append(("parent", "pool", logical, physical))
-                futures[pool.submit(_pool_run_task, tid, inject)] = tid
+                    shuttle_msgs.append(("parent", "pool", logical, _oob_nbytes(packed)))
+                futures[pool.submit(_pool_run_task, tid, packed)] = tid
 
         submit_ready()
         stop = False
@@ -587,11 +621,12 @@ def execute_graph_processes(
             for fut in done:
                 tid = futures.pop(fut)
                 try:
-                    writes, span, phys = fut.result()
+                    packed_writes, span, phys = fut.result()
                 except BaseException as exc:
                     report.errors[tid] = exc
                     stop = True
                     continue
+                writes = _unpack_oob(packed_writes)
                 for hid, value in writes.items():
                     by_hid[hid].set_value(value)
                     dirty.add(hid)
@@ -620,10 +655,11 @@ def execute_graph_processes(
                     del futures[fut]
             for fut, tid in futures.items():
                 try:
-                    writes, span, phys = fut.result()
+                    packed_writes, span, phys = fut.result()
                 except BaseException as exc:
                     report.errors.setdefault(tid, exc)
                 else:
+                    writes = _unpack_oob(packed_writes)
                     for hid, value in writes.items():
                         by_hid[hid].set_value(value)
                         dirty.add(hid)

@@ -130,9 +130,17 @@ def dense_reference(case: CompressCase) -> np.ndarray:
 
 
 def _policy(
-    backend: str, *, nodes: int = 1, n_workers: int = 2, fusion: Optional[bool] = None
+    backend: str,
+    *,
+    nodes: int = 1,
+    n_workers: int = 2,
+    fusion: Optional[bool] = None,
+    data_plane: Optional[str] = None,
 ) -> ExecutionPolicy:
-    return ExecutionPolicy(backend=backend, nodes=nodes, n_workers=n_workers, fusion=fusion)
+    return ExecutionPolicy(
+        backend=backend, nodes=nodes, n_workers=n_workers, fusion=fusion,
+        data_plane=data_plane,
+    )
 
 
 def graph_build(
@@ -142,10 +150,13 @@ def graph_build(
     nodes: int = 1,
     n_workers: int = 2,
     fusion: Optional[bool] = None,
+    data_plane: Optional[str] = None,
 ):
     """Compress one case through the registry's ``compress_graph`` on ``backend``.
 
-    Returns ``(matrix, runtime)``.
+    Returns ``(matrix, runtime)``.  ``data_plane`` selects the distributed
+    transfer representation ("shm" or "pickle"); bit-identity must hold on
+    either.
     """
     spec = get_format(case.format)
     return spec.compress_graph(
@@ -155,7 +166,10 @@ def graph_build(
         tol=None,
         method=None,
         seed=case.seed,
-        policy=_policy(backend, nodes=nodes, n_workers=n_workers, fusion=fusion),
+        policy=_policy(
+            backend, nodes=nodes, n_workers=n_workers, fusion=fusion,
+            data_plane=data_plane,
+        ),
     )
 
 
@@ -187,6 +201,7 @@ def run_pipeline(
     n_workers: int = 2,
     k: int = 3,
     fusion: Optional[bool] = None,
+    data_plane: Optional[str] = None,
 ) -> Tuple[np.ndarray, float]:
     """Compress -> factorize -> solve one case entirely on ``backend``.
 
@@ -194,7 +209,10 @@ def run_pipeline(
     reference operator (``||A_dense x - b|| / ||b||``).
     """
     spec = get_format(case.format)
-    policy = _policy(backend, nodes=nodes, n_workers=n_workers, fusion=fusion)
+    policy = _policy(
+        backend, nodes=nodes, n_workers=n_workers, fusion=fusion,
+        data_plane=data_plane,
+    )
     matrix, _ = spec.compress_graph(
         kernel_matrix_for(case),
         leaf_size=case.leaf_size,

@@ -1,0 +1,325 @@
+"""Tests for the shared-memory block store (the zero-copy data plane).
+
+Covers the segment-lifecycle acceptance criteria of the data plane: payload
+roundtrips (all orders, dtypes and the inline-pickle fallback), unlink-on-
+install semantics, the parent's sweep backstop, and -- the airtight part --
+no leaked ``/dev/shm`` segments and a clean resource tracker after success,
+task error, timeout and cancellation.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.distribution.strategies import RowCyclicDistribution
+from repro.runtime.distributed import resolve_owners
+from repro.runtime.distributed.blockstore import (
+    DATA_PLANES,
+    SEGMENT_PREFIX,
+    BlockRef,
+    BlockStore,
+    decode_payload,
+    encode_payload,
+    resolve_data_plane,
+)
+from repro.runtime.distributed.protocol import RemoteTaskError
+from repro.runtime.dtd import DTDRuntime
+from repro.runtime.task import AccessMode
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork") or not os.path.isdir("/dev/shm"),
+    reason="the shm data plane requires fork and POSIX shared memory",
+)
+
+TIMEOUT = 120.0
+
+
+def _rps_segments():
+    """Names of this project's segments currently present in /dev/shm."""
+    return sorted(f for f in os.listdir("/dev/shm") if f.startswith(SEGMENT_PREFIX))
+
+
+class TestResolveDataPlane:
+    def test_default_and_passthrough(self):
+        assert resolve_data_plane(None) == "shm"
+        for plane in DATA_PLANES:
+            assert resolve_data_plane(plane) == plane
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_PLANE", "pickle")
+        assert resolve_data_plane(None) == "pickle"
+        # an explicit argument beats the environment
+        assert resolve_data_plane("shm") == "shm"
+
+    def test_unknown_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown data plane"):
+            resolve_data_plane("carrier-pigeon")
+        monkeypatch.setenv("REPRO_DATA_PLANE", "bogus")
+        with pytest.raises(ValueError, match="unknown data plane"):
+            resolve_data_plane(None)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            np.arange(24, dtype=np.float64).reshape(4, 6),
+            np.asfortranarray(np.arange(24, dtype=np.float64).reshape(4, 6)),
+            np.arange(48, dtype=np.float64).reshape(6, 8)[::2, 1::3],  # strided
+            np.arange(10, dtype=np.int32),
+            (np.arange(8) + 1j * np.arange(8)).astype(np.complex128),
+            np.array([True, False, True]),
+            np.array(3.25),  # 0-d array
+        ],
+        ids=["c-order", "f-order", "strided", "int32", "complex", "bool", "zero-d"],
+    )
+    def test_array_payloads_bit_identical(self, value):
+        store = BlockStore()
+        descriptors, mapped = store.export((0, 1), [value])
+        assert mapped == value.nbytes
+        [ref] = descriptors
+        assert isinstance(ref, BlockRef)
+        (out,), mapped_in = store.install(decode_payload(encode_payload(descriptors)))
+        assert mapped_in == value.nbytes
+        assert out.dtype == value.dtype
+        assert out.shape == value.shape
+        assert np.array_equal(out, value)
+        # the install is a *view* over the mapped segment, not a copy ...
+        assert out.base is not None
+        # ... writable, and already unlinked from the filesystem
+        out.flat[0] = out.flat[0]
+        assert _rps_segments() == []
+        store.close()
+
+    def test_fortran_order_preserved(self):
+        store = BlockStore()
+        value = np.asfortranarray(np.arange(12.0).reshape(3, 4))
+        descriptors, _ = store.export((0, 1), [value])
+        assert descriptors[0].order == "F"
+        (out,), _ = store.install(descriptors)
+        assert out.flags.f_contiguous and not out.flags.c_contiguous
+        assert np.array_equal(out, value)
+        store.close()
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            3.25,
+            "a string",
+            {"k": np.arange(3.0)},
+            np.empty((0, 3)),  # zero-size: no segment is creatable
+            np.array([{"a": 1}, None], dtype=object),
+        ],
+        ids=["none", "scalar", "str", "dict", "empty-array", "object-dtype"],
+    )
+    def test_non_array_values_fall_back_to_inline_pickle(self, value):
+        store = BlockStore()
+        descriptors, mapped = store.export((0, 1), [value])
+        assert mapped == 0
+        [blob] = descriptors
+        assert isinstance(blob, bytes)
+        (out,), mapped_in = store.install(descriptors)
+        assert mapped_in == 0
+        if isinstance(value, np.ndarray):
+            assert out.dtype == value.dtype and out.shape == value.shape
+        elif isinstance(value, dict):
+            assert np.array_equal(out["k"], value["k"])
+        else:
+            assert out == value
+        assert _rps_segments() == []
+
+    def test_mixed_edge_payload(self):
+        store = BlockStore()
+        values = [np.arange(16.0), None, "tag", np.ones((2, 2))]
+        descriptors, mapped = store.export((3, 7), values)
+        assert mapped == values[0].nbytes + values[3].nbytes
+        out, _ = store.install(descriptors)
+        assert np.array_equal(out[0], values[0])
+        assert out[1] is None and out[2] == "tag"
+        assert np.array_equal(out[3], values[3])
+        assert _rps_segments() == []
+        store.close()
+
+    def test_release_drops_the_mapping(self):
+        store = BlockStore()
+        descriptors, _ = store.export((0, 1), [np.arange(4.0)])
+        (out,), _ = store.install(descriptors)
+        segment = descriptors[0].segment
+        assert segment in store._attached
+        del out
+        store.release(segment)
+        assert segment not in store._attached
+
+
+class TestSweep:
+    def _two_rank_chain(self):
+        rt = DTDRuntime(execution="deferred")
+        store = {}
+        a = rt.new_handle("a", nbytes=80, level=1, row=0, max_level=1).bind_item(store, "a")
+        b = rt.new_handle("b", nbytes=40, level=1, row=1, max_level=1).bind_item(store, "b")
+        rt.insert_task(
+            lambda: store.__setitem__("a", np.arange(10.0)), [(a, AccessMode.WRITE)], name="w0"
+        )
+        rt.insert_task(
+            lambda: store.__setitem__("b", store["a"][:5] * 2.0),
+            [(a, AccessMode.READ), (b, AccessMode.WRITE)],
+            name="w1",
+        )
+        RowCyclicDistribution(2, max_level=1).assign(rt.handles)
+        return rt, store
+
+    def test_sweep_unlinks_orphans_from_the_plan(self):
+        rt, _ = self._two_rank_chain()
+        proc_of = resolve_owners(rt.graph, 2)
+        store = BlockStore()
+        # Producer exported for the planned (0, 1) edge, consumer never ran.
+        store.export((0, 1), [np.arange(10.0)])
+        assert len(_rps_segments()) == 1
+        assert store.sweep(rt.graph, proc_of) == 1
+        assert _rps_segments() == []
+        # idempotent: a second sweep finds nothing
+        assert store.sweep(rt.graph, proc_of) == 0
+
+    def test_sweep_ignores_other_runs(self):
+        rt, _ = self._two_rank_chain()
+        proc_of = resolve_owners(rt.graph, 2)
+        mine, other = BlockStore(), BlockStore()
+        other.export((0, 1), [np.arange(10.0)])
+        assert mine.sweep(rt.graph, proc_of) == 0
+        assert other.sweep(rt.graph, proc_of) == 1
+
+
+class TestLifecycleAcrossRuns:
+    """No leaked segments after success, error, timeout or cancellation."""
+
+    def _graph_with_transfer(self, consumer_side_task, producer_delay=0.0):
+        """Rank 0 produces an array for rank 1; rank 1 also runs its own task.
+
+        ``producer_delay`` holds the send back until the consumer rank is
+        already inside its own task, making the transfer reliably *in flight*
+        (exported but never installed) when that task errors or times out.
+        """
+        rt = DTDRuntime(execution="deferred")
+        store = {}
+        a = rt.new_handle("a", nbytes=512, level=1, row=0, max_level=1).bind_item(store, "a")
+        b = rt.new_handle("b", nbytes=512, level=1, row=1, max_level=1).bind_item(store, "b")
+        c = rt.new_handle("c", nbytes=8, level=1, row=1, max_level=1).bind_item(store, "c")
+
+        def produce():
+            time.sleep(producer_delay)
+            store["a"] = np.arange(64.0)
+
+        rt.insert_task(produce, [(a, AccessMode.WRITE)], name="w0")
+        rt.insert_task(consumer_side_task, [(c, AccessMode.WRITE)], name="local1")
+        rt.insert_task(
+            lambda: store.__setitem__("b", store["a"] * 2.0),
+            [(a, AccessMode.READ), (b, AccessMode.WRITE)],
+            name="w1",
+        )
+        RowCyclicDistribution(2, max_level=1).assign(rt.handles)
+        return rt, store
+
+    def test_success_leaves_nothing(self):
+        rt, store = self._graph_with_transfer(lambda: store_noop())
+        report = rt.run_distributed(
+            nodes=2, timeout=TIMEOUT, collect=lambda: dict(store)
+        )
+        assert report.ok
+        assert report.data_plane == "shm"
+        assert report.segments_swept == 0
+        assert _rps_segments() == []
+        merged = {}
+        for frag in report.fragments:
+            merged.update({k: v for k, v in frag.items() if v is not None})
+        assert np.array_equal(merged["b"], np.arange(64.0) * 2.0)
+
+    def test_consumer_error_orphans_are_swept(self):
+        def late_boom():
+            # Outlive the producer's (delayed) send so its segment is in
+            # flight, then die before the event loop ever drains the message.
+            time.sleep(0.8)
+            raise ValueError("late boom")
+
+        rt, _ = self._graph_with_transfer(late_boom, producer_delay=0.3)
+        with pytest.raises(RemoteTaskError, match="late boom") as excinfo:
+            rt.run_distributed(nodes=2, timeout=TIMEOUT)
+        assert excinfo.value.execution_report.segments_swept == 1
+        assert _rps_segments() == []
+
+    def test_timeout_orphans_are_swept(self):
+        rt, _ = self._graph_with_transfer(lambda: time.sleep(30.0), producer_delay=0.3)
+        with pytest.raises(TimeoutError) as excinfo:
+            rt.run_distributed(nodes=2, timeout=2.0)
+        report = excinfo.value.execution_report
+        assert report.timed_out
+        # the consumer never drained the in-flight transfer; cancellation of
+        # its remaining work must not leak the segment
+        assert report.cancelled
+        assert report.segments_swept == 1
+        assert _rps_segments() == []
+
+    def test_resource_tracker_clean_after_distributed_run(self):
+        """A full run in a fresh interpreter emits no resource-tracker noise."""
+        code = (
+            "import numpy as np\n"
+            "from repro.distribution.strategies import RowCyclicDistribution\n"
+            "from repro.runtime.dtd import DTDRuntime\n"
+            "from repro.runtime.task import AccessMode\n"
+            "store = {}\n"
+            "rt = DTDRuntime(execution='deferred')\n"
+            "a = rt.new_handle('a', nbytes=800, level=1, row=0, max_level=1).bind_item(store, 'a')\n"
+            "b = rt.new_handle('b', nbytes=800, level=1, row=1, max_level=1).bind_item(store, 'b')\n"
+            "rt.insert_task(lambda: store.__setitem__('a', np.arange(100.0)),\n"
+            "               [(a, AccessMode.WRITE)])\n"
+            "rt.insert_task(lambda: store.__setitem__('b', store['a'] * 2.0),\n"
+            "               [(a, AccessMode.READ), (b, AccessMode.WRITE)])\n"
+            "RowCyclicDistribution(2, max_level=1).assign(rt.handles)\n"
+            "report = rt.run_distributed(nodes=2, timeout=120.0)\n"
+            "assert report.ok\n"
+            "assert report.ledger.total_mapped_bytes == 800\n"
+        )
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, timeout=TIMEOUT,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "leaked shared_memory" not in result.stderr
+        assert "resource_tracker" not in result.stderr
+
+
+class TestWireBytesBothPlanes:
+    """Satellite bugfix: metadata-only transfers report their true wire size."""
+
+    @pytest.mark.parametrize("plane", ["shm", "pickle"])
+    def test_unbound_handle_transfer_has_wire_bytes(self, plane):
+        # An unbound-handle graph ships no values, only the synchronization
+        # message -- its measured wire size must still be positive so the
+        # physical-bytes counter reconciles with the ledger in both modes.
+        rt = DTDRuntime(execution="deferred")
+        a = rt.new_handle("a", nbytes=80, level=1, row=0, max_level=1)
+        b = rt.new_handle("b", nbytes=40, level=1, row=1, max_level=1)
+        rt.insert_task(lambda: None, [(a, AccessMode.WRITE)], name="w0")
+        rt.insert_task(
+            lambda: None, [(a, AccessMode.READ), (b, AccessMode.WRITE)], name="w1"
+        )
+        RowCyclicDistribution(2, max_level=1).assign(rt.handles)
+        report = rt.run_distributed(nodes=2, timeout=TIMEOUT, data_plane=plane)
+        assert report.ok
+        [event] = report.ledger.events
+        assert event.nbytes == 80  # the model still charges the declared size
+        assert event.payload_nbytes > 0  # a real payload crossed the queue
+        assert event.mapped_nbytes == 0  # no array value moved
+        assert report.ledger.total_payload_bytes == event.payload_nbytes
+
+
+def store_noop():
+    return None

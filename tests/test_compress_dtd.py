@@ -2,7 +2,8 @@
 
 Driven by the shared seeded harness (:mod:`tests.harness`): one randomized
 (kernel, seed) case per registered format, swept over every execution
-backend and over 1/2/4 distributed worker processes.  Acceptance criteria of
+backend, over 1/2/4 distributed worker processes, and over both distributed
+data planes (zero-copy "shm" and legacy "pickle").  Acceptance criteria of
 the subsystem:
 
 * graph-built compression is **bit-identical** to the sequential
@@ -71,16 +72,24 @@ class TestBitIdentitySharedMemory:
 
 @needs_fork
 class TestBitIdentityDistributed:
+    @pytest.mark.parametrize("data_plane", ("shm", "pickle"))
     @pytest.mark.parametrize("nodes", NODE_COUNTS)
     @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
-    def test_graph_build_matches_sequential(self, case, nodes):
-        matrix, rt = graph_build(case, "distributed", nodes=nodes)
-        assert rt.last_distributed_report.ok
+    def test_graph_build_matches_sequential(self, case, nodes, data_plane):
+        matrix, rt = graph_build(
+            case, "distributed", nodes=nodes, data_plane=data_plane
+        )
+        report = rt.last_distributed_report
+        assert report.ok and report.data_plane == data_plane
         assert_case_bit_identical(case, matrix)
-        # acceptance: measured comm volume == plan_transfers analytic counts
+        # acceptance: measured comm volume == plan_transfers analytic counts,
+        # invariant across data planes (zero-copy changes only the wire form)
         assert_comm_matches_plan(rt, nodes)
         if nodes == 1:
-            assert rt.last_distributed_report.ledger.num_messages == 0
+            assert report.ledger.num_messages == 0
+        elif data_plane == "shm":
+            # zero-copy run must leave no orphaned segments behind
+            assert report.segments_swept == 0
 
 
 class TestEndToEndPipeline:

@@ -353,10 +353,16 @@ class TestDistributedReconciliation:
         assert reg.value(
             "repro_comm_logical_bytes_total", backend="distributed"
         ) == ledger.total_bytes
-        # ... physical bytes are the measured pickled payloads
+        # ... physical bytes are the measured wire payloads (descriptors
+        # under the default zero-copy plane) ...
         assert reg.value(
             "repro_comm_physical_bytes_total", backend="distributed"
         ) == ledger.total_payload_bytes
+        # ... and mapped bytes are what moved through shm segments instead
+        assert ledger.total_mapped_bytes > 0
+        assert reg.value(
+            "repro_comm_mapped_bytes_total", backend="distributed"
+        ) == ledger.total_mapped_bytes
         # per-edge transfer histogram totals match the ledger too
         pair_totals = ledger.by_pair()
         for (src, dst), (messages, _bytes) in pair_totals.items():
@@ -620,6 +626,82 @@ class TestTrajectoryGate:
             "solve_throughput": self._throughput_section(230.0, backend="reference"),
         })
         result = check_trajectory(cur, base)
+        assert result.ok and result.compared == 0
+
+    @staticmethod
+    def _comm_section(shm_bytes, pickle_bytes, nodes=2, n=512):
+        return {
+            "base_n": n // nodes,
+            "rows": [
+                {
+                    "distribution": "row", "nodes": nodes, "n": n,
+                    "data_plane": "shm", "physical_bytes": shm_bytes,
+                    "mapped_bytes": 10 * shm_bytes,
+                },
+                {
+                    "distribution": "row", "nodes": nodes, "n": n,
+                    "data_plane": "pickle", "physical_bytes": pickle_bytes,
+                    "mapped_bytes": 0,
+                },
+            ],
+        }
+
+    def test_comm_savings_floor_gated(self, tmp_path):
+        # 30x savings clears the default 10x floor ...
+        cur = _artifact(tmp_path, "cur.json", {
+            "distributed_weak_scaling": self._comm_section(1000, 30000),
+        })
+        result = check_trajectory(cur, tmp_path / "nope.json")
+        assert result.ok and result.compared == 1
+        # ... 2x does not (array payloads leaked back onto the wire)
+        cur2 = _artifact(tmp_path, "cur2.json", {
+            "distributed_weak_scaling": self._comm_section(15000, 30000),
+        })
+        result2 = check_trajectory(cur2, tmp_path / "nope.json")
+        assert not result2.ok
+        assert any("zero-copy savings" in f for f in result2.failures)
+        # a raised floor fails the 30x artifact too
+        assert not check_trajectory(
+            cur, tmp_path / "nope.json", min_comm_savings=50.0
+        ).ok
+
+    def test_comm_shm_bytes_regression_gated(self, tmp_path):
+        base = _artifact(tmp_path, "base.json", {
+            "distributed_weak_scaling": self._comm_section(1000, 30000),
+        })
+        # same wire bytes at the same n: both checks pass
+        cur_ok = _artifact(tmp_path, "cur_ok.json", {
+            "distributed_weak_scaling": self._comm_section(1000, 30000),
+        })
+        result = check_trajectory(cur_ok, base)
+        assert result.ok and result.compared == 2
+        # descriptor bloat past the slack fails even when savings still clear
+        cur_bad = _artifact(tmp_path, "cur_bad.json", {
+            "distributed_weak_scaling": self._comm_section(2000, 30000),
+        })
+        result2 = check_trajectory(cur_bad, base)
+        assert not result2.ok
+        assert any("shm wire bytes grew" in f for f in result2.failures)
+
+    def test_comm_gate_skips_preplane_artifacts(self, tmp_path):
+        # rows recorded before the zero-copy plane carry no data_plane /
+        # physical_bytes fields: the gate must skip them, not crash or fail
+        cur = _artifact(tmp_path, "cur.json", {
+            "distributed_weak_scaling": {
+                "base_n": 256,
+                "rows": [{"distribution": "row", "nodes": 2, "n": 512,
+                          "measured_bytes": 32256}],
+            },
+        })
+        result = check_trajectory(cur, tmp_path / "nope.json")
+        assert result.ok and result.compared == 0
+
+    def test_comm_gate_ignores_single_node_rows(self, tmp_path):
+        # one node means no transfers: 0B/0B rows never gate
+        cur = _artifact(tmp_path, "cur.json", {
+            "distributed_weak_scaling": self._comm_section(0, 0, nodes=1),
+        })
+        result = check_trajectory(cur, tmp_path / "nope.json")
         assert result.ok and result.compared == 0
 
 

@@ -128,13 +128,33 @@ class TestCommunicationAccounting:
         assert ledger.num_messages == 0
         assert ledger.total_bytes == 0
 
-    def test_actual_payload_bytes_recorded(self, hss):
-        _, rt = hss_ulv_factorize_dtd(hss, execution="distributed", nodes=2)
+    def test_actual_payload_bytes_recorded_pickle_plane(self, hss):
+        _, rt = hss_ulv_factorize_dtd(
+            hss, execution="distributed", nodes=2, data_plane="pickle"
+        )
         ledger = rt.last_distributed_report.ledger
-        # real numerical payloads were serialized, so actual bytes are nonzero
+        # real numerical payloads were serialized, so wire bytes are nonzero
         # and within a small factor of the model (pickle adds framing)
         assert ledger.total_payload_bytes > 0
         assert ledger.total_payload_bytes >= 0.5 * ledger.total_bytes
+        # nothing moved through shared memory on the pickle plane
+        assert ledger.total_mapped_bytes == 0
+
+    def test_shm_plane_moves_bytes_out_of_the_wire(self, hss):
+        _, rt = hss_ulv_factorize_dtd(
+            hss, execution="distributed", nodes=2, data_plane="shm"
+        )
+        report = rt.last_distributed_report
+        assert report.data_plane == "shm"
+        ledger = report.ledger
+        # every message still has a real (descriptor) wire payload ...
+        assert ledger.total_payload_bytes > 0
+        assert all(e.payload_nbytes > 0 for e in ledger.events)
+        # ... but the array bytes moved through shared memory instead
+        assert ledger.total_payload_bytes < ledger.total_bytes
+        assert ledger.total_mapped_bytes >= 0.5 * ledger.total_bytes
+        # a clean run leaves nothing for the parent's sweep
+        assert report.segments_swept == 0
 
     def test_ledger_by_pair_totals(self, hss):
         _, rt = hss_ulv_factorize_dtd(hss, execution="distributed", nodes=4)
