@@ -23,6 +23,19 @@ at ``--tolerance``, anything cross-size or cross-machine at the lenient
 ``--cross-size-tolerance``; machine stamps are read backfill-tolerantly).
 Failures print a readable diff of every offending row before the non-zero
 exit.
+
+The committed baseline itself is validated on every run (overhead
+fractions within the limit, raw-sample spreads within
+``--max-sample-spread``): a disturbed run committed as the baseline fails
+every gate run loudly instead of silently lowering the floors.  Before
+*replacing* ``benchmarks/BENCH_runtime.json`` with a freshly recorded
+artifact, validate the refresh::
+
+    python benchmarks/check_speedup_trajectory.py --refresh /tmp/bench-new.json
+
+which additionally requires parity or better (``--refresh-tolerance``,
+default 0.9 of every stored gated value on the same machine class) so a
+slower-but-committed run can never ratchet the regression floors looser.
 """
 
 from __future__ import annotations
@@ -39,6 +52,7 @@ if str(_SRC) not in sys.path:
 from repro.obs.trajectory import (  # noqa: E402
     GATED_BACKENDS,
     SECTIONS,
+    check_refresh,
     check_trajectory,
 )
 
@@ -81,15 +95,49 @@ def main(argv=None) -> int:
         help="floor on the zero-copy data plane's physical-byte savings "
         "factor over the pickle plane (distributed_weak_scaling rows)",
     )
-    args = parser.parse_args(argv)
-    result = check_trajectory(
-        args.current,
-        args.baseline,
-        tolerance=args.tolerance,
-        cross_size_tolerance=args.cross_size_tolerance,
-        max_trace_overhead=args.max_trace_overhead,
-        min_comm_savings=args.min_comm_savings,
+    parser.add_argument(
+        "--max-sample-spread",
+        type=float,
+        default=2.0,
+        help="largest tolerated max/min spread of any raw *_samples list "
+        "(hard failure for the committed baseline and --refresh candidates, "
+        "warning for fresh measurements)",
     )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="validate CURRENT as a proposed replacement for the committed "
+        "baseline instead of gating it: the candidate must be baseline-clean "
+        "and at parity or better with the stored trajectory",
+    )
+    parser.add_argument(
+        "--refresh-tolerance",
+        type=float,
+        default=0.9,
+        help="with --refresh: fraction of every stored gated value a "
+        "same-machine-class candidate row must reach",
+    )
+    args = parser.parse_args(argv)
+    if args.refresh:
+        result = check_refresh(
+            args.current,
+            args.baseline,
+            refresh_tolerance=args.refresh_tolerance,
+            cross_size_tolerance=args.cross_size_tolerance,
+            max_trace_overhead=args.max_trace_overhead,
+            min_comm_savings=args.min_comm_savings,
+            max_sample_spread=args.max_sample_spread,
+        )
+    else:
+        result = check_trajectory(
+            args.current,
+            args.baseline,
+            tolerance=args.tolerance,
+            cross_size_tolerance=args.cross_size_tolerance,
+            max_trace_overhead=args.max_trace_overhead,
+            min_comm_savings=args.min_comm_savings,
+            max_sample_spread=args.max_sample_spread,
+        )
     for line in result.lines:
         print(line)
     print()

@@ -35,6 +35,23 @@ keep a ``min_comm_savings`` (default 10x) wire-byte advantage for the shm
 plane, and matching shm rows must not regress past a small slack over the
 committed baseline.  Pre-plane artifacts carry no ``data_plane`` field and
 skip the gate entirely.
+
+The *committed baseline itself* is validated on every run: its recorded
+overhead fractions must pass ``max_trace_overhead`` and every raw
+``*_samples`` list it stores must have a max/min spread within
+``max_sample_spread`` (default 2x) -- a baseline violating either was
+recorded on a disturbed machine, and committing it would silently lower
+every regression floor derived from it.  The same spread bound is applied
+to the freshly measured artifact as a ``NOISY`` warning only (CI boxes are
+noisy; the lenient floors absorb that), so a disturbed measurement is
+visible without flaking the gate.
+
+:func:`check_refresh` guards the act of *replacing* the baseline: a
+proposed refresh must itself be baseline-clean (hard spread + overhead
+checks) and at parity or better with the committed trajectory
+(``refresh_tolerance``, default 0.9 of every stored gated value on the
+same machine class), so repeated refreshes after slower runs cannot
+ratchet the floors looser.
 """
 
 from __future__ import annotations
@@ -56,7 +73,9 @@ __all__ = [
     "speedup_rows",
     "throughput_rows",
     "comm_plane_rows",
+    "sample_spreads",
     "check_trajectory",
+    "check_refresh",
 ]
 
 #: Sections carrying speedup rows, with the per-row key fields.
@@ -149,6 +168,85 @@ def comm_plane_rows(
         )
         out[key] = (int(row["physical_bytes"]), int(row.get("n", 0)))
     return out
+
+
+#: Row fields used to describe a sample-spread finding in log lines.
+_ROW_ID_FIELDS = (
+    "format", "backend", "fusion", "distribution", "data_plane",
+    "n_workers", "batch_size", "nodes", "n",
+)
+
+
+def _row_ident(row: Mapping[str, Any]) -> str:
+    parts = [f"{k}={row[k]}" for k in _ROW_ID_FIELDS if k in row]
+    return ", ".join(parts) if parts else "<top level>"
+
+
+def sample_spreads(
+    artifact: Mapping[str, Any],
+) -> Iterator[Tuple[str, str, str, float]]:
+    """Yield ``(section, where, field, max/min spread)`` per raw-sample list.
+
+    Walks every section generically: raw per-repeat timing lists are any
+    ``*_samples`` key, either on the section itself (``trace_overhead``) or
+    on its rows.  Lists shorter than two samples or containing non-positive
+    timings are skipped -- the spread of a timing list is only meaningful
+    for repeated positive wall times.
+    """
+    for name, section in artifact.items():
+        if not isinstance(section, Mapping):
+            continue
+        holders = [("<section>", section)]
+        rows = section.get("rows")
+        if isinstance(rows, list):
+            holders += [(_row_ident(r), r) for r in rows if isinstance(r, Mapping)]
+        for where, holder in holders:
+            for key, value in holder.items():
+                if not (isinstance(key, str) and key.endswith("_samples")):
+                    continue
+                if not (isinstance(value, list) and len(value) >= 2):
+                    continue
+                try:
+                    lo, hi = min(value), max(value)
+                except TypeError:
+                    continue
+                if not isinstance(lo, (int, float)) or lo <= 0:
+                    continue
+                yield name, where, key, float(hi) / float(lo)
+
+
+def _check_sample_spreads(
+    result: GateResult,
+    artifact: Mapping[str, Any],
+    max_spread: float,
+    *,
+    role: str,
+) -> None:
+    """Flag raw-sample lists whose spread says the run was disturbed.
+
+    ``role="baseline"`` (and ``"refresh"``, a proposed baseline) hard-fails:
+    a disturbed run must never become the stored trajectory, because every
+    regression floor is derived from it.  ``role="current"`` only logs a
+    ``NOISY`` warning -- fresh measurements on shared CI boxes jitter, and
+    the lenient floors already absorb that.
+    """
+    hard = role != "current"
+    for name, where, key, spread in sample_spreads(artifact):
+        if spread <= max_spread:
+            continue
+        line = (
+            f"{role} {name} [{where}] {key}: max/min spread {spread:.2f}x "
+            f"exceeds the {max_spread:.1f}x sanity bound -> "
+            f"{'DISTURBED' if hard else 'NOISY (warning only)'}"
+        )
+        result.log(line)
+        if hard:
+            result.fail(
+                f"{role} {name} [{where}] {key}: sample spread {spread:.2f}x "
+                f"exceeds the {max_spread:.1f}x sanity bound -- the run was "
+                "disturbed; re-measure on a quiet machine instead of "
+                "committing it as the trajectory"
+            )
 
 
 def _check_comm_plane(
@@ -335,11 +433,26 @@ def _check_speedups(
 
 
 def _check_overheads(
-    result: GateResult, current: Mapping[str, Any], max_overhead: float
+    result: GateResult,
+    artifact: Mapping[str, Any],
+    max_overhead: float,
+    *,
+    role: str = "current",
 ) -> None:
-    section = current.get("trace_overhead")
+    """Gate the recorded observability overhead fractions of one artifact.
+
+    Applied to the freshly measured artifact (``role="current"``, as always)
+    and to the committed/proposed baseline (``role="baseline"``/
+    ``"refresh"``): a stored trajectory whose own overhead measurement
+    breaches the limit was recorded on a disturbed machine and would make
+    every fresh run fail against it, so it must never be committed.
+    """
+    prefix = "" if role == "current" else f"{role} "
+    section = artifact.get("trace_overhead")
     if not isinstance(section, dict):
-        result.log("section 'trace_overhead': not in the current artifact, skipped")
+        result.log(
+            f"section 'trace_overhead': not in the {role} artifact, skipped"
+        )
         return
     checked = False
     for fraction_key, label in OVERHEAD_FIELDS:
@@ -350,7 +463,7 @@ def _check_overheads(
         best_key = "traced_best" if label == "traced" else "metered_best"
         verdict = "ok" if fraction <= max_overhead else "TOO EXPENSIVE"
         result.log(
-            f"trace_overhead[{label}]: measured {fraction * 100:+.2f}% "
+            f"{prefix}trace_overhead[{label}]: measured {fraction * 100:+.2f}% "
             f"(untraced {section.get('untraced_best', float('nan')):.4f}s vs "
             f"{label} {section.get(best_key, float('nan')):.4f}s, "
             f"n={section.get('n')}, best of {section.get('repeats')}) "
@@ -358,13 +471,16 @@ def _check_overheads(
         )
         if fraction > max_overhead:
             result.fail(
-                f"trace_overhead[{label}]: {fraction * 100:+.2f}% exceeds the "
-                f"{max_overhead * 100:.1f}% limit "
+                f"{prefix}trace_overhead[{label}]: {fraction * 100:+.2f}% "
+                f"exceeds the {max_overhead * 100:.1f}% limit "
                 f"(untraced {section.get('untraced_best')}s, "
                 f"{label} {section.get(best_key)}s)"
             )
     if not checked:
-        result.log("section 'trace_overhead': no overhead fraction recorded, skipped")
+        result.log(
+            f"section 'trace_overhead': no overhead fraction recorded in the "
+            f"{role} artifact, skipped"
+        )
 
 
 def check_trajectory(
@@ -375,6 +491,7 @@ def check_trajectory(
     cross_size_tolerance: float = 0.25,
     max_trace_overhead: float = 0.03,
     min_comm_savings: float = 10.0,
+    max_sample_spread: float = 2.0,
 ) -> GateResult:
     """Compare a fresh artifact against the committed trajectory.
 
@@ -383,6 +500,12 @@ def check_trajectory(
     the deltas into its tables).  ``min_comm_savings`` is the floor on the
     zero-copy data plane's physical-byte savings factor over the pickle
     plane (see :func:`comm_plane_rows`).
+
+    Besides comparing the two artifacts, the committed baseline is itself
+    validated (overhead fractions within ``max_trace_overhead``, raw-sample
+    spreads within ``max_sample_spread``) so that a disturbed run committed
+    as the trajectory fails every subsequent gate run loudly instead of
+    silently lowering the floors; the current artifact's spreads only warn.
     """
     result = GateResult()
     current = load_artifact(Path(current_path))
@@ -400,4 +523,64 @@ def check_trajectory(
     )
     _check_overheads(result, current, max_trace_overhead)
     _check_comm_plane(result, current, baseline, min_comm_savings)
+    _check_sample_spreads(result, current, max_sample_spread, role="current")
+    if baseline:
+        _check_overheads(
+            result, baseline, max_trace_overhead, role="baseline"
+        )
+        _check_sample_spreads(
+            result, baseline, max_sample_spread, role="baseline"
+        )
+    return result
+
+
+def check_refresh(
+    proposed_path: Path,
+    committed_path: Path,
+    *,
+    refresh_tolerance: float = 0.9,
+    cross_size_tolerance: float = 0.25,
+    max_trace_overhead: float = 0.03,
+    min_comm_savings: float = 10.0,
+    max_sample_spread: float = 2.0,
+) -> GateResult:
+    """Validate a *proposed baseline refresh* against the committed one.
+
+    Run this (``check_speedup_trajectory.py --refresh``) before replacing
+    ``benchmarks/BENCH_runtime.json``.  Two properties gate, both with hard
+    failures:
+
+    * **baseline-clean** -- the proposed artifact must satisfy everything
+      demanded of a committed baseline: overhead fractions within
+      ``max_trace_overhead`` and every raw-sample spread within
+      ``max_sample_spread`` (a disturbed run must not become the floor
+      generator);
+    * **parity or better** -- every gated value must reach
+      ``refresh_tolerance`` (default 0.9) of the committed value when both
+      were measured at the same size on the same machine class, so repeated
+      refreshes after slower runs cannot ratchet the regression floors
+      looser.  Cross-size/cross-machine rows fall back to
+      ``cross_size_tolerance`` (absolute numbers are not comparable there).
+
+    The zero-copy comm-plane gates (savings floor, shm byte ceiling) apply
+    to the proposed artifact exactly as in :func:`check_trajectory`.
+    """
+    result = GateResult()
+    proposed = load_artifact(Path(proposed_path))
+    committed_path = Path(committed_path)
+    if not committed_path.exists():
+        result.log(
+            f"no committed baseline at {committed_path}; "
+            "validating the proposed artifact's health only"
+        )
+        committed: Dict[str, Any] = {}
+    else:
+        committed = load_artifact(committed_path)
+    _check_speedups(
+        result, proposed, committed,
+        tolerance=refresh_tolerance, cross_size_tolerance=cross_size_tolerance,
+    )
+    _check_overheads(result, proposed, max_trace_overhead, role="refresh")
+    _check_comm_plane(result, proposed, committed, min_comm_savings)
+    _check_sample_spreads(result, proposed, max_sample_spread, role="refresh")
     return result

@@ -15,6 +15,7 @@ import itertools
 import json
 import math
 import os
+from pathlib import Path
 
 import pytest
 
@@ -28,7 +29,7 @@ from repro.obs import (
     parse_prometheus,
 )
 from repro.obs.benchreport import render_html, render_markdown, sparkline
-from repro.obs.trajectory import check_trajectory
+from repro.obs.trajectory import check_refresh, check_trajectory, sample_spreads
 from repro.runtime.dtd import DTDRuntime
 from repro.runtime.executor import execute_graph
 from repro.runtime.task import AccessMode
@@ -587,6 +588,123 @@ class TestTrajectoryGate:
         })
         result = check_trajectory(cur, tmp_path / "nope.json")
         assert result.ok and result.compared == 0
+
+    # -- baseline health: a disturbed run committed as the trajectory must
+    #    fail every subsequent gate run, not silently lower the floors
+
+    def test_noisy_baseline_overhead_fails_even_with_clean_current(
+        self, tmp_path
+    ):
+        clean = {
+            "n": 2048, "repeats": 5,
+            "untraced_best": 1.0, "traced_best": 1.01, "metered_best": 1.01,
+            "overhead_fraction": 0.01, "metered_overhead_fraction": 0.01,
+        }
+        cur = _artifact(tmp_path, "cur.json", {"trace_overhead": dict(clean)})
+        base = _artifact(tmp_path, "base.json", {
+            "trace_overhead": {**clean, "metered_overhead_fraction": 0.0377},
+        })
+        result = check_trajectory(cur, base, max_trace_overhead=0.03)
+        assert not result.ok
+        assert any(
+            f.startswith("baseline trace_overhead") for f in result.failures
+        )
+
+    @staticmethod
+    def _noisy_speedup_section(samples):
+        section = _speedup_section(1.0)
+        section["rows"][0]["seq_samples"] = list(samples)
+        return section
+
+    def test_noisy_baseline_samples_fail(self, tmp_path):
+        cur = _artifact(tmp_path, "cur.json", {
+            "parallel_speedup": _speedup_section(1.0),
+        })
+        base = _artifact(tmp_path, "base.json", {
+            "parallel_speedup": self._noisy_speedup_section(
+                [0.435, 0.382, 0.136]  # 3.2x spread: a disturbed run
+            ),
+        })
+        result = check_trajectory(cur, base)
+        assert not result.ok
+        assert any("sample spread" in f and "baseline" in f
+                   for f in result.failures)
+        # a tight spread passes
+        base2 = _artifact(tmp_path, "base2.json", {
+            "parallel_speedup": self._noisy_speedup_section([0.40, 0.42, 0.41]),
+        })
+        assert check_trajectory(cur, base2).ok
+
+    def test_noisy_current_samples_warn_only(self, tmp_path):
+        cur = _artifact(tmp_path, "cur.json", {
+            "parallel_speedup": self._noisy_speedup_section(
+                [0.435, 0.382, 0.136]
+            ),
+        })
+        base = _artifact(tmp_path, "base.json", {
+            "parallel_speedup": _speedup_section(1.0),
+        })
+        result = check_trajectory(cur, base)
+        assert result.ok
+        assert any("NOISY" in line for line in result.lines)
+
+    # -- refresh validation: replacing the baseline requires a clean run at
+    #    parity or better, so refreshes cannot ratchet the floors looser
+
+    def test_refresh_parity_ok_and_regression_fails(self, tmp_path):
+        committed = _artifact(tmp_path, "committed.json", {
+            "parallel_speedup": _speedup_section(1.0),
+        })
+        at_parity = _artifact(tmp_path, "parity.json", {
+            "parallel_speedup": _speedup_section(0.95),
+        })
+        assert check_refresh(at_parity, committed).ok
+        slower = _artifact(tmp_path, "slower.json", {
+            "parallel_speedup": _speedup_section(0.8),
+        })
+        result = check_refresh(slower, committed)
+        assert not result.ok
+        # the same 0.8 run would pass the ordinary (0.5-tolerance) gate
+        assert check_trajectory(slower, committed).ok
+
+    def test_refresh_rejects_noisy_candidate(self, tmp_path):
+        committed = _artifact(tmp_path, "committed.json", {
+            "parallel_speedup": _speedup_section(1.0),
+        })
+        noisy = _artifact(tmp_path, "noisy.json", {
+            "parallel_speedup": self._noisy_speedup_section(
+                [0.435, 0.382, 0.136]
+            ),
+        })
+        result = check_refresh(noisy, committed)
+        assert not result.ok
+        assert any("sample spread" in f for f in result.failures)
+
+    def test_committed_baseline_is_clean(self):
+        # The artifact every regression floor is derived from must itself
+        # satisfy the baseline health checks (overhead within the limit,
+        # sample spreads within the sanity bound) -- this makes a disturbed
+        # re-record uncommittable at the plain-pytest tier, not only in the
+        # gate jobs.
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "BENCH_runtime.json"
+        )
+        result = check_trajectory(path, path)
+        assert result.ok, result.summary()
+
+    def test_sample_spreads_iterator_skips_short_and_nonpositive(self):
+        spreads = list(sample_spreads({
+            "trace_overhead": {
+                "untraced_samples": [1.0, 2.0],
+                "one_samples": [1.0],          # too short
+                "zero_samples": [0.0, 1.0],    # non-positive
+                "text_samples": ["a", "b"],    # non-numeric
+            },
+        }))
+        assert spreads == [
+            ("trace_overhead", "<section>", "untraced_samples", 2.0),
+        ]
 
     @staticmethod
     def _throughput_section(solves_per_sec, backend="parallel", n=1024):
