@@ -3,14 +3,16 @@
 Thin CLI over :mod:`repro.obs.trajectory`: compares a freshly measured
 benchmark artifact (written by the benchmark suite under
 ``REPRO_BENCH_JSON``) against the committed ``benchmarks/BENCH_runtime.json``
-and fails when a parallel/process speedup or a concurrent-backend solve
-throughput (``solve_throughput`` rows, solves/sec) regressed past the
-tolerance, when a recorded observability overhead fraction (traced,
-traced+metered) exceeds ``--max-trace-overhead``, or when the zero-copy
-data plane's wire-byte savings over the pickle plane
-(``distributed_weak_scaling`` per-plane rows) drop below
-``--min-comm-savings``.  Used by the ``speedup-smoke`` /
-``trace-smoke`` / ``metrics-smoke`` / ``distributed-smoke`` CI jobs::
+and fails when a parallel/process speedup, a concurrent-backend solve
+throughput (``solve_throughput`` rows, solves/sec) or an end-to-end HTTP
+serving throughput (``serve_load`` rows, solves/sec through the running
+``repro serve`` server) regressed past the tolerance, when a recorded
+observability overhead fraction (traced, traced+metered) exceeds
+``--max-trace-overhead``, or when the zero-copy data plane's wire-byte
+savings over the pickle plane (``distributed_weak_scaling`` per-plane rows)
+drop below ``--min-comm-savings``.  Used by the ``speedup-smoke`` /
+``trace-smoke`` / ``metrics-smoke`` / ``distributed-smoke`` /
+``serve-smoke`` CI jobs::
 
     REPRO_BENCH_JSON=/tmp/bench-current.json PYTHONPATH=src \
         python -m pytest benchmarks/test_compress_scaling.py \

@@ -1,0 +1,68 @@
+"""Benchmark: end-to-end HTTP serving throughput under concurrent clients.
+
+Boots the :class:`~repro.service.http_server.SolverHTTPServer` per backend
+and drives it with concurrent keep-alive clients issuing blocking
+``POST /v1/solve`` requests -- the full serving stack (HTTP parse, auth,
+ticket queue, background batching flush, JSON marshalling), not just the
+in-process service that ``test_solve_throughput.py`` measures.  Rows land
+in ``BENCH_runtime.json`` under the gated ``serve_load`` section
+(:data:`repro.obs.trajectory.SERVE_SECTION`).
+
+Absolute throughput depends on the machine, so only correctness is asserted
+hard: every request must be served and **bit-identical** to the sequential
+reference solve of the same right-hand side (the server solves with
+``panel_size=1``), with no hung tickets and no errors.
+"""
+
+from bench_utils import full_scale, print_table, record_bench
+
+from repro.experiments.serve_load import format_serve_load, run_serve_load
+
+N = 512 if full_scale() else 256
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 8 if full_scale() else 4
+BACKENDS = ("sequential", "parallel")
+
+
+def _run():
+    return run_serve_load(
+        n=N,
+        leaf_size=64,
+        max_rank=20,
+        backends=BACKENDS,
+        clients=CLIENTS,
+        requests_per_client=REQUESTS_PER_CLIENT,
+        n_workers=4,
+    )
+
+
+def test_serve_load(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        f"HTTP serving load (N={N}, {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests)",
+        format_serve_load(result),
+    )
+    record_bench(
+        "serve_load",
+        {
+            "n": result["n"],
+            "format": result["format"],
+            "leaf_size": result["leaf_size"],
+            "max_rank": result["max_rank"],
+            "clients": result["clients"],
+            "requests": result["requests"],
+            "rows": [row.as_dict() for row in result["rows"]],
+        },
+    )
+
+    rows = result["rows"]
+    assert {r.backend for r in rows} == set(BACKENDS)
+    for row in rows:
+        assert row.requests == CLIENTS * REQUESTS_PER_CLIENT
+        assert row.errors == 0, row.status_counts
+        assert row.status_counts.get("200") == row.requests
+        assert row.wall_seconds > 0
+        assert row.solves_per_sec > 0
+        # the serving acceptance criterion: every response bit-identical to
+        # the sequential reference solve of its right-hand side
+        assert row.bit_identical

@@ -21,6 +21,8 @@ Usage::
     python -m repro metrics --phase factorize --runtime process
     python -m repro metrics --phase solve --runtime distributed --nodes 2 --json
     python -m repro benchreport --html report.html
+    python -m repro serve --port 8080 --backend parallel --workers 4
+    python -m repro serve --auth-file tenants.json --cache-file factors.bin --ttl 600
 
 Each experiment sub-command runs the corresponding driver
 (:mod:`repro.experiments`) and prints the same rows/series the paper reports.
@@ -76,6 +78,15 @@ reports the same metric vocabulary (see README "Observability").
 ``benchreport`` renders the benchmark artifact ``BENCH_runtime.json`` into a
 markdown report (``--html``: additionally a self-contained HTML file) with
 per-row timing sparklines and regression deltas against a baseline artifact.
+
+``serve`` runs the always-on HTTP front end
+(:class:`~repro.service.http_server.SolverHTTPServer`): ``POST /v1/solve``
+(blocking, batched), ``POST /v1/submit`` + ``GET /v1/tickets/<id>`` (async),
+``GET /metrics`` (Prometheus), ``GET /healthz`` and ``GET /v1/stats`` -- with
+per-tenant API keys and token-bucket rate limits (``--auth-file`` /
+``--rate-limit``), queue-depth backpressure (``--max-pending``) and a
+disk-persisted factorization cache (``--cache-file``) so restarts serve
+cache hits instead of refactorizing (see README "Serving").
 """
 
 from __future__ import annotations
@@ -494,6 +505,104 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "serve",
+        help="run the always-on HTTP solver server (see README 'Serving')",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8080, help="bind port (0: pick a free one)")
+    p.add_argument(
+        "--backend",
+        choices=("reference", "immediate", "sequential", "parallel", "process", "distributed"),
+        default="parallel",
+        help="SolverService execution backend for the batched solves",
+    )
+    p.add_argument("--workers", type=int, default=4, help="thread/process count")
+    p.add_argument(
+        "--nodes", type=int, default=1, help="worker processes for the distributed backend"
+    )
+    p.add_argument(
+        "--distribution",
+        choices=distribution_choices,
+        default=None,
+        help="placement strategy for the task-graph backends",
+    )
+    p.add_argument(
+        "--panel-size",
+        type=_positive_int,
+        default=None,
+        help="RHS-panel width of the batched solves (1: per-request solves, "
+        "bit-identical to single-RHS reference solves)",
+    )
+    p.add_argument(
+        "--max-cached",
+        type=_positive_int,
+        default=8,
+        help="factorizations kept in the LRU cache",
+    )
+    p.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="factorization time-to-live (idle entries expire; default: never)",
+    )
+    p.add_argument(
+        "--flush-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="batching window of the background flush loop",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=256,
+        help="queued tickets before solve/submit get 503 backpressure",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="blocking /v1/solve wait before 504 (the ticket still resolves)",
+    )
+    p.add_argument(
+        "--ticket-ttl",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="seconds a resolved ticket stays claimable via /v1/tickets/<id>",
+    )
+    p.add_argument(
+        "--cache-file",
+        default=None,
+        metavar="PATH",
+        help="factorization-cache snapshot: loaded on start if present, "
+        "written on shutdown (restart = cache hits, zero refactorization)",
+    )
+    p.add_argument(
+        "--auth-file",
+        default=None,
+        metavar="PATH",
+        help="JSON tenant config ({\"tenants\": [{name, api_key, rate, burst}]}); "
+        "omitted: open anonymous mode",
+    )
+    p.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="PER_SEC",
+        help="default sustained requests/second per tenant (anonymous included)",
+    )
+    p.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="token-bucket burst capacity (default: max(1, rate))",
+    )
+
+    p = sub.add_parser(
         "benchreport",
         help="render BENCH_runtime.json into a markdown/HTML trajectory report",
     )
@@ -746,6 +855,52 @@ def _run_metrics(args: argparse.Namespace) -> str:
     return out
 
 
+def _run_serve(args: argparse.Namespace) -> str:
+    """Boot the HTTP solver server and block until interrupted."""
+    from repro.service import Authenticator, SolverHTTPServer, SolverService
+
+    service = SolverService(
+        backend=args.backend,
+        n_workers=args.workers,
+        nodes=args.nodes,
+        distribution=args.distribution,
+        panel_size=args.panel_size,
+        max_cached=args.max_cached,
+        ttl_seconds=args.ttl,
+    )
+    if args.auth_file:
+        auth = Authenticator.from_file(
+            args.auth_file, default_rate=args.rate_limit, default_burst=args.burst
+        )
+    else:
+        auth = Authenticator(default_rate=args.rate_limit, default_burst=args.burst)
+    server = SolverHTTPServer(
+        service,
+        host=args.host,
+        port=args.port,
+        flush_interval=args.flush_interval,
+        max_pending=args.max_pending,
+        request_timeout=args.request_timeout,
+        ticket_ttl=args.ticket_ttl,
+        auth=auth,
+        cache_path=args.cache_file,
+    )
+    host, port = server.start_in_thread()
+    mode = "open" if auth.open else f"{len(auth.tenants)} tenant(s)"
+    print(
+        f"repro-solver listening on http://{host}:{port} "
+        f"(backend={args.backend}, auth={mode})",
+        flush=True,
+    )
+    try:
+        server.join()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+        server.shutdown()
+        server.join(10)
+    return f"repro-solver stopped ({service.stats.solves} solves served)"
+
+
 def _run_benchreport(args: argparse.Namespace) -> str:
     """Render the benchmark artifact into markdown (and optionally HTML)."""
     from pathlib import Path
@@ -878,6 +1033,8 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
         out = _run_trace(args)
     elif args.command == "metrics":
         out = _run_metrics(args)
+    elif args.command == "serve":
+        out = _run_serve(args)
     elif args.command == "benchreport":
         out = _run_benchreport(args)
     else:  # pragma: no cover - argparse enforces the choices

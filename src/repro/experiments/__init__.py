@@ -42,6 +42,12 @@ from repro.experiments.solve_throughput import (
     format_solve_throughput,
     run_solve_throughput,
 )
+from repro.experiments.serve_load import (
+    ServeLoadRow,
+    drive_concurrent_clients,
+    format_serve_load,
+    run_serve_load,
+)
 from repro.experiments.compress_scaling import (
     CompressScalingRow,
     format_compress_scaling,
@@ -59,6 +65,10 @@ __all__ = [
     "ThroughputRow",
     "run_solve_throughput",
     "format_solve_throughput",
+    "ServeLoadRow",
+    "run_serve_load",
+    "format_serve_load",
+    "drive_concurrent_clients",
     "SpeedupRow",
     "run_parallel_speedup",
     "format_parallel_speedup",

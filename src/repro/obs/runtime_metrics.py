@@ -58,6 +58,9 @@ __all__ = [
     "record_execution_metrics",
     "record_rank_execution",
     "record_sequential_run",
+    "record_http_request",
+    "record_http_rejection",
+    "record_http_inflight",
 ]
 
 _H = {
@@ -79,6 +82,10 @@ _H = {
     "queue_depth": ("repro_queue_depth", "Ready-queue high-water mark"),
     "peak_rss": ("repro_peak_rss_bytes", "Peak resident-set bytes per process"),
     "handle_bytes": ("repro_handle_bytes", "Handle-table bytes (view=logical: declared sizes; view=measured: bound values)"),
+    "http_requests": ("repro_http_requests_total", "HTTP requests served by route, method and status"),
+    "http_seconds": ("repro_http_request_seconds", "HTTP request handling seconds by route"),
+    "http_rejected": ("repro_http_rejected_total", "HTTP requests rejected before solving (unauthorized, rate_limited, backpressure)"),
+    "http_inflight": ("repro_http_inflight_requests", "Concurrent in-flight HTTP requests (high-water mark)"),
 }
 
 
@@ -283,6 +290,45 @@ def record_sequential_run(
     memory = handle_table_bytes(graph)
     record_memory(registry, backend, memory)
     return memory
+
+
+def record_http_request(
+    registry: MetricsRegistry,
+    *,
+    route: str,
+    method: str,
+    status: int,
+    seconds: float,
+) -> None:
+    """Account one served HTTP request (the solver server's request log).
+
+    ``route`` is the route *pattern* (``"/v1/tickets/{id}"``, never the
+    concrete path) so label cardinality stays bounded no matter how many
+    tickets exist.
+    """
+    registry.counter(
+        *_H["http_requests"], route=route, method=method, status=str(status)
+    ).inc()
+    registry.histogram(
+        *_H["http_seconds"], buckets=LATENCY_BUCKETS, route=route
+    ).observe(seconds)
+
+
+def record_http_rejection(
+    registry: MetricsRegistry, *, reason: str, tenant: str = "anonymous"
+) -> None:
+    """Count one request rejected before reaching the solver.
+
+    ``reason`` is one of ``unauthorized`` (401), ``rate_limited`` (429) or
+    ``backpressure`` (503) -- the admission-control outcomes a capacity
+    alert wants to distinguish.
+    """
+    registry.counter(*_H["http_rejected"], reason=reason, tenant=tenant).inc()
+
+
+def record_http_inflight(registry: MetricsRegistry, inflight: int) -> None:
+    """High-water mark of concurrently handled requests."""
+    registry.gauge(*_H["http_inflight"], mode="max").set_max(inflight)
 
 
 def record_rank_execution(

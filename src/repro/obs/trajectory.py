@@ -6,9 +6,11 @@ artifacts, matches speedup rows between a freshly measured artifact and the
 committed trajectory, and produces a structured :class:`GateResult` instead
 of printing directly -- the CLI wrapper prints, the report renders.
 
-Speedup rows match on ``(section, format, backend, fusion)`` and throughput
+Speedup rows match on ``(section, format, backend, fusion)``, throughput
 rows (:data:`THROUGHPUT_SECTION`, gated on ``solves_per_sec``) on
-``(format, backend, n_workers, batch_size)``; only the concurrent backends
+``(format, backend, n_workers, batch_size)``, and HTTP serving rows
+(:data:`SERVE_SECTION`, end-to-end solves/sec through the running server)
+on ``(format, backend, clients)``; only the concurrent backends
 (:data:`GATED_BACKENDS`) gate, since that is the trajectory the
 north star tracks.  Absolute numbers are machine- and size-dependent, so
 the check is deliberately lenient: a current row must reach ``tolerance``
@@ -64,6 +66,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Tuple
 __all__ = [
     "SECTIONS",
     "THROUGHPUT_SECTION",
+    "SERVE_SECTION",
     "COMM_SECTION",
     "GATED_BACKENDS",
     "OVERHEAD_FIELDS",
@@ -72,6 +75,7 @@ __all__ = [
     "machine_stamp",
     "speedup_rows",
     "throughput_rows",
+    "serve_rows",
     "comm_plane_rows",
     "sample_spreads",
     "check_trajectory",
@@ -83,6 +87,10 @@ SECTIONS = ("parallel_speedup", "compress_scaling")
 
 #: Section carrying batched-solve throughput rows, gated on ``solves_per_sec``.
 THROUGHPUT_SECTION = "solve_throughput"
+
+#: Section carrying HTTP-serving load-generator rows (concurrent clients
+#: against the running server), gated on end-to-end ``solves_per_sec``.
+SERVE_SECTION = "serve_load"
 
 #: Section carrying per-data-plane physical-byte rows of the distributed
 #: weak-scaling bench, gated on the zero-copy savings factor.
@@ -144,6 +152,27 @@ def throughput_rows(section: Mapping[str, Any]) -> Iterator[Tuple[Tuple, float, 
             backend,
             int(row.get("n_workers", 1)),
             int(row.get("batch_size", 1)),
+        )
+        yield key, float(row["solves_per_sec"]), int(row.get("n", n))
+
+
+def serve_rows(section: Mapping[str, Any]) -> Iterator[Tuple[Tuple, float, int]]:
+    """Yield ``(key, solves_per_sec, n)`` per gated row of ``serve_load``.
+
+    Rows are end-to-end HTTP measurements (client -> server -> batched graph
+    solve -> response), keyed by the serving configuration.  Every service
+    backend gates here -- unlike the raw speedup sections, the serving
+    trajectory matters even on the sequential backends, since the HTTP and
+    batching overhead is what the row measures.
+    """
+    n = int(section.get("n", 0))
+    for row in section.get("rows", ()):
+        if "solves_per_sec" not in row:
+            continue
+        key = (
+            row.get("format"),
+            row.get("backend"),
+            int(row.get("clients", 1)),
         )
         yield key, float(row["solves_per_sec"]), int(row.get("n", n))
 
@@ -420,6 +449,7 @@ def _check_speedups(
 ) -> None:
     gated = [(name, speedup_rows, "x") for name in SECTIONS]
     gated.append((THROUGHPUT_SECTION, throughput_rows, "/s"))
+    gated.append((SERVE_SECTION, serve_rows, "/s"))
     for name, rows_fn, unit in gated:
         cur_section = current.get(name)
         base_section = baseline.get(name)

@@ -1,8 +1,19 @@
 """Serving layer: cached factorizations, queued right-hand sides, batched solves.
 
-See :class:`repro.service.solver_service.SolverService`.
+See :class:`repro.service.solver_service.SolverService` for the core and
+:class:`repro.service.http_server.SolverHTTPServer` for the asyncio HTTP
+front end (auth in :mod:`repro.service.auth`, cache snapshots in
+:mod:`repro.service.persistence`).
 """
 
+from repro.service.auth import (
+    AuthError,
+    Authenticator,
+    RateLimited,
+    Tenant,
+    TokenBucket,
+)
+from repro.service.http_server import SolverHTTPServer
 from repro.service.solver_service import (
     FactorKey,
     ServiceStats,
@@ -10,4 +21,15 @@ from repro.service.solver_service import (
     SolverService,
 )
 
-__all__ = ["FactorKey", "ServiceStats", "SolveTicket", "SolverService"]
+__all__ = [
+    "AuthError",
+    "Authenticator",
+    "FactorKey",
+    "RateLimited",
+    "ServiceStats",
+    "SolveTicket",
+    "SolverHTTPServer",
+    "SolverService",
+    "Tenant",
+    "TokenBucket",
+]

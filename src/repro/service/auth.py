@@ -1,0 +1,206 @@
+"""Per-tenant API keys and token-bucket rate limiting for the HTTP server.
+
+Stdlib-only and deliberately small: the server needs to answer two questions
+per request -- *who is this* (API key -> :class:`Tenant`) and *may they solve
+right now* (per-tenant :class:`TokenBucket`).  Failures map onto the HTTP
+status codes the server returns: :class:`AuthError` -> 401,
+:class:`RateLimited` -> 429 with ``Retry-After``.
+
+Tenant config is a JSON document (file or dict)::
+
+    {"tenants": [
+        {"name": "alice", "api_key": "alice-key", "rate": 50, "burst": 10},
+        {"name": "bob",   "api_key": "bob-key"}
+    ]}
+
+``rate`` is sustained requests/second refill, ``burst`` the bucket capacity
+(instantaneous spike allowance); both optional (``None`` disables limiting
+for that tenant).  An :class:`Authenticator` built with *no* tenants runs in
+open mode: every request maps to the ``"anonymous"`` tenant, optionally rate
+limited by ``default_rate``/``default_burst`` -- so a dev server needs zero
+config while a shared one can still cap an anonymous free-for-all.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = [
+    "AuthError",
+    "RateLimited",
+    "TokenBucket",
+    "Tenant",
+    "Authenticator",
+]
+
+
+class AuthError(Exception):
+    """Unknown or missing API key (HTTP 401)."""
+
+
+class RateLimited(Exception):
+    """Tenant exceeded its token bucket (HTTP 429).
+
+    ``retry_after`` is the seconds until the next token accrues, served in
+    the ``Retry-After`` response header.
+    """
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} rate limited; retry in {retry_after:.2f}s"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second refill, ``burst`` capacity.
+
+    Thread-safe; time is injectable (``now=``) so tests never sleep.  The
+    bucket starts full, so a fresh tenant can burst immediately.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_lock")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = self.burst
+        self._stamp: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def try_acquire(self, now: Optional[float] = None) -> float:
+        """Take one token if available.
+
+        Returns ``0.0`` when admitted, else the seconds until a token
+        accrues (the caller's ``Retry-After``).
+        """
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            if self._stamp is not None and now > self._stamp:
+                self._tokens = min(
+                    self.burst, self._tokens + (now - self._stamp) * self.rate
+                )
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+
+@dataclass
+class Tenant:
+    """One API-key principal, with its optional rate limit."""
+
+    name: str
+    api_key: Optional[str] = None
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate is not None:
+            burst = self.burst if self.burst is not None else max(1.0, self.rate)
+            self.bucket: Optional[TokenBucket] = TokenBucket(self.rate, burst)
+        else:
+            self.bucket = None
+
+
+class Authenticator:
+    """Maps API keys to tenants and enforces their rate limits."""
+
+    def __init__(
+        self,
+        tenants: Optional[Dict[str, Tenant]] = None,
+        *,
+        default_rate: Optional[float] = None,
+        default_burst: Optional[float] = None,
+    ) -> None:
+        #: api_key -> Tenant; empty means open (anonymous) mode.
+        self._by_key: Dict[str, Tenant] = dict(tenants or {})
+        self._anonymous = Tenant(
+            "anonymous", api_key=None, rate=default_rate, burst=default_burst
+        )
+
+    @property
+    def open(self) -> bool:
+        """True when no tenants are configured (anonymous mode)."""
+        return not self._by_key
+
+    @property
+    def tenants(self) -> Dict[str, Tenant]:
+        """name -> Tenant (includes ``anonymous`` in open mode)."""
+        named = {t.name: t for t in self._by_key.values()}
+        if self.open:
+            named["anonymous"] = self._anonymous
+        return named
+
+    @classmethod
+    def from_dict(
+        cls,
+        config: Dict[str, Any],
+        *,
+        default_rate: Optional[float] = None,
+        default_burst: Optional[float] = None,
+    ) -> "Authenticator":
+        tenants: Dict[str, Tenant] = {}
+        for spec in config.get("tenants", []):
+            name, key = spec.get("name"), spec.get("api_key")
+            if not name or not key:
+                raise ValueError(f"tenant spec needs name and api_key: {spec!r}")
+            if key in tenants:
+                raise ValueError(f"duplicate api_key for tenant {name!r}")
+            tenants[key] = Tenant(
+                name=str(name),
+                api_key=str(key),
+                rate=spec.get("rate"),
+                burst=spec.get("burst"),
+            )
+        return cls(tenants, default_rate=default_rate, default_burst=default_burst)
+
+    @classmethod
+    def from_file(
+        cls,
+        path: Union[str, Path],
+        *,
+        default_rate: Optional[float] = None,
+        default_burst: Optional[float] = None,
+    ) -> "Authenticator":
+        with open(path, "r", encoding="utf-8") as fh:
+            config = json.load(fh)
+        return cls.from_dict(
+            config, default_rate=default_rate, default_burst=default_burst
+        )
+
+    def authenticate(self, api_key: Optional[str]) -> Tenant:
+        """Resolve an API key to its tenant; raises :class:`AuthError`.
+
+        Open mode accepts any (or no) key as ``anonymous``.
+        """
+        if self.open:
+            return self._anonymous
+        if api_key is None:
+            raise AuthError("missing API key (x-api-key or Authorization: Bearer)")
+        tenant = self._by_key.get(api_key)
+        if tenant is None:
+            raise AuthError("unknown API key")
+        return tenant
+
+    def admit(self, tenant: Tenant, now: Optional[float] = None) -> None:
+        """Charge one request against the tenant's bucket.
+
+        Raises :class:`RateLimited` when the bucket is empty; no-op for
+        unlimited tenants.
+        """
+        if tenant.bucket is None:
+            return
+        wait = tenant.bucket.try_acquire(now=now)
+        if wait > 0.0:
+            raise RateLimited(tenant.name, wait)

@@ -1,0 +1,601 @@
+"""Asyncio HTTP front end for the :class:`~repro.service.SolverService`.
+
+The always-on serving layer of ROADMAP item 3: the paper's economics are
+factorize-once/solve-many, and this server keeps the factorization cache hot
+across requests, batching concurrent right-hand sides into single task-graph
+solves through the service's flush loop.  Stdlib-only (``asyncio`` +
+hand-rolled HTTP/1.1), so serving adds zero dependencies.
+
+Endpoints
+---------
+``POST /v1/solve``
+    Submit one right-hand side and block until the batching flush loop
+    resolves it (or ``request_timeout`` elapses -> 504).  Concurrent solves
+    against the same problem are batched into one graph solve.
+``POST /v1/submit`` / ``GET /v1/tickets/<id>``
+    The asynchronous path: submit returns ``202`` with a ticket id
+    immediately; poll the ticket for ``pending`` / ``done`` (solution
+    included, record removed) / ``error``.  Tickets are tenant-scoped.
+``GET /metrics``
+    ``SolverService.render_prometheus()`` verbatim -- service counters plus
+    the runtime task/comm/memory series, strict-parser clean
+    (``python -m repro.obs.exposition``), plus the ``repro_http_*`` request
+    metrics this server records.
+``GET /healthz`` / ``GET /v1/stats``
+    Liveness and the JSON metrics snapshot (:meth:`SolverService.metrics`).
+
+Admission control
+-----------------
+Requests authenticate via ``x-api-key`` (or ``Authorization: Bearer``)
+against an :class:`~repro.service.auth.Authenticator`; unknown keys get 401.
+Per-tenant token buckets return 429 with ``Retry-After`` when a tenant
+out-runs its budget, and queue-depth backpressure returns 503 with
+``Retry-After`` once ``max_pending`` tickets are queued -- load is shed
+*before* it costs a factorization.  ``/healthz`` and ``/metrics`` stay open
+so probes and scrapes never need credentials.
+
+Request body (solve/submit), JSON::
+
+    {"b": [...], "kernel": "yukawa", "n": 1024,
+     "leaf_size": 128, "max_rank": 30, "format": "hss",
+     "params": {"lam": 1.0}}
+
+``b`` is one vector (length ``n``) or an ``(n, k)`` nested list.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.obs.runtime_metrics import (
+    record_http_inflight,
+    record_http_rejection,
+    record_http_request,
+)
+from repro.service.auth import Authenticator, AuthError, RateLimited
+from repro.service.solver_service import SolverService, SolveTicket
+
+__all__ = ["SolverHTTPServer", "HTTPError"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024  # one (n, k) float64 block tops out well below
+_SERVER_NAME = "repro-solver"
+
+
+class HTTPError(Exception):
+    """An error response with a status code (and optional extra headers)."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _TicketRecord:
+    """One submitted ticket awaiting resolution, scoped to its tenant."""
+
+    __slots__ = ("ticket", "tenant", "event", "created", "resolved_at")
+
+    def __init__(self, ticket: SolveTicket, tenant: str) -> None:
+        self.ticket = ticket
+        self.tenant = tenant
+        self.event = asyncio.Event()
+        self.created = time.monotonic()
+        self.resolved_at: Optional[float] = None
+
+
+class SolverHTTPServer:
+    """Serve a :class:`SolverService` over HTTP (see module docstring).
+
+    Parameters
+    ----------
+    service:
+        The (thread-safe) solver service to front.  Handlers submit tickets
+        on the event loop; a background flush loop drains the queue in an
+        executor thread, so batching happens exactly as it does offline.
+    host / port:
+        Bind address.  ``port=0`` picks a free port (see :attr:`port` after
+        :meth:`start`).
+    flush_interval:
+        Seconds between background flushes -- the batching window.  Longer
+        windows batch more aggressively at higher latency.
+    max_pending:
+        Queue-depth backpressure threshold: a solve/submit arriving with
+        this many tickets already queued is rejected with 503 and
+        ``Retry-After`` of one flush interval.
+    request_timeout:
+        Seconds a blocking ``/v1/solve`` waits for its ticket before 504.
+        The ticket still resolves in the background; the work is not lost,
+        only the response.
+    ticket_ttl:
+        Seconds a *resolved* ticket record stays claimable via
+        ``GET /v1/tickets/<id>`` before the sweeper drops it.
+    auth:
+        :class:`~repro.service.auth.Authenticator`; ``None`` runs open
+        (anonymous, unlimited).
+    cache_path:
+        Optional factorization-cache snapshot: loaded on :meth:`start` when
+        the file exists, written on :meth:`stop` -- a restart serves cache
+        hits instead of refactorizing (see :mod:`repro.service.persistence`).
+    """
+
+    def __init__(
+        self,
+        service: SolverService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        flush_interval: float = 0.05,
+        max_pending: int = 256,
+        request_timeout: float = 30.0,
+        ticket_ttl: float = 300.0,
+        auth: Optional[Authenticator] = None,
+        cache_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if flush_interval <= 0:
+            raise ValueError("flush_interval must be positive")
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.flush_interval = flush_interval
+        self.max_pending = max_pending
+        self.request_timeout = request_timeout
+        self.ticket_ttl = ticket_ttl
+        self.auth = auth if auth is not None else Authenticator()
+        self.cache_path = Path(cache_path) if cache_path is not None else None
+        self._tickets: Dict[str, _TicketRecord] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._flush_task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped = asyncio.Event()
+        self._inflight = 0
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        """Bind, load the cache snapshot (if any) and start the flush loop."""
+        self._loop = asyncio.get_running_loop()
+        if self.cache_path is not None and self.cache_path.exists():
+            loaded = self.service.load_cache(self.cache_path)
+            print(f"loaded {loaded} cached factorization(s) from {self.cache_path}",
+                  flush=True)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._stopped = asyncio.Event()
+        self._flush_task = asyncio.create_task(self._flush_loop())
+
+    async def stop(self) -> None:
+        """Flush outstanding tickets, snapshot the cache, close the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            try:
+                await self._flush_task
+            except asyncio.CancelledError:
+                pass
+            self._flush_task = None
+        # Final drain so submitted-but-unflushed tickets are not abandoned.
+        if self.service.pending:
+            await asyncio.get_running_loop().run_in_executor(None, self.service.flush)
+            self._resolve_ready()
+        if self.cache_path is not None:
+            self.service.save_cache(self.cache_path)
+        self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` is called (from any thread)."""
+        await self.start()
+        try:
+            await self._stopped.wait()
+        finally:
+            if self._server is not None:
+                await self.stop()
+
+    def shutdown(self) -> None:
+        """Request a clean stop; safe to call from any thread."""
+        loop = self._loop
+        if loop is None:
+            return
+
+        def _stop() -> None:
+            asyncio.ensure_future(self._shutdown_async())
+
+        loop.call_soon_threadsafe(_stop)
+
+    async def _shutdown_async(self) -> None:
+        if self._server is not None:
+            await self.stop()
+        self._stopped.set()
+
+    def start_in_thread(self) -> Tuple[str, int]:
+        """Run the server on a daemon thread; returns ``(host, port)`` once bound.
+
+        The test-suite/CLI entry point: the calling thread keeps control
+        (drive requests, then :meth:`shutdown`).
+        """
+        started = threading.Event()
+        failure: list = []
+
+        def _run() -> None:
+            async def _main() -> None:
+                try:
+                    await self.start()
+                except Exception as exc:  # bind/load errors surface to caller
+                    failure.append(exc)
+                    started.set()
+                    return
+                started.set()
+                await self._stopped.wait()
+
+            asyncio.run(_main())
+
+        self._thread = threading.Thread(target=_run, daemon=True, name=_SERVER_NAME)
+        self._thread.start()
+        started.wait()
+        if failure:
+            raise failure[0]
+        return self.host, self.port
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for a threaded server (:meth:`start_in_thread`) to exit."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # -- flush loop ----------------------------------------------------------
+    async def _flush_loop(self) -> None:
+        """Drain the service queue every ``flush_interval`` seconds.
+
+        The flush itself runs in an executor thread (solves hold the CPU),
+        so the event loop keeps accepting requests mid-batch; that is the
+        whole point of the thread-safe service.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.flush_interval)
+            try:
+                if self.service.pending:
+                    await loop.run_in_executor(None, self.service.flush)
+                self._resolve_ready()
+                self._sweep_tickets()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                # flush() resolves per-key errors onto tickets; anything that
+                # still escapes must not kill the loop.
+                print(f"flush loop error: {exc!r}", flush=True)
+
+    def _resolve_ready(self) -> None:
+        """Wake every waiter whose ticket the last flush resolved."""
+        now = time.monotonic()
+        for record in self._tickets.values():
+            if record.ticket.done and not record.event.is_set():
+                record.resolved_at = now
+                record.event.set()
+
+    def _sweep_tickets(self) -> None:
+        """Drop resolved ticket records nobody claimed within ``ticket_ttl``."""
+        now = time.monotonic()
+        stale = [
+            tid
+            for tid, record in self._tickets.items()
+            if record.resolved_at is not None
+            and now - record.resolved_at > self.ticket_ttl
+        ]
+        for tid in stale:
+            del self._tickets[tid]
+
+    # -- HTTP plumbing -------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except HTTPError as err:
+                    payload = json.dumps({"error": err.message}).encode()
+                    await self._write_response(
+                        writer, err.status, payload, dict(err.headers),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                t0 = time.perf_counter()
+                self._inflight += 1
+                record_http_inflight(self.service.registry, self._inflight)
+                try:
+                    status, payload, extra, route = await self._dispatch(
+                        method, path, headers, body
+                    )
+                except HTTPError as err:
+                    status = err.status
+                    payload = json.dumps({"error": err.message}).encode()
+                    extra = dict(err.headers)
+                    extra.setdefault("Content-Type", "application/json")
+                    route = self._route_pattern(path)
+                except Exception as exc:  # pragma: no cover - defensive
+                    status = 500
+                    payload = json.dumps({"error": f"internal error: {exc!r}"}).encode()
+                    extra = {"Content-Type": "application/json"}
+                    route = self._route_pattern(path)
+                finally:
+                    self._inflight -= 1
+                record_http_request(
+                    self.service.registry,
+                    route=route,
+                    method=method,
+                    status=status,
+                    seconds=time.perf_counter() - t0,
+                )
+                await self._write_response(
+                    writer, status, payload, extra, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, path, _version = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise HTTPError(400, "malformed request line") from None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            raise HTTPError(413, f"body exceeds {_MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        extra: Dict[str, str],
+        *,
+        keep_alive: bool,
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        headers = {
+            "Server": _SERVER_NAME,
+            "Content-Length": str(len(payload)),
+            "Connection": "keep-alive" if keep_alive else "close",
+            "Content-Type": "application/json",
+        }
+        headers.update(extra)
+        head = f"HTTP/1.1 {status} {reason}\r\n" + "".join(
+            f"{k}: {v}\r\n" for k, v in headers.items()
+        )
+        writer.write(head.encode("latin-1") + b"\r\n" + payload)
+        await writer.drain()
+
+    @staticmethod
+    def _route_pattern(path: str) -> str:
+        """Bounded-cardinality metrics label for a concrete path."""
+        if path.startswith("/v1/tickets/"):
+            return "/v1/tickets/{id}"
+        if path in ("/healthz", "/metrics", "/v1/stats", "/v1/solve", "/v1/submit"):
+            return path
+        return "other"
+
+    # -- routing -------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
+        route = self._route_pattern(path)
+        if path == "/healthz":
+            self._require(method, "GET")
+            return 200, json.dumps({"status": "ok"}).encode(), {}, route
+        if path == "/metrics":
+            self._require(method, "GET")
+            text = self.service.render_prometheus()
+            return (
+                200,
+                text.encode(),
+                {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+                route,
+            )
+        if path == "/v1/stats":
+            self._require(method, "GET")
+            self._authenticate(headers)
+            return 200, json.dumps(self.service.metrics()).encode(), {}, route
+        if path == "/v1/solve":
+            self._require(method, "POST")
+            tenant = self._admit(headers)
+            return await self._handle_solve(body, tenant, route)
+        if path == "/v1/submit":
+            self._require(method, "POST")
+            tenant = self._admit(headers)
+            return self._handle_submit(body, tenant, route)
+        if path.startswith("/v1/tickets/"):
+            self._require(method, "GET")
+            tenant = self._authenticate(headers)
+            return self._handle_ticket(path[len("/v1/tickets/") :], tenant, route)
+        raise HTTPError(404, f"no route for {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise HTTPError(405, f"method {method} not allowed (use {expected})")
+
+    def _authenticate(self, headers: Dict[str, str]):
+        api_key = headers.get("x-api-key")
+        if api_key is None:
+            bearer = headers.get("authorization", "")
+            if bearer.lower().startswith("bearer "):
+                api_key = bearer[7:].strip()
+        try:
+            return self.auth.authenticate(api_key)
+        except AuthError as exc:
+            record_http_rejection(self.service.registry, reason="unauthorized")
+            raise HTTPError(401, str(exc)) from None
+
+    def _admit(self, headers: Dict[str, str]):
+        """Authenticate + rate limit + backpressure for the solving routes."""
+        tenant = self._authenticate(headers)
+        try:
+            self.auth.admit(tenant)
+        except RateLimited as exc:
+            record_http_rejection(
+                self.service.registry, reason="rate_limited", tenant=tenant.name
+            )
+            raise HTTPError(
+                429, str(exc),
+                headers={"Retry-After": f"{max(exc.retry_after, 0.001):.3f}"},
+            ) from None
+        if self.service.pending >= self.max_pending:
+            record_http_rejection(
+                self.service.registry, reason="backpressure", tenant=tenant.name
+            )
+            raise HTTPError(
+                503,
+                f"solve queue full ({self.service.pending} pending); retry shortly",
+                headers={"Retry-After": f"{self.flush_interval:.3f}"},
+            )
+        return tenant
+
+    # -- handlers ------------------------------------------------------------
+    def _parse_solve_body(self, body: bytes) -> Tuple[np.ndarray, Dict[str, Any]]:
+        try:
+            doc = json.loads(body.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(doc, dict):
+            raise HTTPError(400, "body must be a JSON object")
+        missing = [f for f in ("b", "kernel", "n") if f not in doc]
+        if missing:
+            raise HTTPError(400, f"missing field(s): {', '.join(missing)}")
+        try:
+            b = np.asarray(doc["b"], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise HTTPError(400, f"b is not numeric: {exc}") from None
+        params = doc.get("params", {})
+        if not isinstance(params, dict):
+            raise HTTPError(400, "params must be an object of kernel parameters")
+        kwargs: Dict[str, Any] = {
+            "kernel": str(doc["kernel"]),
+            "n": int(doc["n"]),
+            "leaf_size": int(doc.get("leaf_size", 256)),
+            "max_rank": int(doc.get("max_rank", 100)),
+            "format": str(doc.get("format", "hss")),
+        }
+        kwargs.update({str(k): float(v) for k, v in params.items()})
+        return b, kwargs
+
+    def _submit_ticket(self, body: bytes, tenant: Any) -> Tuple[str, _TicketRecord]:
+        b, kwargs = self._parse_solve_body(body)
+        try:
+            ticket = self.service.submit(b, **kwargs)
+        except (ValueError, TypeError) as exc:
+            raise HTTPError(400, str(exc)) from None
+        record = _TicketRecord(ticket, tenant.name)
+        ticket_id = uuid.uuid4().hex
+        self._tickets[ticket_id] = record
+        return ticket_id, record
+
+    async def _handle_solve(
+        self, body: bytes, tenant: Any, route: str
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
+        ticket_id, record = self._submit_ticket(body, tenant)
+        try:
+            await asyncio.wait_for(record.event.wait(), timeout=self.request_timeout)
+        except asyncio.TimeoutError:
+            # The ticket stays registered: the flush loop still resolves it
+            # and the client can claim it via the ticket route.
+            raise HTTPError(
+                504,
+                f"solve did not complete within {self.request_timeout}s; "
+                f"poll /v1/tickets/{ticket_id}",
+            ) from None
+        del self._tickets[ticket_id]
+        ticket = record.ticket
+        if ticket.error is not None:
+            raise HTTPError(400, f"solve failed: {ticket.error}")
+        x = ticket.result
+        return 200, json.dumps({"x": x.tolist()}).encode(), {}, route
+
+    def _handle_submit(
+        self, body: bytes, tenant: Any, route: str
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
+        ticket_id, _record = self._submit_ticket(body, tenant)
+        payload = {"id": ticket_id, "status": "pending"}
+        return 202, json.dumps(payload).encode(), {}, route
+
+    def _handle_ticket(
+        self, ticket_id: str, tenant: Any, route: str
+    ) -> Tuple[int, bytes, Dict[str, str], str]:
+        record = self._tickets.get(ticket_id)
+        if record is None or record.tenant != tenant.name:
+            # Wrong-tenant probes get the same 404 as unknown ids: ticket ids
+            # are not enumerable across tenants.
+            raise HTTPError(404, f"unknown ticket {ticket_id}")
+        ticket = record.ticket
+        if not ticket.done:
+            return 200, json.dumps({"id": ticket_id, "status": "pending"}).encode(), {}, route
+        del self._tickets[ticket_id]
+        if ticket.error is not None:
+            payload = {"id": ticket_id, "status": "error", "error": str(ticket.error)}
+            return 200, json.dumps(payload).encode(), {}, route
+        payload = {"id": ticket_id, "status": "done", "x": ticket.result.tolist()}
+        return 200, json.dumps(payload).encode(), {}, route
+
+    def __repr__(self) -> str:
+        state = "listening" if self._server is not None else "stopped"
+        return f"SolverHTTPServer({self.host}:{self.port}, {state}, {self.service!r})"

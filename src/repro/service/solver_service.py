@@ -20,6 +20,7 @@ inside the runtime).
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -89,9 +90,16 @@ class FactorKey:
 
 
 class SolveTicket:
-    """Handle for one queued right-hand side, resolved by :meth:`SolverService.flush`."""
+    """Handle for one queued right-hand side, resolved by :meth:`SolverService.flush`.
 
-    __slots__ = ("key", "_b", "_single", "_result", "nrhs", "done")
+    A flushed ticket is always resolved exactly once, either with a solution
+    (:attr:`result`) or -- when its batch failed -- with the error that
+    poisoned it (:attr:`error`; reading :attr:`result` re-raises it).  Failed
+    tickets are *not* silently re-queued: a request that cannot be served
+    reports its error instead of retrying forever at the head of the queue.
+    """
+
+    __slots__ = ("key", "_b", "_single", "_result", "nrhs", "done", "error")
 
     def __init__(self, key: FactorKey, b: np.ndarray, single: bool) -> None:
         self.key = key
@@ -100,14 +108,22 @@ class SolveTicket:
         self._result: Optional[np.ndarray] = None
         self.nrhs = b.shape[1]
         self.done = False
+        #: The exception that failed this ticket's batch (None on success).
+        self.error: Optional[BaseException] = None
 
     @property
     def result(self) -> np.ndarray:
-        """The solution, shaped like the submitted ``b``."""
+        """The solution, shaped like the submitted ``b``.
+
+        Raises ``RuntimeError`` while unresolved; re-raises the batch's
+        exception when the ticket was resolved with an error.
+        """
         if not self.done:
             raise RuntimeError(
                 "ticket not resolved yet; call SolverService.flush() first"
             )
+        if self.error is not None:
+            raise self.error
         return self._result
 
     def _resolve(self, x: np.ndarray) -> None:
@@ -117,8 +133,14 @@ class SolveTicket:
         self._b = None
         self.done = True
 
+    def _fail(self, exc: BaseException) -> None:
+        self.error = exc
+        self._b = None
+        self.done = True
+
     def __repr__(self) -> str:
-        return f"SolveTicket({self.key.kernel}, n={self.key.n}, nrhs={self.nrhs}, done={self.done})"
+        state = "error" if self.error is not None else ("done" if self.done else "pending")
+        return f"SolveTicket({self.key.kernel}, n={self.key.n}, nrhs={self.nrhs}, {state})"
 
 
 #: Half-decade bucket upper bounds of :class:`LatencyHistogram`, 100us .. 100s.
@@ -209,7 +231,15 @@ _STAT_COUNTERS: Dict[str, Tuple[str, str]] = {
     "cache_misses": ("repro_service_cache_misses_total", "Factorization cache misses"),
     "evictions": (
         "repro_service_evictions_total",
-        "Factorizations evicted from the LRU cache",
+        "Factorizations evicted from the LRU cache (capacity pressure only)",
+    ),
+    "expirations": (
+        "repro_service_expirations_total",
+        "Factorizations dropped by TTL expiry",
+    ),
+    "errors": (
+        "repro_service_errors_total",
+        "Tickets resolved with an error (their batch failed)",
     ),
     "compress_tasks": (
         "repro_service_compress_tasks_total",
@@ -334,7 +364,18 @@ class SolverService:
         Apply one iterative-refinement step per batch (against the exact
         kernel operator) to every solve.
     max_cached:
-        Factorizations kept in the LRU cache before eviction.
+        Factorizations kept in the LRU cache before eviction.  Keys with
+        queued or in-flight tickets are *pinned*: eviction always takes the
+        oldest unpinned entry, so a flush can never be forced into a silent
+        mid-batch refactorization of a key it is about to serve.  When every
+        entry is pinned the cache temporarily overflows instead of evicting;
+        capacity is restored (and the eviction counted) once the pins drop.
+    ttl_seconds:
+        Optional factorization time-to-live: entries idle for longer than
+        this are dropped by :meth:`purge_expired` (called at the start of
+        every :meth:`flush`; the HTTP server also calls it from its flush
+        loop).  Pinned keys never expire.  ``None`` (default) disables TTL
+        eviction.
     compress_runtime:
         Execution path of the *construction* phase on cache misses, as
         ``StructuredSolver.from_kernel(compress_runtime=...)`` accepts it
@@ -375,6 +416,7 @@ class SolverService:
         panel_size: Optional[int] = None,
         refine: bool = False,
         max_cached: int = 8,
+        ttl_seconds: Optional[float] = None,
         compress_runtime: Union[bool, str] = False,
         fusion: Optional[bool] = None,
         trace: bool = False,
@@ -393,6 +435,8 @@ class SolverService:
             )
         if max_cached <= 0:
             raise ValueError("max_cached must be positive")
+        if ttl_seconds is not None and ttl_seconds < 0:
+            raise ValueError("ttl_seconds must be non-negative (or None)")
         self.backend = backend
         self.n_workers = n_workers
         self.nodes = nodes
@@ -400,6 +444,7 @@ class SolverService:
         self.panel_size = panel_size
         self.refine = refine
         self.max_cached = max_cached
+        self.ttl_seconds = ttl_seconds
         self.compress_runtime = compress_runtime
         self.fusion = fusion
         self.trace = bool(trace)
@@ -408,17 +453,95 @@ class SolverService:
         self.stats = ServiceStats(self.registry)
         self._cache: "OrderedDict[FactorKey, StructuredSolver]" = OrderedDict()
         self._queue: List[SolveTicket] = []
+        # One re-entrant lock guards every shared mutable structure (the LRU
+        # OrderedDict, the ticket queue, the eviction pins and the stats
+        # read-modify-write property views): submit()/flush()/solver_for()
+        # are safe to call from concurrent threads, which is exactly what the
+        # HTTP server does (event-loop handlers submit while an executor
+        # thread flushes).  Solves themselves run outside the lock.
+        self._lock = threading.RLock()
+        #: Keys currently being served by an in-flight flush batch
+        #: (key -> ticket count); pinned against eviction with the queue.
+        self._inflight: Dict[FactorKey, int] = {}
+        #: Last-use monotonic stamp per cached key (drives TTL expiry).
+        self._stamps: Dict[FactorKey, float] = {}
         #: Measured trace of the most recent batched solve (``trace=True`` only).
         self.last_solve_trace: Any = None
 
     # -- factorization cache -------------------------------------------------
+    def _pinned_keys(self) -> set:
+        """Keys that must not be evicted: queued or in-flight tickets exist.
+
+        Caller holds :attr:`_lock`.
+        """
+        pinned = {ticket.key for ticket in self._queue}
+        pinned.update(key for key, count in self._inflight.items() if count > 0)
+        return pinned
+
+    def _evict_over_capacity(self) -> None:
+        """Evict oldest *unpinned* entries until the cache fits ``max_cached``.
+
+        Caller holds :attr:`_lock`.  A key with queued or in-flight tickets
+        is never evicted (that would force a silent refactorization mid-
+        flush), and neither is the most-recently-used entry (evicting the
+        factorization that was just built or served would defeat the cache);
+        when no other candidate exists the cache temporarily overflows and
+        capacity is restored at the next unpinned opportunity.  Only true
+        evictions count into ``repro_service_evictions_total``.
+        """
+        while len(self._cache) > self.max_cached:
+            pinned = self._pinned_keys()
+            newest = next(reversed(self._cache))
+            victim = next(
+                (k for k in self._cache if k not in pinned and k != newest), None
+            )
+            if victim is None:
+                break
+            del self._cache[victim]
+            self._stamps.pop(victim, None)
+            self.stats.evictions += 1
+
+    def purge_expired(self, *, now: Optional[float] = None) -> List[FactorKey]:
+        """Drop cached factorizations idle for longer than ``ttl_seconds``.
+
+        Returns the expired keys (empty when TTL is disabled).  Pinned keys
+        (queued or in-flight tickets) are never expired.  ``now`` overrides
+        the monotonic clock for tests.
+        """
+        if self.ttl_seconds is None:
+            return []
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            pinned = self._pinned_keys()
+            expired = [
+                key
+                for key, stamp in self._stamps.items()
+                if now - stamp > self.ttl_seconds and key not in pinned
+            ]
+            for key in expired:
+                self._cache.pop(key, None)
+                del self._stamps[key]
+                self.stats.expirations += 1
+            return expired
+
     def solver_for(self, key: FactorKey) -> StructuredSolver:
-        """The cached, factorized :class:`StructuredSolver` for ``key`` (build on miss)."""
-        solver = self._cache.get(key)
-        if solver is not None:
-            self._cache.move_to_end(key)
-            self.stats.cache_hits += 1
-            return solver
+        """The cached, factorized :class:`StructuredSolver` for ``key`` (build on miss).
+
+        Thread-safe; the service lock is held across the whole miss path, so
+        two concurrent requests for the same new key build it once.
+        """
+        with self._lock:
+            solver = self._cache.get(key)
+            if solver is not None:
+                self._cache.move_to_end(key)
+                self._stamps[key] = time.monotonic()
+                self.stats.cache_hits += 1
+                return solver
+            return self._build_and_cache(key)
+
+    def _build_and_cache(self, key: FactorKey) -> StructuredSolver:
+        """Miss path of :meth:`solver_for`; caller holds :attr:`_lock`."""
         self.stats.cache_misses += 1
         t0 = time.perf_counter()
         solver = StructuredSolver.from_kernel(
@@ -459,14 +582,14 @@ class SolverService:
         if solver.factorize_runtime is not None:
             self.stats.factor_tasks += solver.factorize_runtime.num_tasks
         self._cache[key] = solver
-        while len(self._cache) > self.max_cached:
-            self._cache.popitem(last=False)
-            self.stats.evictions += 1
+        self._stamps[key] = time.monotonic()
+        self._evict_over_capacity()
         return solver
 
     @property
     def cached_keys(self) -> List[FactorKey]:
-        return list(self._cache)
+        with self._lock:
+            return list(self._cache)
 
     # -- request queue -------------------------------------------------------
     def submit(
@@ -492,15 +615,17 @@ class SolverService:
         )
         bm, single = validate_rhs(b, key.n)
         ticket = SolveTicket(key, bm, single)
-        self._queue.append(ticket)
-        self.stats.requests += 1
-        self.registry.gauge(*_QUEUE_DEPTH, mode="max").set_max(len(self._queue))
+        with self._lock:
+            self._queue.append(ticket)
+            self.stats.requests += 1
+            self.registry.gauge(*_QUEUE_DEPTH, mode="max").set_max(len(self._queue))
         return ticket
 
     @property
     def pending(self) -> int:
         """Queued tickets not yet flushed."""
-        return len(self._queue)
+        with self._lock:
+            return len(self._queue)
 
     def _revalidate(self, key: FactorKey, solver: StructuredSolver) -> StructuredSolver:
         """Re-validate one cached factorization against its key.
@@ -529,9 +654,21 @@ class SolverService:
         block right-hand side and solved through a single recorded graph; the
         cached factorization is re-validated once per key (not per ticket)
         and the solution block is split back onto the tickets.  Returns the
-        resolved tickets in submission order.
+        drained tickets in submission order, every one resolved exactly once:
+        with its solution, or -- when its batch failed -- with the exception
+        set as :attr:`SolveTicket.error` (reading ``.result`` re-raises it).
+        A failed key never poisons the rest of the flush: tickets against
+        *other* keys in the same drain still solve normally, and a failed
+        ticket is never re-queued, so one bad request cannot head-of-line
+        block the service by retrying forever.
         """
-        queue, self._queue = self._queue, []
+        self.purge_expired()
+        with self._lock:
+            queue, self._queue = self._queue, []
+            # Pin the keys being served: eviction must not drop a
+            # factorization mid-batch (see _evict_over_capacity).
+            for ticket in queue:
+                self._inflight[ticket.key] = self._inflight.get(ticket.key, 0) + 1
         by_key: "OrderedDict[FactorKey, List[SolveTicket]]" = OrderedDict()
         for ticket in queue:
             by_key.setdefault(ticket.key, []).append(ticket)
@@ -550,30 +687,50 @@ class SolverService:
             )
         try:
             for key, tickets in by_key.items():
-                solver = self._revalidate(key, self.solver_for(key))
-                batch = np.concatenate([t._b for t in tickets], axis=1)
-                t0 = time.perf_counter()
-                x = solver.solve(batch, **solve_kwargs)
-                elapsed = time.perf_counter() - t0
-                self.stats.solve_seconds += elapsed
-                self.stats.observe_latency(key.label, elapsed)
-                self.stats.batches += 1
-                self.stats.solves += batch.shape[1]
-                self.registry.histogram(
-                    *_BATCH_RHS, buckets=COUNT_BUCKETS
-                ).observe(batch.shape[1])
-                if self.trace and solver.solve_runtime is not None:
-                    self.last_solve_trace = solver.solve_runtime.last_trace
-                start = 0
-                for ticket in tickets:
-                    ticket._resolve(x[:, start : start + ticket.nrhs])
-                    start += ticket.nrhs
-        except BaseException:
-            # A failed batch (bad backend config, worker crash, ...) must not
-            # strand the remaining requests: re-queue every unresolved ticket
-            # so a corrected service can flush them again.
-            self._queue = [t for t in queue if not t.done] + self._queue
-            raise
+                try:
+                    solver = self._revalidate(key, self.solver_for(key))
+                    batch = np.concatenate([t._b for t in tickets], axis=1)
+                    t0 = time.perf_counter()
+                    x = solver.solve(batch, **solve_kwargs)
+                    elapsed = time.perf_counter() - t0
+                except Exception as exc:
+                    # Resolve this key's tickets with the error and move on:
+                    # the other keys in the drain must still be served.
+                    with self._lock:
+                        for ticket in tickets:
+                            ticket._fail(exc)
+                        self.stats.errors += len(tickets)
+                    continue
+                with self._lock:
+                    self.stats.solve_seconds += elapsed
+                    self.stats.observe_latency(key.label, elapsed)
+                    self.stats.batches += 1
+                    self.stats.solves += batch.shape[1]
+                    self.registry.histogram(
+                        *_BATCH_RHS, buckets=COUNT_BUCKETS
+                    ).observe(batch.shape[1])
+                    if self.trace and solver.solve_runtime is not None:
+                        self.last_solve_trace = solver.solve_runtime.last_trace
+                    start = 0
+                    for ticket in tickets:
+                        ticket._resolve(x[:, start : start + ticket.nrhs])
+                        start += ticket.nrhs
+        finally:
+            with self._lock:
+                for ticket in queue:
+                    left = self._inflight.get(ticket.key, 0) - 1
+                    if left > 0:
+                        self._inflight[ticket.key] = left
+                    else:
+                        self._inflight.pop(ticket.key, None)
+                # Only a BaseException escaping the loop (KeyboardInterrupt,
+                # executor teardown) leaves tickets unresolved; re-queue them
+                # so a later flush can still serve them.
+                unresolved = [t for t in queue if not t.done]
+                if unresolved:
+                    self._queue = unresolved + self._queue
+                # Pins may have held the cache over capacity; restore it now.
+                self._evict_over_capacity()
         return queue
 
     def solve(
@@ -626,6 +783,9 @@ class SolverService:
             "cache_hits": stats.cache_hits,
             "cache_misses": stats.cache_misses,
             "evictions": stats.evictions,
+            "expired": stats.expirations,
+            "errors": stats.errors,
+            "ttl_seconds": self.ttl_seconds,
             "compress_seconds": stats.compress_seconds,
             "factorize_seconds": stats.factorize_seconds,
             "factor_seconds": stats.factor_seconds,
@@ -638,6 +798,28 @@ class SolverService:
         if self.last_solve_trace is not None:
             snapshot["last_solve_trace"] = self.last_solve_trace.summary()
         return snapshot
+
+    # -- persistence ---------------------------------------------------------
+    def save_cache(self, path: Any) -> int:
+        """Write every cached factorization to ``path``; returns the count.
+
+        See :func:`repro.service.persistence.save_cache` for the format; a
+        restarted service calls :meth:`load_cache` on the same path to serve
+        cache hits without refactorizing anything.
+        """
+        from repro.service import persistence
+
+        return persistence.save_cache(self, path)
+
+    def load_cache(self, path: Any) -> int:
+        """Install factorizations previously saved with :meth:`save_cache`.
+
+        Returns the number of entries loaded; raises ``ValueError`` on a
+        corrupt or truncated file.
+        """
+        from repro.service import persistence
+
+        return persistence.load_cache(self, path)
 
     def render_prometheus(self) -> str:
         """The service's :attr:`registry` in Prometheus text exposition format.

@@ -747,6 +747,54 @@ class TestTrajectoryGate:
         assert result.ok and result.compared == 0
 
     @staticmethod
+    def _serve_section(solves_per_sec, backend="sequential", n=256, clients=4):
+        return {
+            "n": n,
+            "rows": [{
+                "format": "hss", "backend": backend,
+                "clients": clients,
+                "solves_per_sec": solves_per_sec,
+            }],
+        }
+
+    def test_serve_load_gated(self, tmp_path):
+        # a >50% end-to-end serving throughput drop fails the gate
+        cur = _artifact(tmp_path, "cur.json", {
+            "serve_load": self._serve_section(90.0),
+        })
+        base = _artifact(tmp_path, "base.json", {
+            "serve_load": self._serve_section(200.0),
+        })
+        result = check_trajectory(cur, base)
+        assert not result.ok and result.compared == 1
+        assert any("serve_load" in f for f in result.failures)
+        # within tolerance passes
+        cur2 = _artifact(tmp_path, "cur2.json", {
+            "serve_load": self._serve_section(180.0),
+        })
+        assert check_trajectory(cur2, base).ok
+
+    def test_serve_load_gates_sequential_backends_too(self, tmp_path):
+        # unlike solve_throughput, serving throughput gates every backend:
+        # the HTTP/batching overhead being measured exists regardless of the
+        # executor behind the service, so a sequential-backend regression is
+        # just as real
+        cur = _artifact(tmp_path, "cur.json", {
+            "serve_load": self._serve_section(10.0, backend="sequential"),
+        })
+        base = _artifact(tmp_path, "base.json", {
+            "serve_load": self._serve_section(230.0, backend="sequential"),
+        })
+        result = check_trajectory(cur, base)
+        assert not result.ok and result.compared == 1
+        # rows match on the client count: a different concurrency level is a
+        # different row, not a regression
+        cur2 = _artifact(tmp_path, "cur2.json", {
+            "serve_load": self._serve_section(10.0, clients=8),
+        })
+        assert check_trajectory(cur2, base).compared == 0
+
+    @staticmethod
     def _comm_section(shm_bytes, pickle_bytes, nodes=2, n=512):
         return {
             "base_n": n // nodes,

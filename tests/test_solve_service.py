@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import threading
 
 import numpy as np
 import pytest
@@ -145,20 +146,45 @@ class TestBatching:
         with pytest.raises(TypeError, match="n"):
             service.submit(_rhs(1), kernel="yukawa", leaf_size=64, max_rank=20)
 
-    def test_failed_flush_requeues_unresolved_tickets(self):
-        """A failing batch must not strand queued requests."""
+    def test_failed_flush_resolves_tickets_with_error(self):
+        """A failing batch resolves its tickets with the error -- no retry loop.
+
+        The old behaviour re-queued the poisoned ticket at the head of the
+        queue, so one bad request retried forever and head-of-line blocked
+        everything behind it.  Now the ticket is resolved exactly once, with
+        the batch's exception, and the queue drains.
+        """
         service = SolverService(backend="parallel", n_workers=2, distribution="bogus")
         ticket = service.submit(_rhs(1), **KEY)
-        with pytest.raises(ValueError, match="unknown distribution"):
-            service.flush()
-        assert not ticket.done
-        assert service.pending == 1
-        # a corrected service configuration drains the re-queued ticket
-        service.distribution = "row"
-        service.flush()
+        done = service.flush()  # must not raise -- the error lands on the ticket
+        assert done == [ticket]
         assert ticket.done
-        ref = SolverService(backend="reference").solve(_rhs(1), **KEY)
-        np.testing.assert_allclose(ticket.result, ref, rtol=1e-11, atol=1e-13)
+        assert isinstance(ticket.error, ValueError)
+        assert service.pending == 0
+        assert service.stats.errors == 1
+        with pytest.raises(ValueError, match="unknown distribution"):
+            ticket.result
+        # a second flush is a no-op: the failed ticket was not re-queued
+        assert service.flush() == []
+
+    def test_failed_key_does_not_poison_other_keys(self):
+        """Tickets for healthy keys in the same flush still get solved."""
+        service = SolverService(backend="sequential")
+        bad = service.submit(_rhs(1), **KEY)
+        good = service.submit(_rhs(1, n=128), kernel="yukawa", n=128,
+                              leaf_size=32, max_rank=16)
+        # Poison only the first key's cached entry.
+        service.solver_for(bad.key)
+        service._cache[bad.key].matrix = SolverService(backend="reference").solver_for(
+            FactorKey.make(kernel="yukawa", n=128, leaf_size=32, max_rank=16)
+        ).matrix
+        service.flush()
+        assert bad.done and isinstance(bad.error, RuntimeError)
+        assert good.done and good.error is None
+        ref = SolverService(backend="reference").solve(
+            _rhs(1, n=128), kernel="yukawa", n=128, leaf_size=32, max_rank=16
+        )
+        np.testing.assert_allclose(good.result, ref, rtol=1e-11, atol=1e-13)
 
     def test_panel_size_forwarded(self):
         service = SolverService(backend="parallel", n_workers=2, panel_size=2)
@@ -257,5 +283,187 @@ class TestCompressCaching:
         service._cache[key].matrix = SolverService(backend="reference").solver_for(
             FactorKey.make(kernel="yukawa", n=128, leaf_size=32, max_rank=16)
         ).matrix  # poison: cached entry no longer matches its key
+        service.flush()
         with pytest.raises(RuntimeError, match="cache is corrupt"):
-            service.flush()
+            ticket.result
+
+
+class TestConcurrency:
+    """submit()/flush() from many threads: no lost or duplicate resolutions."""
+
+    def test_concurrent_submit_flush_hammer(self):
+        service = SolverService(backend="sequential", max_cached=2)
+        keys = [
+            dict(kernel="yukawa", n=128, leaf_size=32, max_rank=16),
+            dict(kernel="laplace2d", n=128, leaf_size=32, max_rank=16),
+            dict(kernel="yukawa", n=64, leaf_size=16, max_rank=12),
+        ]
+        # Warm every key so the hammer exercises the hit path + LRU churn
+        # (3 keys > max_cached=2) rather than serialized factorizations.
+        for k in keys:
+            service.solve(_rhs(1, n=k["n"]), **k)
+        n_threads, per_thread = 4, 8
+        tickets = [[] for _ in range(n_threads)]
+        stop = threading.Event()
+        errors = []
+
+        def submitter(slot):
+            try:
+                for i in range(per_thread):
+                    k = keys[(slot + i) % len(keys)]
+                    tickets[slot].append(
+                        service.submit(_rhs(1, seed=slot * 100 + i, n=k["n"]), **k)
+                    )
+            except Exception as exc:  # pragma: no cover - fail the test below
+                errors.append(exc)
+
+        def flusher():
+            while not stop.is_set():
+                try:
+                    service.flush()
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        flush_threads = [threading.Thread(target=flusher) for _ in range(2)]
+        submit_threads = [
+            threading.Thread(target=submitter, args=(s,)) for s in range(n_threads)
+        ]
+        for t in flush_threads + submit_threads:
+            t.start()
+        for t in submit_threads:
+            t.join()
+        # Drain whatever the racing flushers have not picked up yet.
+        service.flush()
+        stop.set()
+        for t in flush_threads:
+            t.join()
+        assert not errors, errors
+        assert service.pending == 0
+        flat = [t for slot in tickets for t in slot]
+        assert len(flat) == n_threads * per_thread
+        assert all(t.done and t.error is None for t in flat)
+        # No duplicate or lost resolutions: every ticket matches its own
+        # reference solve exactly once.
+        refs = {}
+        for slot in range(n_threads):
+            for i, ticket in enumerate(tickets[slot]):
+                k = keys[(slot + i) % len(keys)]
+                kk = tuple(sorted(k.items()))
+                if kk not in refs:
+                    refs[kk] = SolverService(backend="reference")
+                x_ref = refs[kk].solve(_rhs(1, seed=slot * 100 + i, n=k["n"]), **k)
+                np.testing.assert_allclose(
+                    ticket.result, x_ref, rtol=1e-10, atol=1e-12
+                )
+        # Cache-size invariant: pins released, capacity restored.
+        assert len(service.cached_keys) <= service.max_cached
+        # +len(keys): the warm-up solves count as requests/solves too.
+        assert service.stats.requests == n_threads * per_thread + len(keys)
+        assert service.stats.solves == n_threads * per_thread + len(keys)
+
+
+class TestEvictionPinning:
+    def test_queued_key_is_not_evicted(self):
+        """LRU eviction must skip keys with unresolved tickets queued."""
+        service = SolverService(backend="reference", max_cached=1)
+        service.solve(_rhs(1), **KEY)  # cache holds KEY (oldest)
+        pinned_key = FactorKey.make(**KEY)
+        service.submit(_rhs(1, seed=1), **KEY)  # pin it with a queued ticket
+        # A different problem misses and would normally evict KEY (the LRU
+        # victim); the pin forces a temporary overflow instead.
+        other = dict(kernel="yukawa", n=128, leaf_size=32, max_rank=16)
+        service.solver_for(FactorKey.make(**other))
+        assert pinned_key in service.cached_keys
+        assert len(service.cached_keys) == 2  # temporary overflow, no eviction
+        assert service.stats.evictions == 0
+        misses = service.stats.cache_misses
+        service.flush()  # serves the pinned key: must be a hit, not a rebuild
+        assert service.stats.cache_misses == misses
+        assert service.stats.cache_hits >= 1
+        # Pin released: capacity restored, one true eviction counted.
+        assert len(service.cached_keys) == 1
+        assert service.stats.evictions == 1
+
+
+class TestTTL:
+    def test_ttl_expiry(self):
+        service = SolverService(backend="reference", ttl_seconds=10.0)
+        service.solve(_rhs(1), **KEY)
+        key = FactorKey.make(**KEY)
+        stamp = service._stamps[key]
+        assert service.purge_expired(now=stamp + 5.0) == []
+        assert service.purge_expired(now=stamp + 11.0) == [key]
+        assert service.cached_keys == []
+        assert service.stats.expirations == 1
+        assert service.stats.evictions == 0  # expiry is not an eviction
+
+    def test_ttl_skips_pinned_keys(self):
+        service = SolverService(backend="reference", ttl_seconds=10.0)
+        service.solve(_rhs(1), **KEY)
+        key = FactorKey.make(**KEY)
+        service.submit(_rhs(1, seed=1), **KEY)
+        assert service.purge_expired(now=service._stamps[key] + 100.0) == []
+        service.flush()
+        assert service.purge_expired(now=service._stamps[key] + 100.0) == [key]
+
+    def test_ttl_disabled_by_default(self):
+        service = SolverService(backend="reference")
+        service.solve(_rhs(1), **KEY)
+        assert service.purge_expired(now=float("inf")) == []
+        assert len(service.cached_keys) == 1
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            SolverService(ttl_seconds=-1.0)
+
+
+class TestPersistence:
+    def test_round_trip_serves_cache_hits(self, tmp_path):
+        """save -> restart -> load must serve hits with zero graph tasks."""
+        path = tmp_path / "factors.bin"
+        first = SolverService(
+            backend="parallel", n_workers=2, compress_runtime="parallel"
+        )
+        x_before = first.solve(_rhs(1), **KEY)
+        assert first.save_cache(path) == 1
+
+        # A fresh process: new service, no cache, no compression run yet.
+        second = SolverService(
+            backend="parallel", n_workers=2, compress_runtime="parallel"
+        )
+        assert second.load_cache(path) == 1
+        assert second.cached_keys == [FactorKey.make(**KEY)]
+        x_after = second.solve(_rhs(1), **KEY)
+        # Cache hit: zero compression/factorization graph tasks executed.
+        assert second.stats.cache_misses == 0
+        assert second.stats.cache_hits == 1
+        assert second.stats.compress_tasks == 0
+        assert second.stats.factor_tasks == 0
+        # And the persisted factorization solves bit-identically.
+        np.testing.assert_array_equal(x_after, x_before)
+
+    def test_corrupt_file_fails_loudly(self, tmp_path):
+        path = tmp_path / "factors.bin"
+        service = SolverService(backend="reference")
+        service.solve(_rhs(1), **KEY)
+        service.save_cache(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-10])  # truncate
+        fresh = SolverService(backend="reference")
+        with pytest.raises(ValueError, match="checksum"):
+            fresh.load_cache(path)
+        path.write_bytes(b"not a snapshot at all")
+        with pytest.raises(ValueError, match="magic"):
+            fresh.load_cache(path)
+        assert fresh.cached_keys == []
+
+    def test_load_respects_capacity(self, tmp_path):
+        path = tmp_path / "factors.bin"
+        big = SolverService(backend="reference", max_cached=4)
+        big.solve(_rhs(1), **KEY)
+        big.solve(_rhs(1, n=128), kernel="yukawa", n=128, leaf_size=32, max_rank=16)
+        assert big.save_cache(path) == 2
+        small = SolverService(backend="reference", max_cached=1)
+        assert small.load_cache(path) == 2
+        assert len(small.cached_keys) == 1  # evicted down to capacity
